@@ -1,0 +1,40 @@
+//! Criterion benches of the Table III machinery: both simulators
+//! running the evaluation kernels at reduced (CI-friendly) sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggpu_kernels::all;
+use std::hint::black_box;
+
+fn bench_gpu_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simt");
+    group.sample_size(10);
+    for bench in all() {
+        // Quadratic kernels get smaller sizes to keep wall time sane.
+        let n = match bench.name {
+            "xcorr" | "parallel_sel" => 256,
+            _ => 2048,
+        };
+        group.bench_function(format!("{}/{n}/2cu", bench.name), |b| {
+            b.iter(|| bench.run_gpu(black_box(n), 2).expect("runs and verifies"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_riscv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("riscv");
+    group.sample_size(10);
+    for bench in all() {
+        let n = match bench.name {
+            "xcorr" | "parallel_sel" => 128,
+            _ => 512,
+        };
+        group.bench_function(format!("{}/{n}", bench.name), |b| {
+            b.iter(|| bench.run_riscv(black_box(n)).expect("runs and verifies"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_kernels, bench_riscv_kernels);
+criterion_main!(benches);

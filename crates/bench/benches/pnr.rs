@@ -1,0 +1,44 @@
+//! Criterion benches of the physical flow (Table II / Figs. 3-4
+//! machinery): floorplan, placement, routing and post-route timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggpu_pnr::{build_floorplan, place_and_route, DensityTargets, PnrOptions};
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::hint::black_box;
+
+fn bench_floorplan(c: &mut Criterion) {
+    let tech = Tech::l65();
+    let design = generate(&GgpuConfig::with_cus(8).expect("valid")).expect("generates");
+    c.bench_function("floorplan/8cu", |b| {
+        b.iter(|| {
+            build_floorplan(black_box(&design), &tech, DensityTargets::default())
+                .expect("floorplans")
+        });
+    });
+}
+
+fn bench_place_and_route(c: &mut Criterion) {
+    let tech = Tech::l65();
+    let mut group = c.benchmark_group("place_and_route");
+    group.sample_size(10);
+    for cus in [1u32, 8] {
+        let design = generate(&GgpuConfig::with_cus(cus).expect("valid")).expect("generates");
+        group.bench_function(format!("{cus}cu@500"), |b| {
+            b.iter(|| {
+                place_and_route(
+                    black_box(&design),
+                    &tech,
+                    Mhz::new(500.0),
+                    PnrOptions::default(),
+                )
+                .expect("routes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_floorplan, bench_place_and_route);
+criterion_main!(benches);

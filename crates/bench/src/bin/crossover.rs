@@ -1,0 +1,41 @@
+//! Crossover analysis: sweeps the input size per kernel and reports
+//! the smallest n at which the 8-CU G-GPU beats the RISC-V outright
+//! (same n on both, no scaling) — the "when is the accelerator worth
+//! invoking" question the paper's intro motivates.
+
+use ggpu_bench::ascii_table;
+use ggpu_kernels::all;
+
+fn main() {
+    let header: Vec<String> = ["kernel", "crossover n", "speedup@crossover", "speedup@4096"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for bench in all() {
+        let sizes: &[u32] = if matches!(bench.name, "xcorr" | "parallel_sel") {
+            &[16, 32, 64, 128, 256, 512, 1024]
+        } else {
+            &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+        };
+        let mut crossover = None;
+        let mut last = 0.0;
+        for &n in sizes {
+            let gpu = bench.run_gpu(n, 8).expect("verified run");
+            let rv = bench.run_riscv(n).expect("verified run");
+            last = rv.cycles as f64 / gpu.cycles as f64;
+            if crossover.is_none() && last >= 1.0 {
+                crossover = Some((n, last));
+            }
+        }
+        rows.push(vec![
+            bench.name.to_string(),
+            crossover.map_or("> sweep".into(), |(n, _)| n.to_string()),
+            crossover.map_or("-".into(), |(_, s)| format!("{s:.2}x")),
+            format!("{last:.2}x"),
+        ]);
+    }
+    println!("Crossover: smallest n where an 8-CU G-GPU beats the RISC-V at equal n\n");
+    println!("{}", ascii_table(&header, &rows));
+    println!("(dispatch and memory-system latency dominate small grids — the\n reason the paper calls G-GPU a *domain-specific* accelerator)");
+}

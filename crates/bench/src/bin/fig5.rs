@@ -1,0 +1,37 @@
+//! Regenerates the paper's **Fig. 5**: raw speed-up of the G-GPU over
+//! the RISC-V for each kernel and CU count, using the paper's
+//! pessimistic input-size scaling.
+
+use ggpu_bench::{ascii_table, collect_table3, BENCH_CUS};
+
+fn bar(v: f64, scale: f64) -> String {
+    let n = ((v.max(1.0)).log10() * scale).round() as usize;
+    "#".repeat(n.max(1))
+}
+
+fn main() {
+    let data = collect_table3();
+    let header: Vec<String> = ["kernel", "1cu", "2cu", "4cu", "8cu", "chart (log10, 8cu)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut best: f64 = 0.0;
+    let mut worst = f64::INFINITY;
+    for kc in &data {
+        let speedups: Vec<f64> = (0..BENCH_CUS.len()).map(|i| kc.speedup(i)).collect();
+        best = best.max(speedups[3]);
+        worst = worst.min(speedups[0]);
+        rows.push(vec![
+            kc.bench.name.to_string(),
+            format!("{:.1}", speedups[0]),
+            format!("{:.1}", speedups[1]),
+            format!("{:.1}", speedups[2]),
+            format!("{:.1}", speedups[3]),
+            bar(speedups[3], 10.0),
+        ]);
+    }
+    println!("Fig. 5: raw speed-up over RISC-V (measured; paper peaks at ~223x, floor ~1.2x)\n");
+    println!("{}", ascii_table(&header, &rows));
+    println!("measured range: {worst:.1}x .. {best:.1}x");
+}

@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Fig. 6**: speed-up over the RISC-V
+//! derated by the area ratio. The paper's headline: the 1-CU version
+//! wins per area (10.2x at a 6.5x area), the 8-CU version is worst
+//! (5.7x best at a 41x area).
+
+use ggpu_bench::{area_ratio_vs_riscv, ascii_table, collect_table3, BENCH_CUS};
+
+fn main() {
+    let data = collect_table3();
+    let ratios: Vec<f64> = BENCH_CUS.iter().map(|&c| area_ratio_vs_riscv(c)).collect();
+    println!("Fig. 6: speed-up derated by area (measured)\n");
+    println!(
+        "area ratios vs RISC-V: 1cu {:.1}x, 2cu {:.1}x, 4cu {:.1}x, 8cu {:.1}x (paper: 6.5x .. 41x)\n",
+        ratios[0], ratios[1], ratios[2], ratios[3]
+    );
+    let header: Vec<String> = ["kernel", "1cu", "2cu", "4cu", "8cu"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut best_per_cu = [0.0f64; 4];
+    for kc in &data {
+        let mut row = vec![kc.bench.name.to_string()];
+        for i in 0..BENCH_CUS.len() {
+            let derated = kc.speedup(i) / ratios[i];
+            best_per_cu[i] = best_per_cu[i].max(derated);
+            row.push(format!("{:.2}", derated));
+        }
+        rows.push(row);
+    }
+    println!("{}", ascii_table(&header, &rows));
+    println!(
+        "best per area: 1cu {:.2}, 2cu {:.2}, 4cu {:.2}, 8cu {:.2} (paper: 1cu best, 8cu worst)",
+        best_per_cu[0], best_per_cu[1], best_per_cu[2], best_per_cu[3]
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's **Figs. 3–4**: floorplan layouts of the
+//! four physically implemented versions as SVG files with memories
+//! coloured by role (CU memories green, memory-controller yellow/pink).
+
+use ggpu_pnr::to_svg;
+use ggpu_tech::Tech;
+use gpuplanner::{physical_versions, GpuPlanner};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = Path::new("target/layouts");
+    fs::create_dir_all(out_dir).expect("create output directory");
+    let planner = GpuPlanner::new(Tech::l65());
+    for spec in physical_versions() {
+        let planned = planner
+            .plan(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.version_name()));
+        let implemented = planner
+            .implement(&planned)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.version_name()));
+        let svg = to_svg(&implemented.layout);
+        let path = out_dir.join(format!("{}.svg", spec.version_name().replace('@', "_")));
+        fs::write(&path, svg).expect("write svg");
+        println!(
+            "{}: chip {:.2} mm2, achieved {:.0} -> {}",
+            spec.version_name(),
+            implemented.layout.floorplan.chip.area().to_mm2(),
+            implemented.achieved_clock(),
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Emits the paper's "dynamic spreadsheet" for a design and target
+//! frequency: every memory structure with its access time, slack, and
+//! the division factor needed to close the target (CSV on stdout).
+//!
+//! Usage: `spreadsheet [cus] [target_mhz]`
+
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::render_map;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cus: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let target: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(667.0);
+    let design = generate(&GgpuConfig::with_cus(cus).expect("1-8 CUs")).expect("generates");
+    let map = render_map(&design, &Tech::l65(), Mhz::new(target)).expect("times");
+    print!("{map}");
+}

@@ -1,0 +1,53 @@
+//! Frequency-sweep ablation: runs the DSE across a range of target
+//! frequencies and prints the resulting area/macro-count/power curve —
+//! the diminishing-returns picture behind the paper's choice of 500,
+//! 590 and 667 MHz as "versions worth the PPA trade-off".
+
+use ggpu_bench::ascii_table;
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::{GpuPlanner, PlanError, Specification};
+
+fn main() {
+    let cus: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let planner = GpuPlanner::new(Tech::l65());
+    let header: Vec<String> = [
+        "target MHz", "fmax", "area mm2", "d.area %", "#mem", "divisions", "pipelines", "total W",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut base_area = None;
+    for target in (500..=900).step_by(50) {
+        let spec = Specification::new(cus, Mhz::new(f64::from(target)));
+        match planner.plan(&spec) {
+            Ok(v) => {
+                let area = v.synthesis.stats.total_area().to_mm2();
+                let base = *base_area.get_or_insert(area);
+                rows.push(vec![
+                    target.to_string(),
+                    format!("{:.0}", v.synthesis.fmax.map(|f| f.value()).unwrap_or(0.0)),
+                    format!("{area:.2}"),
+                    format!("{:+.1}", (area / base - 1.0) * 100.0),
+                    v.synthesis.stats.macro_count.to_string(),
+                    v.plan.divisions.len().to_string(),
+                    v.plan.pipelines.len().to_string(),
+                    format!("{:.2}", v.synthesis.total_power().to_watts()),
+                ]);
+            }
+            Err(PlanError::Dse(e)) => {
+                rows.push(vec![
+                    target.to_string(),
+                    format!("({e})"),
+                ]);
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    println!("Frequency sweep for {cus} CU (DSE cost curve)\n");
+    println!("{}", ascii_table(&header, &rows));
+}

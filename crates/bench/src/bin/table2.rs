@@ -1,0 +1,84 @@
+//! Regenerates the paper's **Table II**: routing wirelength per metal
+//! layer for the four physically implemented versions (the 8-CU
+//! 667 MHz request closes at a reduced clock, as in the paper).
+
+use ggpu_bench::ascii_table;
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::{physical_versions, GpuPlanner};
+
+/// Paper Table II (µm): [M2..M7] per version.
+const PAPER: [(&str, [f64; 6]); 4] = [
+    (
+        "1cu@500MHz",
+        [3_185_110.0, 5_132_356.0, 2_987_163.0, 2_713_788.0, 1_430_594.0, 616_666.0],
+    ),
+    (
+        "1cu@667MHz",
+        [15_340_072.0, 21_219_705.0, 9_866_798.0, 11_293_663.0, 8_801_517.0, 2_915_533.0],
+    ),
+    (
+        "8cu@500MHz",
+        [20_314_957.0, 27_928_578.0, 19_209_669.0, 21_953_276.0, 14_074_944.0, 6_316_321.0],
+    ),
+    (
+        "8cu@600MHz",
+        [25_637_608.0, 34_890_963.0, 22_387_405.0, 26_355_211.0, 11_111_664.0, 5_315_697.0],
+    ),
+];
+
+const LAYERS: [&str; 6] = ["M2", "M3", "M4", "M5", "M6", "M7"];
+
+fn main() {
+    let planner = GpuPlanner::new(Tech::l65());
+    let mut header = vec!["layer".to_string()];
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut achieved: Vec<String> = Vec::new();
+
+    for spec in physical_versions() {
+        let planned = planner
+            .plan(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.version_name()));
+        let implemented = planner
+            .implement(&planned)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.version_name()));
+        let clock: Mhz = implemented.achieved_clock();
+        achieved.push(format!("{}: achieved {clock:.0}", spec.version_name()));
+        header.push(format!("{}cu@{:.0}", spec.compute_units, clock.value()));
+        columns.push(
+            LAYERS
+                .iter()
+                .map(|l| implemented.layout.wirelength.layer(l).value())
+                .collect(),
+        );
+    }
+    for (name, _) in PAPER {
+        header.push(format!("paper {name}"));
+    }
+
+    let mut rows = Vec::new();
+    for (li, layer) in LAYERS.iter().enumerate() {
+        let mut row = vec![layer.to_string()];
+        for col in &columns {
+            row.push(format!("{:.0}", col[li]));
+        }
+        for (_, vals) in PAPER {
+            row.push(format!("{:.0}", vals[li]));
+        }
+        rows.push(row);
+    }
+    let mut totals = vec!["total".to_string()];
+    for col in &columns {
+        totals.push(format!("{:.0}", col.iter().sum::<f64>()));
+    }
+    for (_, vals) in PAPER {
+        totals.push(format!("{:.0}", vals.iter().sum::<f64>()));
+    }
+    rows.push(totals);
+
+    println!("Table II: routing wirelength per metal layer, um (measured vs paper)\n");
+    println!("{}", ascii_table(&header, &rows));
+    for line in achieved {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates the paper's **Table III**: benchmark input sizes and
+//! cycle counts on the RISC-V and on 1/2/4/8-CU G-GPUs. Every run is
+//! verified against the golden reference before its cycles are
+//! reported.
+
+use ggpu_bench::{ascii_table, collect_table3};
+
+/// Paper Table III k-cycle counts:
+/// (kernel, riscv, 1cu, 2cu, 4cu, 8cu).
+const PAPER_KCYCLES: [(&str, u64, u64, u64, u64, u64); 7] = [
+    ("mat_mul", 202, 48, 28, 18, 14),
+    ("copy", 71, 73, 36, 24, 22),
+    ("vec_mul", 78, 100, 49, 31, 26),
+    ("fir", 542, 694, 358, 185, 169),
+    ("div_int", 32, 209, 105, 57, 62),
+    ("xcorr", 542, 5343, 2802, 1467, 2079),
+    ("parallel_sel", 765, 5979, 3157, 1656, 1660),
+];
+
+fn main() {
+    let data = collect_table3();
+    let header: Vec<String> = [
+        "kernel", "n(rv)", "n(gpu)", "rv kcyc", "1cu", "2cu", "4cu", "8cu",
+        "| paper:", "rv", "1cu", "2cu", "4cu", "8cu",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|kc| {
+            let paper = PAPER_KCYCLES
+                .iter()
+                .find(|p| p.0 == kc.bench.name)
+                .expect("kernel in paper table");
+            let k = |c: u64| format!("{}", c / 1000);
+            vec![
+                kc.bench.name.to_string(),
+                kc.bench.riscv_n.to_string(),
+                kc.bench.gpu_n.to_string(),
+                k(kc.riscv),
+                k(kc.gpu[0]),
+                k(kc.gpu[1]),
+                k(kc.gpu[2]),
+                k(kc.gpu[3]),
+                "|".to_string(),
+                paper.1.to_string(),
+                paper.2.to_string(),
+                paper.3.to_string(),
+                paper.4.to_string(),
+                paper.5.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table III: benchmark input sizes and cycle counts, k-cycles (measured vs paper)\n");
+    println!("{}", ascii_table(&header, &rows));
+}

@@ -1,0 +1,460 @@
+//! Two-pass assembler for the SIMT ISA.
+//!
+//! Syntax: one instruction per line, `;` comments, `label:` defines an
+//! instruction-index label usable as a branch/jump target.
+//!
+//! ```
+//! use ggpu_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), ggpu_isa::asm::AssembleError> {
+//! let program = assemble(
+//!     "
+//!     gid   r1          ; r1 = global id
+//!     param r2, 0       ; r2 = first kernel argument
+//!     slli  r3, r1, 2
+//!     add   r3, r3, r2
+//!     lw    r4, r3, 0
+//!     sw    r3, r4, 4
+//!     ret
+//!     ",
+//! )?;
+//! assert_eq!(program.len(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AssembleError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if idx >= Reg::COUNT {
+        return Err(err(line, format!("register {tok} out of range")));
+    }
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i16, AssembleError> {
+    let parse = |s: &str, radix| i32::from_str_radix(s, radix);
+    let value = if let Some(hex) = tok.strip_prefix("0x") {
+        parse(hex, 16)
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        parse(hex, 16).map(|v| -v)
+    } else {
+        tok.parse::<i32>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    i16::try_from(value)
+        .map_err(|_| err(line, format!("immediate `{tok}` out of 16-bit range")))
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::Divu,
+        "remu" => AluOp::Remu,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond(name: &str) -> Option<BranchCond> {
+    Some(match name {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn id_source(name: &str) -> Option<IdSource> {
+    Some(match name {
+        "gid" => IdSource::GlobalId,
+        "lid" => IdSource::LocalId,
+        "wgid" => IdSource::GroupId,
+        "wgsize" => IdSource::GroupSize,
+        "gsize" => IdSource::GlobalSize,
+        _ => return None,
+    })
+}
+
+enum Pending {
+    Done(Inst),
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+        line: usize,
+    },
+    Jmp {
+        label: String,
+        line: usize,
+    },
+}
+
+/// Assembles source text into a program.
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] with the offending line for syntax
+/// errors, bad operands or undefined labels.
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AssembleError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    for (line_idx, raw) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Labels (possibly followed by an instruction on the same line).
+        while let Some(pos) = text.find(':') {
+            let label = text[..pos].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            if labels
+                .insert(label.to_string(), pending.len() as u32)
+                .is_some()
+            {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            text = text[pos + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty").to_ascii_lowercase();
+        let ops: Vec<String> = parts
+            .collect::<Vec<_>>()
+            .join(" ")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let want = |n: usize| -> Result<(), AssembleError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let inst = if let Some(op) = alu_op(&mnemonic) {
+            want(3)?;
+            Pending::Done(Inst::Alu {
+                op,
+                rd: parse_reg(&ops[0], line_no)?,
+                rs1: parse_reg(&ops[1], line_no)?,
+                rs2: parse_reg(&ops[2], line_no)?,
+            })
+        } else if let Some(op) = mnemonic
+            .strip_suffix('i')
+            .and_then(alu_op)
+            .filter(|_| mnemonic != "lui")
+        {
+            want(3)?;
+            Pending::Done(Inst::AluImm {
+                op,
+                rd: parse_reg(&ops[0], line_no)?,
+                rs1: parse_reg(&ops[1], line_no)?,
+                imm: parse_imm(&ops[2], line_no)?,
+            })
+        } else if let Some(cond) = branch_cond(&mnemonic) {
+            want(3)?;
+            Pending::Branch {
+                cond,
+                rs1: parse_reg(&ops[0], line_no)?,
+                rs2: parse_reg(&ops[1], line_no)?,
+                label: ops[2].clone(),
+                line: line_no,
+            }
+        } else if let Some(src) = id_source(&mnemonic) {
+            want(1)?;
+            Pending::Done(Inst::ReadId {
+                rd: parse_reg(&ops[0], line_no)?,
+                src,
+            })
+        } else {
+            match mnemonic.as_str() {
+                "lui" => {
+                    // The upper immediate is a raw 16-bit field:
+                    // accept 0..=65535 (or a negative two's-complement
+                    // spelling).
+                    want(2)?;
+                    let raw = if let Some(hex) = ops[1].strip_prefix("0x") {
+                        i32::from_str_radix(hex, 16)
+                    } else {
+                        ops[1].parse::<i32>()
+                    }
+                    .map_err(|_| err(line_no, format!("bad immediate `{}`", ops[1])))?;
+                    if !(-32768..=65535).contains(&raw) {
+                        return Err(err(line_no, "lui immediate outside 16-bit range"));
+                    }
+                    Pending::Done(Inst::Lui {
+                        rd: parse_reg(&ops[0], line_no)?,
+                        imm: raw as u16,
+                    })
+                }
+                "param" => {
+                    want(2)?;
+                    let idx = parse_imm(&ops[1], line_no)?;
+                    if !(0..8).contains(&idx) {
+                        return Err(err(line_no, "param index must be 0-7"));
+                    }
+                    Pending::Done(Inst::Param {
+                        rd: parse_reg(&ops[0], line_no)?,
+                        idx: idx as u8,
+                    })
+                }
+                "lw" | "lwl" => {
+                    want(3)?;
+                    let rd = parse_reg(&ops[0], line_no)?;
+                    let rs1 = parse_reg(&ops[1], line_no)?;
+                    let imm = parse_imm(&ops[2], line_no)?;
+                    Pending::Done(if mnemonic == "lw" {
+                        Inst::Lw { rd, rs1, imm }
+                    } else {
+                        Inst::Lwl { rd, rs1, imm }
+                    })
+                }
+                "sw" | "swl" => {
+                    want(3)?;
+                    let rs1 = parse_reg(&ops[0], line_no)?;
+                    let rs2 = parse_reg(&ops[1], line_no)?;
+                    let imm = parse_imm(&ops[2], line_no)?;
+                    Pending::Done(if mnemonic == "sw" {
+                        Inst::Sw { rs1, rs2, imm }
+                    } else {
+                        Inst::Swl { rs1, rs2, imm }
+                    })
+                }
+                "jmp" => {
+                    want(1)?;
+                    Pending::Jmp {
+                        label: ops[0].clone(),
+                        line: line_no,
+                    }
+                }
+                "ret" => {
+                    want(0)?;
+                    Pending::Done(Inst::Ret)
+                }
+                "bar" => {
+                    want(0)?;
+                    Pending::Done(Inst::Bar)
+                }
+                "nop" => {
+                    want(0)?;
+                    Pending::Done(Inst::AluImm {
+                        op: AluOp::Add,
+                        rd: Reg::new(0),
+                        rs1: Reg::new(0),
+                        imm: 0,
+                    })
+                }
+                _ => return Err(err(line_no, format!("unknown mnemonic `{mnemonic}`"))),
+            }
+        };
+        pending.push(inst);
+    }
+
+    let resolve = |label: &str, line: usize| -> Result<u32, AssembleError> {
+        labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{label}`")))
+    };
+    pending
+        .into_iter()
+        .map(|p| match p {
+            Pending::Done(i) => Ok(i),
+            Pending::Branch {
+                cond,
+                rs1,
+                rs2,
+                label,
+                line,
+            } => Ok(Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: resolve(&label, line)?,
+            }),
+            Pending::Jmp { label, line } => Ok(Inst::Jmp {
+                target: resolve(&label, line)?,
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let prog = assemble(
+            "
+            addi r1, r0, 0
+            addi r2, r0, 10
+            loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            ret
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 5);
+        assert_eq!(
+            prog[3],
+            Inst::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                target: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let prog = assemble("jmp end\n nop\n end: ret").unwrap();
+        assert_eq!(prog[0], Inst::Jmp { target: 2 });
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let e = assemble("nop\njmp ghost").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: ret").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_register_reports_error() {
+        assert!(assemble("add r1, r2, r99").is_err());
+        assert!(assemble("add r1, r2, x3").is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn immediates_parse_in_hex_and_decimal() {
+        let prog = assemble("addi r1, r0, 0x10\naddi r2, r0, -5").unwrap();
+        assert_eq!(
+            prog[0],
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::new(0),
+                imm: 16
+            }
+        );
+        assert_eq!(
+            prog[1],
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(2),
+                rs1: Reg::new(0),
+                imm: -5
+            }
+        );
+    }
+
+    #[test]
+    fn id_reads_and_params() {
+        let prog = assemble("gid r1\nlid r2\nwgid r3\nwgsize r4\ngsize r5\nparam r6, 7").unwrap();
+        assert_eq!(prog.len(), 6);
+        assert!(matches!(prog[5], Inst::Param { idx: 7, .. }));
+        assert!(assemble("param r1, 8").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble("; top\n\n  ret ; done\n").unwrap();
+        assert_eq!(prog, vec![Inst::Ret]);
+    }
+
+    #[test]
+    fn roundtrip_through_encoding() {
+        let prog = assemble(
+            "
+            gid r1
+            param r2, 0
+            slli r3, r1, 2
+            add r3, r3, r2
+            lw r4, r3, 0
+            sw r3, r4, 4
+            bne r4, r0, skip
+            addi r4, r4, 1
+            skip: ret
+            ",
+        )
+        .unwrap();
+        for inst in &prog {
+            let back = crate::encode::decode(crate::encode::encode(*inst)).unwrap();
+            assert_eq!(back, *inst);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Disassembler: renders a program back to assembler-compatible text,
+//! labelling branch/jump targets so the output re-assembles to the
+//! identical instruction stream.
+
+use crate::inst::{AluOp, BranchCond, IdSource, Inst};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Divu => "divu",
+        AluOp::Remu => "remu",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn cond_mnemonic(cond: BranchCond) -> &'static str {
+    match cond {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+fn id_mnemonic(src: IdSource) -> &'static str {
+    match src {
+        IdSource::GlobalId => "gid",
+        IdSource::LocalId => "lid",
+        IdSource::GroupId => "wgid",
+        IdSource::GroupSize => "wgsize",
+        IdSource::GlobalSize => "gsize",
+    }
+}
+
+/// Renders `program` as assembler-compatible text. Control-flow
+/// targets become `L<index>:` labels, so
+/// `assemble(&disassemble(p)) == p` for any valid program.
+pub fn disassemble(program: &[Inst]) -> String {
+    // Collect every referenced target.
+    let mut labels: BTreeMap<u32, String> = BTreeMap::new();
+    for inst in program {
+        let target = match inst {
+            Inst::Branch { target, .. } | Inst::Jmp { target } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            labels.entry(t).or_insert_with(|| format!("L{t}"));
+        }
+    }
+    let mut out = String::new();
+    for (pc, inst) in program.iter().enumerate() {
+        if let Some(label) = labels.get(&(pc as u32)) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                writeln!(out, "    {} {rd}, {rs1}, {rs2}", alu_mnemonic(*op))
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                writeln!(out, "    {}i {rd}, {rs1}, {imm}", alu_mnemonic(*op))
+            }
+            Inst::Lui { rd, imm } => writeln!(out, "    lui {rd}, {imm}"),
+            Inst::ReadId { rd, src } => writeln!(out, "    {} {rd}", id_mnemonic(*src)),
+            Inst::Param { rd, idx } => writeln!(out, "    param {rd}, {idx}"),
+            Inst::Lw { rd, rs1, imm } => writeln!(out, "    lw {rd}, {rs1}, {imm}"),
+            Inst::Sw { rs1, rs2, imm } => writeln!(out, "    sw {rs1}, {rs2}, {imm}"),
+            Inst::Lwl { rd, rs1, imm } => writeln!(out, "    lwl {rd}, {rs1}, {imm}"),
+            Inst::Swl { rs1, rs2, imm } => writeln!(out, "    swl {rs1}, {rs2}, {imm}"),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => writeln!(
+                out,
+                "    {} {rs1}, {rs2}, {}",
+                cond_mnemonic(*cond),
+                labels[target]
+            ),
+            Inst::Jmp { target } => writeln!(out, "    jmp {}", labels[target]),
+            Inst::Bar => writeln!(out, "    bar"),
+            Inst::Ret => writeln!(out, "    ret"),
+        };
+    }
+    // Targets pointing one past the end (loops that fall off) get a
+    // trailing label.
+    if let Some(label) = labels.get(&(program.len() as u32)) {
+        let _ = writeln!(out, "{label}:");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let original = assemble(
+            "
+            gid r1
+            param r2, 0
+            addi r3, r0, 0
+            loop:
+            slli r4, r3, 2
+            add r4, r4, r2
+            lw r5, r4, 0
+            add r6, r6, r5
+            addi r3, r3, 1
+            blt r3, r1, loop
+            beq r6, r0, skip
+            swl r1, r6, 0
+            skip:
+            ret
+            ",
+        )
+        .unwrap();
+        let text = disassemble(&original);
+        let reassembled = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reassembled, original);
+    }
+
+    #[test]
+    fn negative_immediates_render() {
+        let p = assemble("addi r1, r2, -42\nret").unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("addi r1, r2, -42"));
+    }
+
+    #[test]
+    fn labels_are_emitted_once() {
+        let p = assemble("top: beq r0, r0, top\njmp top\nret").unwrap();
+        let text = disassemble(&p);
+        assert_eq!(text.matches("L0:").count(), 1);
+        assert_eq!(text.matches(", L0").count(), 1);
+        assert_eq!(text.matches("jmp L0").count(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Binary encoding of the SIMT ISA (32-bit words).
+//!
+//! Layout: `[31:26] opcode | [25:21] a | [20:16] b | [15:0] imm`.
+//! Register-register ALU ops place `rs2` in the low immediate bits.
+
+use crate::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
+use std::error::Error;
+use std::fmt;
+
+const ALU_BASE: u32 = 1; // 13 ops: 1..=13
+const ALUI_BASE: u32 = 16; // 13 ops: 16..=28
+const OP_LUI: u32 = 30;
+const READID_BASE: u32 = 31; // 5 sources: 31..=35
+const OP_PARAM: u32 = 36;
+const OP_LW: u32 = 37;
+const OP_SW: u32 = 38;
+const OP_LWL: u32 = 39;
+const OP_SWL: u32 = 40;
+const BRANCH_BASE: u32 = 41; // 6 conds: 41..=46
+const OP_JMP: u32 = 47;
+const OP_BAR: u32 = 48;
+const OP_RET: u32 = 0;
+
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+const BRANCH_CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+const ID_SOURCES: [IdSource; 5] = [
+    IdSource::GlobalId,
+    IdSource::LocalId,
+    IdSource::GroupId,
+    IdSource::GroupSize,
+    IdSource::GlobalSize,
+];
+
+fn alu_index(op: AluOp) -> u32 {
+    ALU_OPS.iter().position(|&o| o == op).expect("known op") as u32
+}
+
+fn cond_index(c: BranchCond) -> u32 {
+    BRANCH_CONDS.iter().position(|&o| o == c).expect("known cond") as u32
+}
+
+fn id_index(s: IdSource) -> u32 {
+    ID_SOURCES.iter().position(|&o| o == s).expect("known source") as u32
+}
+
+fn pack(opcode: u32, a: u32, b: u32, imm: u32) -> u32 {
+    debug_assert!(opcode < 64 && a < 32 && b < 32 && imm <= 0xFFFF);
+    (opcode << 26) | (a << 21) | (b << 16) | imm
+}
+
+/// Encodes one instruction.
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => pack(
+            ALU_BASE + alu_index(op),
+            rd.index() as u32,
+            rs1.index() as u32,
+            rs2.index() as u32,
+        ),
+        Inst::AluImm { op, rd, rs1, imm } => pack(
+            ALUI_BASE + alu_index(op),
+            rd.index() as u32,
+            rs1.index() as u32,
+            imm as u16 as u32,
+        ),
+        Inst::Lui { rd, imm } => pack(OP_LUI, rd.index() as u32, 0, u32::from(imm)),
+        Inst::ReadId { rd, src } => pack(READID_BASE + id_index(src), rd.index() as u32, 0, 0),
+        Inst::Param { rd, idx } => pack(OP_PARAM, rd.index() as u32, 0, u32::from(idx)),
+        Inst::Lw { rd, rs1, imm } => pack(
+            OP_LW,
+            rd.index() as u32,
+            rs1.index() as u32,
+            imm as u16 as u32,
+        ),
+        Inst::Sw { rs1, rs2, imm } => pack(
+            OP_SW,
+            rs1.index() as u32,
+            rs2.index() as u32,
+            imm as u16 as u32,
+        ),
+        Inst::Lwl { rd, rs1, imm } => pack(
+            OP_LWL,
+            rd.index() as u32,
+            rs1.index() as u32,
+            imm as u16 as u32,
+        ),
+        Inst::Swl { rs1, rs2, imm } => pack(
+            OP_SWL,
+            rs1.index() as u32,
+            rs2.index() as u32,
+            imm as u16 as u32,
+        ),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(
+            BRANCH_BASE + cond_index(cond),
+            rs1.index() as u32,
+            rs2.index() as u32,
+            target,
+        ),
+        Inst::Jmp { target } => pack(OP_JMP, 0, 0, target),
+        Inst::Bar => pack(OP_BAR, 0, 0, 0),
+        Inst::Ret => pack(OP_RET, 0, 0, 0),
+    }
+}
+
+/// A word that does not decode to an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeInstError {}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeInstError`] for unknown opcodes.
+pub fn decode(word: u32) -> Result<Inst, DecodeInstError> {
+    let opcode = word >> 26;
+    let a = ((word >> 21) & 31) as u8;
+    let b = ((word >> 16) & 31) as u8;
+    let imm = (word & 0xFFFF) as u16;
+    let reg = Reg::new;
+    let inst = match opcode {
+        OP_RET => Inst::Ret,
+        o if (ALU_BASE..ALU_BASE + 13).contains(&o) => Inst::Alu {
+            op: ALU_OPS[(o - ALU_BASE) as usize],
+            rd: reg(a),
+            rs1: reg(b),
+            rs2: reg((imm & 31) as u8),
+        },
+        o if (ALUI_BASE..ALUI_BASE + 13).contains(&o) => Inst::AluImm {
+            op: ALU_OPS[(o - ALUI_BASE) as usize],
+            rd: reg(a),
+            rs1: reg(b),
+            imm: imm as i16,
+        },
+        OP_LUI => Inst::Lui { rd: reg(a), imm },
+        o if (READID_BASE..READID_BASE + 5).contains(&o) => Inst::ReadId {
+            rd: reg(a),
+            src: ID_SOURCES[(o - READID_BASE) as usize],
+        },
+        OP_PARAM => Inst::Param {
+            rd: reg(a),
+            idx: (imm & 7) as u8,
+        },
+        OP_LW => Inst::Lw {
+            rd: reg(a),
+            rs1: reg(b),
+            imm: imm as i16,
+        },
+        OP_SW => Inst::Sw {
+            rs1: reg(a),
+            rs2: reg(b),
+            imm: imm as i16,
+        },
+        OP_LWL => Inst::Lwl {
+            rd: reg(a),
+            rs1: reg(b),
+            imm: imm as i16,
+        },
+        OP_SWL => Inst::Swl {
+            rs1: reg(a),
+            rs2: reg(b),
+            imm: imm as i16,
+        },
+        o if (BRANCH_BASE..BRANCH_BASE + 6).contains(&o) => Inst::Branch {
+            cond: BRANCH_CONDS[(o - BRANCH_BASE) as usize],
+            rs1: reg(a),
+            rs2: reg(b),
+            target: u32::from(imm),
+        },
+        OP_JMP => Inst::Jmp {
+            target: u32::from(imm),
+        },
+        OP_BAR => Inst::Bar,
+        _ => return Err(DecodeInstError { word }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_insts() -> Vec<Inst> {
+        let r = Reg::new;
+        let mut v = vec![
+            Inst::Ret,
+            Inst::Bar,
+            Inst::Jmp { target: 123 },
+            Inst::Lui { rd: r(5), imm: 0xABCD },
+            Inst::Param { rd: r(7), idx: 3 },
+            Inst::Lw { rd: r(1), rs1: r(2), imm: -4 },
+            Inst::Sw { rs1: r(3), rs2: r(4), imm: 8 },
+            Inst::Lwl { rd: r(1), rs1: r(2), imm: 0 },
+            Inst::Swl { rs1: r(3), rs2: r(4), imm: 12 },
+        ];
+        for op in super::ALU_OPS {
+            v.push(Inst::Alu {
+                op,
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            });
+            v.push(Inst::AluImm {
+                op,
+                rd: r(4),
+                rs1: r(5),
+                imm: -100,
+            });
+        }
+        for cond in super::BRANCH_CONDS {
+            v.push(Inst::Branch {
+                cond,
+                rs1: r(6),
+                rs2: r(7),
+                target: 42,
+            });
+        }
+        for src in super::ID_SOURCES {
+            v.push(Inst::ReadId { rd: r(8), src });
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_every_instruction() {
+        for inst in all_sample_insts() {
+            let word = encode(inst);
+            let back = decode(word).unwrap();
+            assert_eq!(back, inst, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let words: Vec<u32> = all_sample_insts().iter().map(|&i| encode(i)).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), words.len());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(decode(63 << 26).is_err());
+        assert!(decode(50 << 26).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: -1,
+        };
+        match decode(encode(i)).unwrap() {
+            Inst::AluImm { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! FGPU-like SIMT instruction set: definitions, binary encoding and a
+//! two-pass assembler.
+//!
+//! The G-GPU executes OpenCL-style kernels; this crate provides the
+//! instruction set those kernels compile to in the reproduction
+//! (the original FGPU ships an LLVM backend — here kernels are written
+//! in assembly, see `ggpu-kernels`).
+//!
+//! # Example
+//!
+//! ```
+//! use ggpu_isa::asm::assemble;
+//! use ggpu_isa::encode::{decode, encode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("gid r1\nret")?;
+//! let word = encode(program[0]);
+//! assert_eq!(decode(word)?, program[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+
+pub use asm::{assemble, AssembleError};
+pub use disasm::disassemble;
+pub use encode::{decode, encode, DecodeInstError};
+pub use inst::{AluOp, BranchCond, IdSource, Inst, Reg};

@@ -1,0 +1,45 @@
+//! `copy`: `out[i] = a[i]` — the bandwidth-bound streaming kernel.
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "copy";
+
+/// Builds the `(a, b)` input buffers for `n` work-items.
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (data(n as usize, 1, 251), Vec::new())
+}
+
+/// Reference output.
+pub fn golden(_n: u32, a: &[u32], _b: &[u32]) -> Vec<u32> {
+    a.to_vec()
+}
+
+/// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
+pub const GPU_ASM: &str = "
+    gid   r1
+    param r2, 1
+    param r3, 3
+    slli  r4, r1, 2
+    add   r5, r4, r2
+    lw    r6, r5, 0
+    add   r7, r4, r3
+    sw    r7, r6, 0
+    ret
+";
+
+/// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
+pub const RISCV_ASM: &str = "
+    li   t0, 0
+    beqz a0, done
+    loop:
+    slli t1, t0, 2
+    add  t2, t1, a1
+    lw   t3, 0(t2)
+    add  t4, t1, a3
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    blt  t0, a0, loop
+    done:
+    ecall
+";

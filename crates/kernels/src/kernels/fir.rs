@@ -1,0 +1,110 @@
+//! `fir`: 16-tap finite impulse response filter,
+//! `out[i] = sum_j a[i+j] * c[j]`, tap loop unrolled by four on both
+//! targets (compiler-realistic code).
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "fir";
+
+/// Number of filter taps (divisible by the unroll factor 4).
+pub const TAPS: u32 = 16;
+
+/// Builds the `(a, coefficients)` buffers for `n` outputs
+/// (`a` holds `n + TAPS` samples).
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (
+        data((n + TAPS) as usize, 6, 251),
+        data(TAPS as usize, 7, 251),
+    )
+}
+
+/// Reference output.
+pub fn golden(n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
+    (0..n as usize)
+        .map(|i| {
+            (0..TAPS as usize)
+                .map(|j| a[i + j].wrapping_mul(b[j]))
+                .fold(0u32, u32::wrapping_add)
+        })
+        .collect()
+}
+
+/// G-GPU kernel (params: 0=n, 1=&a, 2=&coef, 3=&out, 4=TAPS).
+pub const GPU_ASM: &str = "
+    gid   r1
+    param r2, 1
+    param r3, 2
+    param r4, 3
+    param r5, 4
+    slli  r6, r1, 2
+    add   r6, r6, r2     ; pA = &a[i]
+    addi  r7, r3, 0      ; pC
+    addi  r8, r0, 0      ; acc
+    addi  r9, r0, 0      ; j
+    loop:
+    lw    r10, r6, 0
+    lw    r11, r7, 0
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 4
+    lw    r11, r7, 4
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 8
+    lw    r11, r7, 8
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 12
+    lw    r11, r7, 12
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    addi  r6, r6, 16
+    addi  r7, r7, 16
+    addi  r9, r9, 4
+    blt   r9, r5, loop
+    slli  r13, r1, 2
+    add   r13, r13, r4
+    sw    r13, r8, 0
+    ret
+";
+
+/// RISC-V program (a0=n, a1=&a, a2=&coef, a3=&out, a4=TAPS).
+pub const RISCV_ASM: &str = "
+    li   t0, 0
+    beqz a0, done
+    outer:
+    slli t1, t0, 2
+    add  t1, t1, a1
+    mv   t2, a2
+    li   t3, 0
+    li   t4, 0
+    inner:
+    lw   t5, 0(t1)
+    lw   t6, 0(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    lw   t5, 4(t1)
+    lw   t6, 4(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    lw   t5, 8(t1)
+    lw   t6, 8(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    lw   t5, 12(t1)
+    lw   t6, 12(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    addi t1, t1, 16
+    addi t2, t2, 16
+    addi t4, t4, 4
+    blt  t4, a4, inner
+    slli t5, t0, 2
+    add  t5, t5, a3
+    sw   t3, 0(t5)
+    addi t0, t0, 1
+    blt  t0, a0, outer
+    done:
+    ecall
+";

@@ -1,0 +1,127 @@
+//! `mat_mul`: dense matrix-vector rows, `out[i] = sum_k a[k*n+i]*b[k]`
+//! with a fixed dot length `K` — the compute-bound kernel.
+//!
+//! The matrix is stored column-major (`a[k*n + i]`), which is how an
+//! OpenCL kernel is written for a SIMT machine: work-items with
+//! consecutive ids read consecutive addresses, so wavefront loads
+//! coalesce, and concurrent CUs share the cached `k`-slices. Both
+//! implementations unroll the dot loop by four, matching what the
+//! paper's LLVM/GCC toolchains emit at `-O2`.
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "mat_mul";
+
+/// Dot length per output element (divisible by the unroll factor 4).
+pub const K: u32 = 64;
+
+/// Builds the `(a, b)` input buffers for `n` output elements
+/// (`a` is `K` columns of `n` values, column-major).
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (
+        data((n * K) as usize, 4, 251),
+        data(K as usize, 5, 251),
+    )
+}
+
+/// Reference output.
+pub fn golden(n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
+    (0..n as usize)
+        .map(|i| {
+            (0..K as usize)
+                .map(|k| a[k * n as usize + i].wrapping_mul(b[k]))
+                .fold(0u32, u32::wrapping_add)
+        })
+        .collect()
+}
+
+/// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=K).
+/// Column stride is `n` words, so the per-iteration pointer bump is
+/// `4*n` bytes, computed once.
+pub const GPU_ASM: &str = "
+    gid   r1
+    param r2, 1          ; a
+    param r3, 2          ; b
+    param r4, 3          ; out
+    param r5, 4          ; K
+    param r14, 0         ; n
+    slli  r14, r14, 2    ; column stride in bytes
+    slli  r6, r1, 2
+    add   r6, r6, r2     ; pA = &a[0*n + i]
+    addi  r7, r3, 0      ; pB
+    addi  r8, r0, 0      ; acc
+    addi  r9, r0, 0      ; k
+    loop:
+    lw    r10, r6, 0
+    lw    r11, r7, 0
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 4
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 8
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 12
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    addi  r7, r7, 16
+    addi  r9, r9, 4
+    blt   r9, r5, loop
+    slli  r13, r1, 2
+    add   r13, r13, r4
+    sw    r13, r8, 0
+    ret
+";
+
+/// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=K).
+pub const RISCV_ASM: &str = "
+    li   t0, 0           # i
+    beqz a0, done
+    slli s0, a0, 2       # column stride
+    outer:
+    slli t1, t0, 2
+    add  t1, t1, a1      # pA = &a[i]
+    mv   t2, a2          # pB
+    li   t3, 0           # acc
+    li   t4, 0           # k
+    inner:
+    lw   t5, 0(t1)
+    lw   t6, 0(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    add  t1, t1, s0
+    lw   t5, 0(t1)
+    lw   t6, 4(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    add  t1, t1, s0
+    lw   t5, 0(t1)
+    lw   t6, 8(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    add  t1, t1, s0
+    lw   t5, 0(t1)
+    lw   t6, 12(t2)
+    mul  t5, t5, t6
+    add  t3, t3, t5
+    add  t1, t1, s0
+    addi t2, t2, 16
+    addi t4, t4, 4
+    blt  t4, a4, inner
+    slli t5, t0, 2
+    add  t5, t5, a3
+    sw   t3, 0(t5)
+    addi t0, t0, 1
+    blt  t0, a0, outer
+    done:
+    ecall
+";

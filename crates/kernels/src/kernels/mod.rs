@@ -1,0 +1,11 @@
+//! The seven AMD OpenCL SDK micro-benchmarks of the paper's
+//! evaluation, one module per kernel.
+
+pub mod copy;
+pub mod div_int;
+pub mod fir;
+pub mod mat_mul;
+pub mod mat_mul_local;
+pub mod parallel_sel;
+pub mod vec_mul;
+pub mod xcorr;

@@ -1,0 +1,90 @@
+//! `parallel_sel`: parallel selection (rank) sort —
+//! `out[rank(a[i])] = a[i]` where the rank counts smaller elements
+//! (ties broken by index). Quadratic work with data-dependent
+//! branches: the divergence-heavy kernel of the evaluation.
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "parallel_sel";
+
+/// Builds the input values (second buffer unused).
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (data(n as usize, 12, 65_536), Vec::new())
+}
+
+/// Reference output: the sorted permutation of `a`.
+pub fn golden(n: u32, a: &[u32], _b: &[u32]) -> Vec<u32> {
+    let n = n as usize;
+    let mut out = vec![0u32; n];
+    for i in 0..n {
+        let v = a[i];
+        let rank = a
+            .iter()
+            .enumerate()
+            .filter(|&(j, &w)| w < v || (w == v && j < i))
+            .count();
+        out[rank] = v;
+    }
+    out
+}
+
+/// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
+pub const GPU_ASM: &str = "
+    gid   r1
+    param r2, 0          ; n
+    param r3, 1          ; a
+    param r4, 3          ; out
+    slli  r5, r1, 2
+    add   r5, r5, r3
+    lw    r6, r5, 0      ; v = a[i]
+    addi  r7, r0, 0      ; j
+    addi  r8, r0, 0      ; rank
+    loop:
+    slli  r9, r7, 2
+    add   r9, r9, r3
+    lw    r10, r9, 0     ; a[j]
+    bltu  r10, r6, inc
+    bne   r10, r6, next
+    bge   r7, r1, next
+    inc:
+    addi  r8, r8, 1
+    next:
+    addi  r7, r7, 1
+    blt   r7, r2, loop
+    slli  r11, r8, 2
+    add   r11, r11, r4
+    sw    r11, r6, 0
+    ret
+";
+
+/// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
+pub const RISCV_ASM: &str = "
+    li   t0, 0
+    beqz a0, done
+    outer:
+    slli t1, t0, 2
+    add  t1, t1, a1
+    lw   t1, 0(t1)
+    li   t2, 0
+    li   t3, 0
+    inner:
+    slli t4, t2, 2
+    add  t4, t4, a1
+    lw   t4, 0(t4)
+    bltu t4, t1, inc
+    bne  t4, t1, next
+    bge  t2, t0, next
+    inc:
+    addi t3, t3, 1
+    next:
+    addi t2, t2, 1
+    blt  t2, a0, inner
+    slli t4, t3, 2
+    add  t4, t4, a3
+    sw   t1, 0(t4)
+    addi t0, t0, 1
+    blt  t0, a0, outer
+    done:
+    ecall
+";

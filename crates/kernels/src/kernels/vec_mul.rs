@@ -1,0 +1,52 @@
+//! `vec_mul`: `out[i] = a[i] * b[i]` — elementwise multiply.
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "vec_mul";
+
+/// Builds the `(a, b)` input buffers for `n` work-items.
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (data(n as usize, 2, 251), data(n as usize, 3, 251))
+}
+
+/// Reference output.
+pub fn golden(_n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(&x, &y)| x.wrapping_mul(y)).collect()
+}
+
+/// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
+pub const GPU_ASM: &str = "
+    gid   r1
+    param r2, 1
+    param r3, 2
+    param r4, 3
+    slli  r5, r1, 2
+    add   r6, r5, r2
+    lw    r7, r6, 0
+    add   r8, r5, r3
+    lw    r9, r8, 0
+    mul   r10, r7, r9
+    add   r11, r5, r4
+    sw    r11, r10, 0
+    ret
+";
+
+/// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
+pub const RISCV_ASM: &str = "
+    li   t0, 0
+    beqz a0, done
+    loop:
+    slli t1, t0, 2
+    add  t2, t1, a1
+    lw   t3, 0(t2)
+    add  t4, t1, a2
+    lw   t5, 0(t4)
+    mul  t6, t3, t5
+    add  t2, t1, a3
+    sw   t6, 0(t2)
+    addi t0, t0, 1
+    blt  t0, a0, loop
+    done:
+    ecall
+";

@@ -1,0 +1,139 @@
+//! `xcorr`: circular cross-correlation,
+//! `out[lag] = sum_i a[i] * b[(i+lag) mod n]` — long per-item
+//! reductions. Both implementations use a wrapping pointer for `b`
+//! and unroll by four; the wrap check diverges briefly per wavefront
+//! (each lane wraps at a different `i`), and the long `b` window
+//! stresses the shared direct-mapped cache.
+
+use crate::layout::data;
+
+/// Kernel name as reported in the paper's Table III.
+pub const NAME: &str = "xcorr";
+
+/// Builds the `(a, b)` sequences of length `n` (`n` divisible by 4).
+pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
+    (data(n as usize, 10, 251), data(n as usize, 11, 251))
+}
+
+/// Reference output (one value per lag).
+pub fn golden(n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let n = n as usize;
+    (0..n)
+        .map(|lag| {
+            (0..n)
+                .map(|i| a[i].wrapping_mul(b[(i + lag) % n]))
+                .fold(0u32, u32::wrapping_add)
+        })
+        .collect()
+}
+
+/// G-GPU kernel (params: 0=n lags, 1=&a, 2=&b, 3=&out, 4=n).
+pub const GPU_ASM: &str = "
+    gid   r1             ; lag
+    param r2, 1          ; a
+    param r3, 2          ; b
+    param r4, 3          ; out
+    param r5, 4          ; len
+    slli  r13, r5, 2     ; size in bytes
+    addi  r6, r2, 0      ; pA
+    add   r15, r2, r13   ; aEnd
+    slli  r10, r1, 2
+    add   r10, r10, r3   ; pB = &b[lag]
+    add   r11, r3, r13   ; bEnd
+    addi  r7, r0, 0      ; acc
+    loop:
+    lw    r8, r6, 0
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w0
+    sub   r10, r10, r13
+    w0:
+    lw    r8, r6, 4
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w1
+    sub   r10, r10, r13
+    w1:
+    lw    r8, r6, 8
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w2
+    sub   r10, r10, r13
+    w2:
+    lw    r8, r6, 12
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w3
+    sub   r10, r10, r13
+    w3:
+    addi  r6, r6, 16
+    blt   r6, r15, loop
+    slli  r14, r1, 2
+    add   r14, r14, r4
+    sw    r14, r7, 0
+    ret
+";
+
+/// RISC-V program (a0=n lags, a1=&a, a2=&b, a3=&out, a4=n).
+pub const RISCV_ASM: &str = "
+    beqz a0, done
+    slli s0, a4, 2       # size in bytes
+    add  s1, a2, s0      # bEnd
+    li   t0, 0           # lag
+    outer:
+    mv   t1, a1          # pA
+    add  s2, a1, s0      # aEnd
+    slli t2, t0, 2
+    add  t2, t2, a2      # pB = &b[lag]
+    li   t3, 0           # acc
+    inner:
+    lw   t4, 0(t1)
+    lw   t5, 0(t2)
+    mul  t4, t4, t5
+    add  t3, t3, t4
+    addi t2, t2, 4
+    blt  t2, s1, w0
+    sub  t2, t2, s0
+    w0:
+    lw   t4, 4(t1)
+    lw   t5, 0(t2)
+    mul  t4, t4, t5
+    add  t3, t3, t4
+    addi t2, t2, 4
+    blt  t2, s1, w1
+    sub  t2, t2, s0
+    w1:
+    lw   t4, 8(t1)
+    lw   t5, 0(t2)
+    mul  t4, t4, t5
+    add  t3, t3, t4
+    addi t2, t2, 4
+    blt  t2, s1, w2
+    sub  t2, t2, s0
+    w2:
+    lw   t4, 12(t1)
+    lw   t5, 0(t2)
+    mul  t4, t4, t5
+    add  t3, t3, t4
+    addi t2, t2, 4
+    blt  t2, s1, w3
+    sub  t2, t2, s0
+    w3:
+    addi t1, t1, 16
+    blt  t1, s2, inner
+    slli t4, t0, 2
+    add  t4, t4, a3
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    blt  t0, a0, outer
+    done:
+    ecall
+";

@@ -1,0 +1,70 @@
+//! Memory layout conventions and deterministic workload generation.
+//!
+//! Both simulators use the same calling convention so each benchmark
+//! is written once per target:
+//!
+//! * G-GPU: kernel parameters `0=n, 1=&A, 2=&B, 3=&OUT, 4=extra`
+//!   (extra is the dot length / tap count / sequence length);
+//! * RISC-V: registers `a0=n, a1=&A, a2=&B, a3=&OUT, a4=extra`.
+
+/// G-GPU global-memory size in words (4 MiB).
+pub const GPU_MEMORY_WORDS: usize = 1 << 20;
+/// G-GPU buffer A base byte address.
+pub const GPU_A: u32 = 0x0010_0000;
+/// G-GPU buffer B base byte address (staggered by half the cache so
+/// the input buffers do not alias to the same direct-mapped index).
+pub const GPU_B: u32 = 0x0020_2000;
+/// G-GPU output buffer base byte address (staggered by a quarter
+/// cache).
+pub const GPU_OUT: u32 = 0x0030_4000;
+
+/// RISC-V memory size in bytes. The paper's core had 32 KiB and was
+/// crashed by growing the inputs; the harness gives the simulator 2 MiB
+/// so that sweep experiments beyond the paper's crash point still run.
+pub const RISCV_MEMORY_BYTES: usize = 0x0020_0000;
+/// RISC-V buffer A base byte address (region up to 1 MiB).
+pub const RISCV_A: u32 = 0x0001_0000;
+/// RISC-V buffer B base byte address.
+pub const RISCV_B: u32 = 0x0011_0000;
+/// RISC-V output buffer base byte address.
+pub const RISCV_OUT: u32 = 0x0019_0000;
+
+/// Deterministic pseudo-random workload data in `1..=modulus`
+/// (a fixed LCG so paper-table regeneration is reproducible without
+/// an RNG dependency in the library itself).
+pub fn data(len: usize, seed: u32, modulus: u32) -> Vec<u32> {
+    assert!(modulus > 0, "modulus must be nonzero");
+    let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(12345) | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 8) % modulus + 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_is_deterministic_and_in_range() {
+        let a = data(1000, 7, 251);
+        let b = data(1000, 7, 251);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (1..=251).contains(&v)));
+        let c = data(1000, 8, 251);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn buffers_do_not_overlap() {
+        // Largest A buffer: mat_mul 2048 x 64 words = 512 KiB.
+        assert!(GPU_A + 2048 * 64 * 4 <= GPU_B);
+        assert!(GPU_B + 0x10_0000 <= GPU_OUT); // B region holds 256 Ki words
+        assert!((GPU_OUT as usize) + 0x4_0000 <= GPU_MEMORY_WORDS * 4); // out <= 64 Ki words
+        assert!(RISCV_A < RISCV_B && RISCV_B < RISCV_OUT);
+        assert!((RISCV_OUT as usize) < RISCV_MEMORY_BYTES);
+    }
+}

@@ -1,0 +1,435 @@
+//! The design arena: a DAG of modules with a designated top.
+
+use crate::ids::ModuleId;
+use crate::module::{MacroInst, Module};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A complete design: an arena of modules forming a DAG under
+/// instantiation, with one top module.
+///
+/// ```
+/// use ggpu_netlist::design::Design;
+/// use ggpu_netlist::module::Module;
+///
+/// let mut design = Design::new("demo");
+/// let leaf = design.add_module(Module::new("leaf"));
+/// let mut top = Module::new("top");
+/// top.children.push(ggpu_netlist::module::Instance {
+///     name: "u0".into(),
+///     module: leaf,
+/// });
+/// let top = design.add_module(top);
+/// design.set_top(top);
+/// assert!(design.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    name: String,
+    modules: Vec<Module>,
+    top: Option<ModuleId>,
+}
+
+/// Structural problems detected by [`Design::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateDesignError {
+    /// No top module was set.
+    MissingTop,
+    /// A child instance refers to a module id not in the arena.
+    DanglingChild {
+        /// The parent module's name.
+        parent: String,
+        /// The offending instance name.
+        instance: String,
+    },
+    /// The instantiation graph contains a cycle through this module.
+    InstantiationCycle(String),
+    /// Two modules share a name.
+    DuplicateModuleName(String),
+    /// Two children of one module share an instance name.
+    DuplicateInstanceName {
+        /// The parent module's name.
+        parent: String,
+        /// The duplicated instance name.
+        instance: String,
+    },
+    /// Two macros of one module share an instance name.
+    DuplicateMacroName {
+        /// The owning module's name.
+        module: String,
+        /// The duplicated macro name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ValidateDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateDesignError::MissingTop => f.write_str("design has no top module"),
+            ValidateDesignError::DanglingChild { parent, instance } => {
+                write!(f, "instance {instance} in {parent} refers to a missing module")
+            }
+            ValidateDesignError::InstantiationCycle(m) => {
+                write!(f, "instantiation cycle through module {m}")
+            }
+            ValidateDesignError::DuplicateModuleName(m) => {
+                write!(f, "duplicate module name {m}")
+            }
+            ValidateDesignError::DuplicateInstanceName { parent, instance } => {
+                write!(f, "duplicate instance name {instance} in {parent}")
+            }
+            ValidateDesignError::DuplicateMacroName { module, name } => {
+                write!(f, "duplicate macro name {name} in {module}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateDesignError {}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            modules: Vec::new(),
+            top: None,
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design (used when the DSE derives variants).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a module to the arena and returns its id.
+    pub fn add_module(&mut self, module: Module) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(module);
+        id
+    }
+
+    /// Designates the top module.
+    pub fn set_top(&mut self, id: ModuleId) {
+        assert!(id.index() < self.modules.len(), "top id out of range");
+        self.top = Some(id);
+    }
+
+    /// The top module id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no top was set; call [`Design::validate`] first when
+    /// handling untrusted designs.
+    pub fn top(&self) -> ModuleId {
+        self.top.expect("design has no top module")
+    }
+
+    /// Borrows a module.
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// Mutably borrows a module.
+    pub fn module_mut(&mut self, id: ModuleId) -> &mut Module {
+        &mut self.modules[id.index()]
+    }
+
+    /// Finds a module by type name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        self.modules
+            .iter()
+            .position(|m| m.name == name)
+            .map(ModuleId::from_index)
+    }
+
+    /// All module ids in arena order.
+    pub fn module_ids(&self) -> impl Iterator<Item = ModuleId> {
+        (0..self.modules.len()).map(ModuleId::from_index)
+    }
+
+    /// Number of modules in the arena.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Checks structural invariants: a top exists, all children
+    /// resolve, names are unique, and instantiation is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), ValidateDesignError> {
+        if self.top.is_none() {
+            return Err(ValidateDesignError::MissingTop);
+        }
+        let mut seen_names: HashMap<&str, ()> = HashMap::new();
+        for module in &self.modules {
+            if seen_names.insert(&module.name, ()).is_some() {
+                return Err(ValidateDesignError::DuplicateModuleName(
+                    module.name.clone(),
+                ));
+            }
+            let mut inst_names: HashMap<&str, ()> = HashMap::new();
+            for child in &module.children {
+                if child.module.index() >= self.modules.len() {
+                    return Err(ValidateDesignError::DanglingChild {
+                        parent: module.name.clone(),
+                        instance: child.name.clone(),
+                    });
+                }
+                if inst_names.insert(&child.name, ()).is_some() {
+                    return Err(ValidateDesignError::DuplicateInstanceName {
+                        parent: module.name.clone(),
+                        instance: child.name.clone(),
+                    });
+                }
+            }
+            let mut macro_names: HashMap<&str, ()> = HashMap::new();
+            for m in &module.macros {
+                if macro_names.insert(&m.name, ()).is_some() {
+                    return Err(ValidateDesignError::DuplicateMacroName {
+                        module: module.name.clone(),
+                        name: m.name.clone(),
+                    });
+                }
+            }
+        }
+        // Cycle check: DFS with colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        fn dfs(
+            design: &Design,
+            id: ModuleId,
+            colour: &mut [Colour],
+        ) -> Result<(), ValidateDesignError> {
+            match colour[id.index()] {
+                Colour::Black => return Ok(()),
+                Colour::Grey => {
+                    return Err(ValidateDesignError::InstantiationCycle(
+                        design.module(id).name.clone(),
+                    ))
+                }
+                Colour::White => {}
+            }
+            colour[id.index()] = Colour::Grey;
+            for child in &design.module(id).children {
+                dfs(design, child.module, colour)?;
+            }
+            colour[id.index()] = Colour::Black;
+            Ok(())
+        }
+        let mut colour = vec![Colour::White; self.modules.len()];
+        for id in self.module_ids() {
+            dfs(self, id, &mut colour)?;
+        }
+        Ok(())
+    }
+
+    /// Visits every instance in the hierarchy under the top module,
+    /// depth-first, yielding `(hierarchical_path, module_id)` pairs.
+    /// The top module itself is visited with an empty path.
+    pub fn visit_instances<F: FnMut(&str, ModuleId)>(&self, mut f: F) {
+        fn walk<F: FnMut(&str, ModuleId)>(
+            design: &Design,
+            id: ModuleId,
+            path: &mut String,
+            f: &mut F,
+        ) {
+            f(path, id);
+            let len = path.len();
+            for child in &design.module(id).children {
+                if !path.is_empty() {
+                    path.push('/');
+                }
+                path.push_str(&child.name);
+                walk(design, child.module, path, f);
+                path.truncate(len);
+            }
+        }
+        let mut path = String::new();
+        walk(self, self.top(), &mut path, &mut f);
+    }
+
+    /// Lists every macro instance under the top module with its full
+    /// hierarchical path (`"cu0/pe3/rf_bank2"`).
+    pub fn all_macros(&self) -> Vec<(String, MacroInst)> {
+        let mut out = Vec::new();
+        self.visit_instances(|path, id| {
+            for m in &self.module(id).macros {
+                let full = if path.is_empty() {
+                    m.name.clone()
+                } else {
+                    format!("{path}/{}", m.name)
+                };
+                out.push((full, m.clone()));
+            }
+        });
+        out
+    }
+
+    /// Counts how many times each module is instantiated under the top
+    /// (the top itself counts once). Modules unreachable from the top
+    /// have multiplicity zero.
+    pub fn multiplicities(&self) -> Vec<u64> {
+        let mut mult = vec![0u64; self.modules.len()];
+        fn walk(design: &Design, id: ModuleId, mult: &mut [u64]) {
+            mult[id.index()] += 1;
+            for child in &design.module(id).children {
+                walk(design, child.module, mult);
+            }
+        }
+        walk(self, self.top(), &mut mult);
+        mult
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Instance;
+
+    fn two_level() -> Design {
+        let mut d = Design::new("t");
+        let leaf = d.add_module(Module::new("leaf"));
+        let mut mid = Module::new("mid");
+        mid.children.push(Instance {
+            name: "l0".into(),
+            module: leaf,
+        });
+        mid.children.push(Instance {
+            name: "l1".into(),
+            module: leaf,
+        });
+        let mid = d.add_module(mid);
+        let mut top = Module::new("top");
+        for i in 0..3 {
+            top.children.push(Instance {
+                name: format!("m{i}"),
+                module: mid,
+            });
+        }
+        let top = d.add_module(top);
+        d.set_top(top);
+        d
+    }
+
+    #[test]
+    fn validate_accepts_dag() {
+        assert!(two_level().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_top() {
+        let d = Design::new("x");
+        assert_eq!(d.validate(), Err(ValidateDesignError::MissingTop));
+    }
+
+    #[test]
+    fn validate_rejects_cycle() {
+        let mut d = Design::new("x");
+        let a = d.add_module(Module::new("a"));
+        let b = d.add_module(Module::new("b"));
+        d.module_mut(a).children.push(Instance {
+            name: "u".into(),
+            module: b,
+        });
+        d.module_mut(b).children.push(Instance {
+            name: "v".into(),
+            module: a,
+        });
+        d.set_top(a);
+        assert!(matches!(
+            d.validate(),
+            Err(ValidateDesignError::InstantiationCycle(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_module_names() {
+        let mut d = Design::new("x");
+        let a = d.add_module(Module::new("a"));
+        d.add_module(Module::new("a"));
+        d.set_top(a);
+        assert_eq!(
+            d.validate(),
+            Err(ValidateDesignError::DuplicateModuleName("a".into()))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_instance_names() {
+        let mut d = Design::new("x");
+        let leaf = d.add_module(Module::new("leaf"));
+        let mut top = Module::new("top");
+        for _ in 0..2 {
+            top.children.push(Instance {
+                name: "u0".into(),
+                module: leaf,
+            });
+        }
+        let top = d.add_module(top);
+        d.set_top(top);
+        assert!(matches!(
+            d.validate(),
+            Err(ValidateDesignError::DuplicateInstanceName { .. })
+        ));
+    }
+
+    #[test]
+    fn multiplicities_multiply_through_hierarchy() {
+        let d = two_level();
+        let mult = d.multiplicities();
+        let leaf = d.module_by_name("leaf").unwrap();
+        let mid = d.module_by_name("mid").unwrap();
+        let top = d.module_by_name("top").unwrap();
+        assert_eq!(mult[top.index()], 1);
+        assert_eq!(mult[mid.index()], 3);
+        assert_eq!(mult[leaf.index()], 6);
+    }
+
+    #[test]
+    fn visit_builds_hierarchical_paths() {
+        let d = two_level();
+        let mut paths = Vec::new();
+        d.visit_instances(|p, _| paths.push(p.to_string()));
+        assert!(paths.contains(&"".to_string()));
+        assert!(paths.contains(&"m1/l0".to_string()));
+        assert_eq!(paths.len(), 1 + 3 + 6);
+    }
+
+    #[test]
+    fn all_macros_reports_full_paths() {
+        use crate::module::{MacroInst, MemoryRole};
+        use ggpu_tech::sram::SramConfig;
+        let mut d = two_level();
+        let leaf = d.module_by_name("leaf").unwrap();
+        d.module_mut(leaf).macros.push(MacroInst::new(
+            "ram",
+            SramConfig::dual(64, 8),
+            MemoryRole::Other,
+            0.5,
+        ));
+        let macros = d.all_macros();
+        assert_eq!(macros.len(), 6);
+        assert!(macros.iter().any(|(p, _)| p == "m2/l1/ram"));
+    }
+
+    #[test]
+    fn module_lookup() {
+        let d = two_level();
+        assert!(d.module_by_name("mid").is_some());
+        assert!(d.module_by_name("nope").is_none());
+        assert_eq!(d.module_count(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Index newtypes for the netlist arenas.
+
+use std::fmt;
+
+/// Identifies a [`crate::module::Module`] within a [`crate::design::Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub(crate) u32);
+
+impl ModuleId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index. Intended for serialization
+    /// round-trips; an id built from an arbitrary index may not refer
+    /// to a live module.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = ModuleId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "m7");
+    }
+}

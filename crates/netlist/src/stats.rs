@@ -1,0 +1,304 @@
+//! Statistics rollup: counts, area, leakage and per-cycle switching
+//! energy, accumulated over the module hierarchy.
+//!
+//! These are the quantities the paper's Table I reports per design
+//! (total area, memory area, #FF, #Comb., #Memory, leakage, dynamic
+//! power). Dynamic power is frequency-dependent, so this module
+//! reports *energy per clock cycle*; `ggpu-synth` multiplies by the
+//! target clock.
+
+use crate::design::Design;
+use crate::ids::ModuleId;
+use ggpu_tech::sram::CompileSramError;
+use ggpu_tech::units::{NanoWatts, PicoJoules, Um2};
+use ggpu_tech::Tech;
+use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
+
+/// Accumulated statistics of a module subtree or whole design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetlistStats {
+    /// Sequential (flip-flop) cell count.
+    pub ff_cells: u64,
+    /// Combinational cell count.
+    pub comb_cells: u64,
+    /// Memory macro count.
+    pub macro_count: u64,
+    /// Standard-cell area.
+    pub cell_area: Um2,
+    /// Memory macro area.
+    pub macro_area: Um2,
+    /// Standard-cell leakage.
+    pub cell_leakage: NanoWatts,
+    /// Memory macro leakage.
+    pub macro_leakage: NanoWatts,
+    /// Switching energy dissipated per clock cycle at the annotated
+    /// activities (cells and macro accesses combined).
+    pub energy_per_cycle: PicoJoules,
+}
+
+impl NetlistStats {
+    /// Total silicon area (cells + macros).
+    pub fn total_area(&self) -> Um2 {
+        self.cell_area + self.macro_area
+    }
+
+    /// Total leakage (cells + macros).
+    pub fn total_leakage(&self) -> NanoWatts {
+        self.cell_leakage + self.macro_leakage
+    }
+
+    /// Total cell count (sequential + combinational).
+    pub fn total_cells(&self) -> u64 {
+        self.ff_cells + self.comb_cells
+    }
+
+    /// Scales every statistic by an integer multiplicity.
+    fn scaled(self, n: u64) -> Self {
+        let k = n as f64;
+        Self {
+            ff_cells: self.ff_cells * n,
+            comb_cells: self.comb_cells * n,
+            macro_count: self.macro_count * n,
+            cell_area: self.cell_area * k,
+            macro_area: self.macro_area * k,
+            cell_leakage: self.cell_leakage * k,
+            macro_leakage: self.macro_leakage * k,
+            energy_per_cycle: self.energy_per_cycle * k,
+        }
+    }
+}
+
+impl Add for NetlistStats {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            ff_cells: self.ff_cells + rhs.ff_cells,
+            comb_cells: self.comb_cells + rhs.comb_cells,
+            macro_count: self.macro_count + rhs.macro_count,
+            cell_area: self.cell_area + rhs.cell_area,
+            macro_area: self.macro_area + rhs.macro_area,
+            cell_leakage: self.cell_leakage + rhs.cell_leakage,
+            macro_leakage: self.macro_leakage + rhs.macro_leakage,
+            energy_per_cycle: self.energy_per_cycle + rhs.energy_per_cycle,
+        }
+    }
+}
+
+impl AddAssign for NetlistStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+/// Computes the statistics local to one module (its own groups and
+/// macros, no children).
+///
+/// # Errors
+///
+/// Fails if a macro geometry is outside the memory-compiler range.
+pub fn local_stats(
+    design: &Design,
+    id: ModuleId,
+    tech: &Tech,
+) -> Result<NetlistStats, CompileSramError> {
+    let module = design.module(id);
+    let mut stats = NetlistStats::default();
+    for group in &module.groups {
+        let spec = tech.library.cell(group.class);
+        if group.class.is_sequential() {
+            stats.ff_cells += group.count;
+        } else {
+            stats.comb_cells += group.count;
+        }
+        let k = group.count as f64;
+        stats.cell_area += spec.area * k;
+        stats.cell_leakage += spec.leakage * k;
+        stats.energy_per_cycle += spec.switch_energy * (k * group.activity);
+        // Sequential cells also burn clock-tree energy every cycle,
+        // independent of data activity.
+        if group.class.is_sequential() {
+            stats.energy_per_cycle += spec.switch_energy * (0.45 * k);
+        }
+    }
+    for m in &module.macros {
+        let compiled = tech.memory_compiler.compile(m.config)?;
+        stats.macro_count += 1;
+        stats.macro_area += compiled.area;
+        stats.macro_leakage += compiled.leakage;
+        let rw_mix = 0.7 * compiled.read_energy.value() + 0.3 * compiled.write_energy.value();
+        stats.energy_per_cycle += PicoJoules::new(rw_mix) * m.access_activity;
+    }
+    Ok(stats)
+}
+
+/// Computes deep statistics of a module subtree (the module plus all
+/// transitively instantiated children).
+///
+/// # Errors
+///
+/// Fails if any macro geometry in the subtree is outside the
+/// memory-compiler range.
+pub fn subtree_stats(
+    design: &Design,
+    id: ModuleId,
+    tech: &Tech,
+) -> Result<NetlistStats, CompileSramError> {
+    fn go(
+        design: &Design,
+        id: ModuleId,
+        tech: &Tech,
+        memo: &mut HashMap<ModuleId, NetlistStats>,
+    ) -> Result<NetlistStats, CompileSramError> {
+        if let Some(&hit) = memo.get(&id) {
+            return Ok(hit);
+        }
+        let mut stats = local_stats(design, id, tech)?;
+        // Children with the same target module share one memoized
+        // subtree; count instantiations.
+        let mut counts: HashMap<ModuleId, u64> = HashMap::new();
+        for child in &design.module(id).children {
+            *counts.entry(child.module).or_insert(0) += 1;
+        }
+        for (child, n) in counts {
+            stats += go(design, child, tech, memo)?.scaled(n);
+        }
+        memo.insert(id, stats);
+        Ok(stats)
+    }
+    go(design, id, tech, &mut HashMap::new())
+}
+
+/// Computes deep statistics of the whole design (the top module's
+/// subtree).
+///
+/// # Errors
+///
+/// Fails if any macro geometry is outside the memory-compiler range.
+pub fn design_stats(design: &Design, tech: &Tech) -> Result<NetlistStats, CompileSramError> {
+    subtree_stats(design, design.top(), tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{CellGroup, Instance, MacroInst, MemoryRole, Module};
+    use ggpu_tech::sram::SramConfig;
+    use ggpu_tech::stdcell::CellClass;
+
+    fn tech() -> Tech {
+        Tech::l65()
+    }
+
+    fn pe_design() -> Design {
+        let mut d = Design::new("t");
+        let pe = d.add_module(
+            Module::new("pe")
+                .with_group(CellGroup::new("regs", CellClass::Dff, 1000, 0.25))
+                .with_group(CellGroup::new("alu", CellClass::FullAdder, 500, 0.2))
+                .with_macro(MacroInst::new(
+                    "rf",
+                    SramConfig::dual(512, 32),
+                    MemoryRole::RegisterFile,
+                    0.8,
+                )),
+        );
+        let mut cu = Module::new("cu");
+        for i in 0..8 {
+            cu.children.push(Instance {
+                name: format!("pe{i}"),
+                module: pe,
+            });
+        }
+        cu.groups
+            .push(CellGroup::new("sched", CellClass::Dff, 2000, 0.3));
+        let cu = d.add_module(cu);
+        let mut top = Module::new("top");
+        top.children.push(Instance {
+            name: "cu0".into(),
+            module: cu,
+        });
+        let top = d.add_module(top);
+        d.set_top(top);
+        d
+    }
+
+    #[test]
+    fn counts_multiply_through_hierarchy() {
+        let d = pe_design();
+        let s = design_stats(&d, &tech()).unwrap();
+        assert_eq!(s.ff_cells, 8 * 1000 + 2000);
+        assert_eq!(s.comb_cells, 8 * 500);
+        assert_eq!(s.macro_count, 8);
+    }
+
+    #[test]
+    fn local_vs_subtree() {
+        let d = pe_design();
+        let cu = d.module_by_name("cu").unwrap();
+        let t = tech();
+        let local = local_stats(&d, cu, &t).unwrap();
+        let deep = subtree_stats(&d, cu, &t).unwrap();
+        assert_eq!(local.ff_cells, 2000);
+        assert_eq!(deep.ff_cells, 10_000);
+        assert!(deep.total_area() > local.total_area());
+    }
+
+    #[test]
+    fn areas_and_leakage_are_positive() {
+        let d = pe_design();
+        let s = design_stats(&d, &tech()).unwrap();
+        assert!(s.cell_area.value() > 0.0);
+        assert!(s.macro_area.value() > 0.0);
+        assert!(s.total_leakage().value() > 0.0);
+        assert!(s.energy_per_cycle.value() > 0.0);
+    }
+
+    #[test]
+    fn macro_out_of_range_is_reported() {
+        let mut d = pe_design();
+        let pe = d.module_by_name("pe").unwrap();
+        d.module_mut(pe).macros.push(MacroInst::new(
+            "bad",
+            SramConfig::dual(8, 32),
+            MemoryRole::Other,
+            0.1,
+        ));
+        assert!(design_stats(&d, &tech()).is_err());
+    }
+
+    #[test]
+    fn stats_add_is_componentwise() {
+        let d = pe_design();
+        let t = tech();
+        let pe = d.module_by_name("pe").unwrap();
+        let one = local_stats(&d, pe, &t).unwrap();
+        let two = one + one;
+        assert_eq!(two.ff_cells, 2 * one.ff_cells);
+        assert!((two.cell_area.value() - 2.0 * one.cell_area.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_activity_means_more_energy() {
+        let t = tech();
+        let mut d = Design::new("a");
+        let m = d.add_module(Module::new("m").with_group(CellGroup::new(
+            "g",
+            CellClass::Nand2,
+            10_000,
+            0.1,
+        )));
+        d.set_top(m);
+        let low = design_stats(&d, &t).unwrap().energy_per_cycle;
+        let mut d2 = Design::new("b");
+        let m2 = d2.add_module(Module::new("m").with_group(CellGroup::new(
+            "g",
+            CellClass::Nand2,
+            10_000,
+            0.5,
+        )));
+        d2.set_top(m2);
+        let high = design_stats(&d2, &t).unwrap().energy_per_cycle;
+        assert!(high > low);
+    }
+}

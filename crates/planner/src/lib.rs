@@ -1,0 +1,43 @@
+//! GPUPlanner: the paper's primary contribution — a fully automated
+//! generator of GPU-like ASIC accelerators, from RTL to (a model of)
+//! GDSII.
+//!
+//! The flow follows the paper's Fig. 2: the designer writes a
+//! [`Specification`] (CU count + frequency + optional PPA ceilings);
+//! [`GpuPlanner::estimate`] gives a first-order PPA estimate;
+//! [`GpuPlanner::plan`] runs the frequency map's design-space
+//! exploration (memory division / pipeline insertion) and logic
+//! synthesis; [`GpuPlanner::implement`] runs the partitioned physical
+//! flow and checks the result against the specification.
+//!
+//! # Example
+//!
+//! ```
+//! use gpuplanner::{GpuPlanner, Specification};
+//! use ggpu_tech::units::Mhz;
+//! use ggpu_tech::Tech;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let planner = GpuPlanner::new(Tech::l65());
+//! let version = planner.plan(&Specification::new(1, Mhz::new(590.0)))?;
+//! assert!(version.synthesis.meets_timing);
+//! println!("{}", version.synthesis.table_row());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod datasheet;
+pub mod dse;
+pub mod flow;
+pub mod map;
+pub mod spec;
+pub mod spreadsheet;
+pub mod versions;
+
+pub use datasheet::datasheet;
+pub use dse::{apply_plan, optimize_for, Action, DseError, OptimizationPlan, Optimized};
+pub use flow::{GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate};
+pub use map::{advise, Advice};
+pub use spec::Specification;
+pub use spreadsheet::{frequency_map, map_to_csv, render_map, MapRow};
+pub use versions::{paper_versions, physical_versions};

@@ -1,0 +1,52 @@
+//! The version lists evaluated in the paper.
+
+use crate::spec::Specification;
+use ggpu_tech::units::Mhz;
+
+/// The paper's three frequency points.
+pub const PAPER_FREQUENCIES_MHZ: [f64; 3] = [500.0, 590.0, 667.0];
+/// The paper's four CU counts.
+pub const PAPER_CU_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// The 12 logic-synthesis versions of Table I
+/// ({1, 2, 4, 8} CUs × {500, 590, 667} MHz).
+pub fn paper_versions() -> Vec<Specification> {
+    let mut out = Vec::with_capacity(12);
+    for &cus in &PAPER_CU_COUNTS {
+        for &f in &PAPER_FREQUENCIES_MHZ {
+            out.push(Specification::new(cus, Mhz::new(f)));
+        }
+    }
+    out
+}
+
+/// The four extreme versions taken through physical synthesis
+/// (1CU@500, 1CU@667, 8CU@500, 8CU@667 — the last closing at 600 MHz).
+pub fn physical_versions() -> Vec<Specification> {
+    vec![
+        Specification::new(1, Mhz::new(500.0)),
+        Specification::new(1, Mhz::new(667.0)),
+        Specification::new(8, Mhz::new(500.0)),
+        Specification::new(8, Mhz::new(667.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_paper_versions() {
+        let v = paper_versions();
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0].version_name(), "1cu@500MHz");
+        assert_eq!(v[11].version_name(), "8cu@667MHz");
+    }
+
+    #[test]
+    fn four_physical_versions_are_the_extremes() {
+        let v = physical_versions();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|s| s.compute_units == 1 || s.compute_units == 8));
+    }
+}

@@ -1,0 +1,98 @@
+//! Plane geometry helpers for floorplanning.
+
+use ggpu_tech::units::{Um, Um2};
+
+/// An axis-aligned rectangle in chip coordinates (origin bottom-left).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: Um,
+    /// Bottom edge.
+    pub y: Um,
+    /// Width.
+    pub w: Um,
+    /// Height.
+    pub h: Um,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: Um, y: Um, w: Um, h: Um) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> Um2 {
+        self.w * self.h
+    }
+
+    /// Centre point `(x, y)`.
+    pub fn center(&self) -> (Um, Um) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Manhattan distance between the centres of two rectangles.
+    pub fn center_distance(&self, other: &Rect) -> Um {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        (ax - bx).abs() + (ay - by).abs()
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        other.x.value() >= self.x.value() - 1e-6
+            && other.y.value() >= self.y.value() - 1e-6
+            && (other.x + other.w).value() <= (self.x + self.w).value() + 1e-6
+            && (other.y + other.h).value() <= (self.y + self.h).value() + 1e-6
+    }
+
+    /// `true` if the interiors of the rectangles intersect.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x.value() < (other.x + other.w).value() - 1e-6
+            && other.x.value() < (self.x + self.w).value() - 1e-6
+            && self.y.value() < (other.y + other.h).value() - 1e-6
+            && other.y.value() < (self.y + self.h).value() - 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::new(Um::new(x), Um::new(y), Um::new(w), Um::new(h))
+    }
+
+    #[test]
+    fn area_and_center() {
+        let a = r(10.0, 20.0, 100.0, 50.0);
+        assert!((a.area().value() - 5000.0).abs() < 1e-9);
+        let (cx, cy) = a.center();
+        assert_eq!(cx, Um::new(60.0));
+        assert_eq!(cy, Um::new(45.0));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(100.0, 50.0, 10.0, 10.0);
+        assert_eq!(a.center_distance(&b), Um::new(150.0));
+        assert_eq!(b.center_distance(&a), Um::new(150.0));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r(0.0, 0.0, 100.0, 100.0);
+        assert!(outer.contains(&r(10.0, 10.0, 20.0, 20.0)));
+        assert!(!outer.contains(&r(90.0, 90.0, 20.0, 20.0)));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn overlap() {
+        let a = r(0.0, 0.0, 50.0, 50.0);
+        assert!(a.overlaps(&r(40.0, 40.0, 50.0, 50.0)));
+        assert!(!a.overlaps(&r(50.0, 0.0, 50.0, 50.0)), "edge touch is not overlap");
+        assert!(!a.overlaps(&r(200.0, 200.0, 10.0, 10.0)));
+    }
+}

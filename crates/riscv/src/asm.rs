@@ -1,0 +1,558 @@
+//! Two-pass RV32IM assembler with standard mnemonics, ABI register
+//! names, labels and the common pseudo-instructions.
+//!
+//! ```
+//! use ggpu_riscv::asm::assemble;
+//!
+//! # fn main() -> Result<(), ggpu_riscv::asm::AssembleRvError> {
+//! let words = assemble(
+//!     "
+//!     li   a0, 10
+//!     li   a1, 0
+//!     loop:
+//!     add  a1, a1, a0
+//!     addi a0, a0, -1
+//!     bnez a0, loop
+//!     ecall
+//!     ",
+//! )?;
+//! assert!(!words.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::inst::{
+    encode, BranchFunc, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleRvError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleRvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleRvError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleRvError {
+    AssembleRvError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a register: `x0`–`x31` or an ABI name.
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AssembleRvError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    if let Some(rest) = tok.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    if tok == "fp" {
+        return Ok(8);
+    }
+    ABI.iter()
+        .position(|&name| name == tok)
+        .map(|p| p as u8)
+        .ok_or_else(|| err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AssembleRvError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `offset(base)` memory-operand syntax.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, u8), AssembleRvError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off_text = tok[..open].trim();
+    let offset = if off_text.is_empty() {
+        0
+    } else {
+        parse_imm(off_text, line)?
+    };
+    let base = parse_reg(tok[open + 1..close].trim(), line)?;
+    Ok((offset, base))
+}
+
+enum Item {
+    Inst(RvInst),
+    BranchTo {
+        func: BranchFunc,
+        rs1: u8,
+        rs2: u8,
+        label: String,
+        line: usize,
+    },
+    JalTo {
+        rd: u8,
+        label: String,
+        line: usize,
+    },
+}
+
+fn check_imm12(v: i64, line: usize) -> Result<i32, AssembleRvError> {
+    if !(-2048..=2047).contains(&v) {
+        return Err(err(line, format!("immediate {v} exceeds 12-bit range")));
+    }
+    Ok(v as i32)
+}
+
+/// Assembles RV32IM source into machine-code words (program base
+/// address 0).
+///
+/// # Errors
+///
+/// Returns [`AssembleRvError`] with the offending line on any syntax,
+/// range or label problem.
+pub fn assemble(source: &str) -> Result<Vec<u32>, AssembleRvError> {
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    for (line_idx, raw) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find('#') {
+            text = &text[..pos];
+        }
+        if let Some(pos) = text.find("//") {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        while let Some(pos) = text.find(':') {
+            let label = text[..pos].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            if labels
+                .insert(label.to_string(), (items.len() as u32) * 4)
+                .is_some()
+            {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            text = text[pos + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty").to_ascii_lowercase();
+        let ops: Vec<String> = parts
+            .collect::<Vec<_>>()
+            .join(" ")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let want = |n: usize| -> Result<(), AssembleRvError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+        let reg = |i: usize| parse_reg(&ops[i], line_no);
+
+        let op_func = |name: &str| -> Option<OpFunc> {
+            Some(match name {
+                "add" => OpFunc::Add,
+                "sub" => OpFunc::Sub,
+                "sll" => OpFunc::Sll,
+                "slt" => OpFunc::Slt,
+                "sltu" => OpFunc::Sltu,
+                "xor" => OpFunc::Xor,
+                "srl" => OpFunc::Srl,
+                "sra" => OpFunc::Sra,
+                "or" => OpFunc::Or,
+                "and" => OpFunc::And,
+                "mul" => OpFunc::Mul,
+                "mulh" => OpFunc::Mulh,
+                "mulhsu" => OpFunc::Mulhsu,
+                "mulhu" => OpFunc::Mulhu,
+                "div" => OpFunc::Div,
+                "divu" => OpFunc::Divu,
+                "rem" => OpFunc::Rem,
+                "remu" => OpFunc::Remu,
+                _ => return None,
+            })
+        };
+        let opimm_func = |name: &str| -> Option<OpImmFunc> {
+            Some(match name {
+                "addi" => OpImmFunc::Addi,
+                "slti" => OpImmFunc::Slti,
+                "sltiu" => OpImmFunc::Sltiu,
+                "xori" => OpImmFunc::Xori,
+                "ori" => OpImmFunc::Ori,
+                "andi" => OpImmFunc::Andi,
+                "slli" => OpImmFunc::Slli,
+                "srli" => OpImmFunc::Srli,
+                "srai" => OpImmFunc::Srai,
+                _ => return None,
+            })
+        };
+        let branch_func = |name: &str| -> Option<BranchFunc> {
+            Some(match name {
+                "beq" => BranchFunc::Beq,
+                "bne" => BranchFunc::Bne,
+                "blt" => BranchFunc::Blt,
+                "bge" => BranchFunc::Bge,
+                "bltu" => BranchFunc::Bltu,
+                "bgeu" => BranchFunc::Bgeu,
+                _ => return None,
+            })
+        };
+        let load_func = |name: &str| -> Option<LoadFunc> {
+            Some(match name {
+                "lb" => LoadFunc::Lb,
+                "lh" => LoadFunc::Lh,
+                "lw" => LoadFunc::Lw,
+                "lbu" => LoadFunc::Lbu,
+                "lhu" => LoadFunc::Lhu,
+                _ => return None,
+            })
+        };
+        let store_func = |name: &str| -> Option<StoreFunc> {
+            Some(match name {
+                "sb" => StoreFunc::Sb,
+                "sh" => StoreFunc::Sh,
+                "sw" => StoreFunc::Sw,
+                _ => return None,
+            })
+        };
+
+        if let Some(func) = op_func(&mnemonic) {
+            want(3)?;
+            items.push(Item::Inst(RvInst::Op {
+                func,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                rs2: reg(2)?,
+            }));
+        } else if let Some(func) = opimm_func(&mnemonic) {
+            want(3)?;
+            let imm = parse_imm(&ops[2], line_no)?;
+            let imm = match func {
+                OpImmFunc::Slli | OpImmFunc::Srli | OpImmFunc::Srai => {
+                    if !(0..32).contains(&imm) {
+                        return Err(err(line_no, "shift amount out of range"));
+                    }
+                    imm as i32
+                }
+                _ => check_imm12(imm, line_no)?,
+            };
+            items.push(Item::Inst(RvInst::OpImm {
+                func,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm,
+            }));
+        } else if let Some(func) = branch_func(&mnemonic) {
+            want(3)?;
+            items.push(Item::BranchTo {
+                func,
+                rs1: reg(0)?,
+                rs2: reg(1)?,
+                label: ops[2].clone(),
+                line: line_no,
+            });
+        } else if let Some(func) = load_func(&mnemonic) {
+            want(2)?;
+            let (offset, base) = parse_mem_operand(&ops[1], line_no)?;
+            items.push(Item::Inst(RvInst::Load {
+                func,
+                rd: reg(0)?,
+                rs1: base,
+                offset: check_imm12(offset, line_no)?,
+            }));
+        } else if let Some(func) = store_func(&mnemonic) {
+            want(2)?;
+            let (offset, base) = parse_mem_operand(&ops[1], line_no)?;
+            items.push(Item::Inst(RvInst::Store {
+                func,
+                rs1: base,
+                rs2: reg(0)?,
+                offset: check_imm12(offset, line_no)?,
+            }));
+        } else {
+            match mnemonic.as_str() {
+                "lui" => {
+                    want(2)?;
+                    let imm = parse_imm(&ops[1], line_no)?;
+                    items.push(Item::Inst(RvInst::Lui {
+                        rd: reg(0)?,
+                        imm: ((imm as u32) << 12) as i32,
+                    }));
+                }
+                "li" => {
+                    // li rd, imm32: expands to lui+addi when needed.
+                    want(2)?;
+                    let rd = reg(0)?;
+                    let value = parse_imm(&ops[1], line_no)?;
+                    if !(-(1i64 << 31)..(1i64 << 32)).contains(&value) {
+                        return Err(err(line_no, "li immediate exceeds 32 bits"));
+                    }
+                    let value = value as i32;
+                    if (-2048..=2047).contains(&value) {
+                        items.push(Item::Inst(RvInst::OpImm {
+                            func: OpImmFunc::Addi,
+                            rd,
+                            rs1: 0,
+                            imm: value,
+                        }));
+                    } else {
+                        let low = (value << 20) >> 20; // sign-extended low 12
+                        let high = value.wrapping_sub(low) as u32 & 0xFFFF_F000;
+                        items.push(Item::Inst(RvInst::Lui {
+                            rd,
+                            imm: high as i32,
+                        }));
+                        if low != 0 {
+                            items.push(Item::Inst(RvInst::OpImm {
+                                func: OpImmFunc::Addi,
+                                rd,
+                                rs1: rd,
+                                imm: low,
+                            }));
+                        }
+                    }
+                }
+                "mv" => {
+                    want(2)?;
+                    items.push(Item::Inst(RvInst::OpImm {
+                        func: OpImmFunc::Addi,
+                        rd: reg(0)?,
+                        rs1: reg(1)?,
+                        imm: 0,
+                    }));
+                }
+                "nop" => {
+                    want(0)?;
+                    items.push(Item::Inst(RvInst::OpImm {
+                        func: OpImmFunc::Addi,
+                        rd: 0,
+                        rs1: 0,
+                        imm: 0,
+                    }));
+                }
+                "beqz" | "bnez" => {
+                    want(2)?;
+                    let func = if mnemonic == "beqz" {
+                        BranchFunc::Beq
+                    } else {
+                        BranchFunc::Bne
+                    };
+                    items.push(Item::BranchTo {
+                        func,
+                        rs1: reg(0)?,
+                        rs2: 0,
+                        label: ops[1].clone(),
+                        line: line_no,
+                    });
+                }
+                "j" => {
+                    want(1)?;
+                    items.push(Item::JalTo {
+                        rd: 0,
+                        label: ops[0].clone(),
+                        line: line_no,
+                    });
+                }
+                "jal" => {
+                    if ops.len() == 1 {
+                        items.push(Item::JalTo {
+                            rd: 1,
+                            label: ops[0].clone(),
+                            line: line_no,
+                        });
+                    } else {
+                        want(2)?;
+                        items.push(Item::JalTo {
+                            rd: reg(0)?,
+                            label: ops[1].clone(),
+                            line: line_no,
+                        });
+                    }
+                }
+                "jalr" => {
+                    want(3)?;
+                    items.push(Item::Inst(RvInst::Jalr {
+                        rd: reg(0)?,
+                        rs1: reg(1)?,
+                        offset: check_imm12(parse_imm(&ops[2], line_no)?, line_no)?,
+                    }));
+                }
+                "ret" => {
+                    want(0)?;
+                    items.push(Item::Inst(RvInst::Jalr {
+                        rd: 0,
+                        rs1: 1,
+                        offset: 0,
+                    }));
+                }
+                "ecall" => {
+                    want(0)?;
+                    items.push(Item::Inst(RvInst::Ecall));
+                }
+                _ => return Err(err(line_no, format!("unknown mnemonic `{mnemonic}`"))),
+            }
+        }
+    }
+
+    let resolve = |label: &str, line: usize, from: u32| -> Result<i32, AssembleRvError> {
+        let target = labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
+        Ok(target as i32 - from as i32)
+    };
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(idx, item)| {
+            let pc = (idx as u32) * 4;
+            let inst = match item {
+                Item::Inst(i) => i,
+                Item::BranchTo {
+                    func,
+                    rs1,
+                    rs2,
+                    label,
+                    line,
+                } => {
+                    let offset = resolve(&label, line, pc)?;
+                    if !(-4096..=4095).contains(&offset) {
+                        return Err(err(line, "branch target out of range"));
+                    }
+                    RvInst::Branch {
+                        func,
+                        rs1,
+                        rs2,
+                        offset,
+                    }
+                }
+                Item::JalTo { rd, label, line } => RvInst::Jal {
+                    rd,
+                    offset: resolve(&label, line, pc)?,
+                },
+            };
+            Ok(encode(inst))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::decode;
+
+    #[test]
+    fn assembles_and_decodes() {
+        let words = assemble(
+            "
+            li   a0, 100
+            li   a1, 0
+            loop:
+            add  a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            ecall
+            ",
+        )
+        .unwrap();
+        for w in &words {
+            decode(*w).unwrap();
+        }
+        assert_eq!(words.len(), 6);
+    }
+
+    #[test]
+    fn li_expands_large_values() {
+        let small = assemble("li a0, 5").unwrap();
+        assert_eq!(small.len(), 1);
+        let large = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(large.len(), 2);
+        // High bit of low half set: lui value must compensate.
+        let tricky = assemble("li a0, 0x00000FFF").unwrap();
+        assert_eq!(tricky.len(), 2);
+    }
+
+    #[test]
+    fn mem_operand_syntax() {
+        let words = assemble("lw a0, 8(sp)\nsw a1, -4(s0)").unwrap();
+        match decode(words[0]).unwrap() {
+            RvInst::Load { offset, rs1, .. } => {
+                assert_eq!(offset, 8);
+                assert_eq!(rs1, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode(words[1]).unwrap() {
+            RvInst::Store { offset, rs1, .. } => {
+                assert_eq!(offset, -4);
+                assert_eq!(rs1, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn abi_and_numeric_registers_agree() {
+        let a = assemble("add x10, x11, x12").unwrap();
+        let b = assemble("add a0, a1, a2").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = assemble("nop\nfoo a0, a1").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("addi a0, a1, 5000").unwrap_err();
+        assert!(e.message.contains("12-bit"));
+        let e = assemble("beq a0, a1, nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn forward_branches() {
+        let words = assemble("beqz a0, end\nnop\nend: ecall").unwrap();
+        match decode(words[0]).unwrap() {
+            RvInst::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! RV32IM disassembler: renders machine-code words back to
+//! assembler-compatible text with labelled branch/jump targets, so
+//! `assemble(&disassemble(words)?) == words` for supported programs.
+
+use crate::inst::{
+    decode, BranchFunc, DecodeRvError, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn reg(i: u8) -> String {
+    format!("x{i}")
+}
+
+fn op_mnemonic(f: OpFunc) -> &'static str {
+    match f {
+        OpFunc::Add => "add",
+        OpFunc::Sub => "sub",
+        OpFunc::Sll => "sll",
+        OpFunc::Slt => "slt",
+        OpFunc::Sltu => "sltu",
+        OpFunc::Xor => "xor",
+        OpFunc::Srl => "srl",
+        OpFunc::Sra => "sra",
+        OpFunc::Or => "or",
+        OpFunc::And => "and",
+        OpFunc::Mul => "mul",
+        OpFunc::Mulh => "mulh",
+        OpFunc::Mulhsu => "mulhsu",
+        OpFunc::Mulhu => "mulhu",
+        OpFunc::Div => "div",
+        OpFunc::Divu => "divu",
+        OpFunc::Rem => "rem",
+        OpFunc::Remu => "remu",
+    }
+}
+
+fn opimm_mnemonic(f: OpImmFunc) -> &'static str {
+    match f {
+        OpImmFunc::Addi => "addi",
+        OpImmFunc::Slti => "slti",
+        OpImmFunc::Sltiu => "sltiu",
+        OpImmFunc::Xori => "xori",
+        OpImmFunc::Ori => "ori",
+        OpImmFunc::Andi => "andi",
+        OpImmFunc::Slli => "slli",
+        OpImmFunc::Srli => "srli",
+        OpImmFunc::Srai => "srai",
+    }
+}
+
+fn branch_mnemonic(f: BranchFunc) -> &'static str {
+    match f {
+        BranchFunc::Beq => "beq",
+        BranchFunc::Bne => "bne",
+        BranchFunc::Blt => "blt",
+        BranchFunc::Bge => "bge",
+        BranchFunc::Bltu => "bltu",
+        BranchFunc::Bgeu => "bgeu",
+    }
+}
+
+fn load_mnemonic(f: LoadFunc) -> &'static str {
+    match f {
+        LoadFunc::Lb => "lb",
+        LoadFunc::Lh => "lh",
+        LoadFunc::Lw => "lw",
+        LoadFunc::Lbu => "lbu",
+        LoadFunc::Lhu => "lhu",
+    }
+}
+
+fn store_mnemonic(f: StoreFunc) -> &'static str {
+    match f {
+        StoreFunc::Sb => "sb",
+        StoreFunc::Sh => "sh",
+        StoreFunc::Sw => "sw",
+    }
+}
+
+/// Disassembles machine-code words (program base address 0).
+///
+/// # Errors
+///
+/// Returns [`DecodeRvError`] on the first word that is not a supported
+/// RV32IM instruction.
+pub fn disassemble(words: &[u32]) -> Result<String, DecodeRvError> {
+    let decoded: Vec<RvInst> = words.iter().map(|&w| decode(w)).collect::<Result<_, _>>()?;
+    // Label every pc-relative target.
+    let mut labels: BTreeMap<i64, String> = BTreeMap::new();
+    for (i, inst) in decoded.iter().enumerate() {
+        let pc = (i as i64) * 4;
+        let target = match inst {
+            RvInst::Branch { offset, .. } => Some(pc + i64::from(*offset)),
+            RvInst::Jal { offset, .. } => Some(pc + i64::from(*offset)),
+            _ => None,
+        };
+        if let Some(t) = target {
+            labels.entry(t).or_insert_with(|| format!("L{t}"));
+        }
+    }
+    let mut out = String::new();
+    for (i, inst) in decoded.iter().enumerate() {
+        let pc = (i as i64) * 4;
+        if let Some(label) = labels.get(&pc) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = match inst {
+            RvInst::Lui { rd, imm } => {
+                writeln!(out, "    lui {}, {}", reg(*rd), (*imm as u32) >> 12)
+            }
+            RvInst::Auipc { rd, imm } => {
+                // No assembler pseudo for auipc with label; emit raw.
+                writeln!(out, "    # auipc {}, {:#x} (not reassemblable)", reg(*rd), imm)
+            }
+            RvInst::Jal { rd, offset } => {
+                let target = pc + i64::from(*offset);
+                writeln!(out, "    jal {}, {}", reg(*rd), labels[&target])
+            }
+            RvInst::Jalr { rd, rs1, offset } => {
+                writeln!(out, "    jalr {}, {}, {offset}", reg(*rd), reg(*rs1))
+            }
+            RvInst::Branch {
+                func,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let target = pc + i64::from(*offset);
+                writeln!(
+                    out,
+                    "    {} {}, {}, {}",
+                    branch_mnemonic(*func),
+                    reg(*rs1),
+                    reg(*rs2),
+                    labels[&target]
+                )
+            }
+            RvInst::Load {
+                func,
+                rd,
+                rs1,
+                offset,
+            } => writeln!(
+                out,
+                "    {} {}, {offset}({})",
+                load_mnemonic(*func),
+                reg(*rd),
+                reg(*rs1)
+            ),
+            RvInst::Store {
+                func,
+                rs1,
+                rs2,
+                offset,
+            } => writeln!(
+                out,
+                "    {} {}, {offset}({})",
+                store_mnemonic(*func),
+                reg(*rs2),
+                reg(*rs1)
+            ),
+            RvInst::OpImm { func, rd, rs1, imm } => writeln!(
+                out,
+                "    {} {}, {}, {imm}",
+                opimm_mnemonic(*func),
+                reg(*rd),
+                reg(*rs1)
+            ),
+            RvInst::Op { func, rd, rs1, rs2 } => writeln!(
+                out,
+                "    {} {}, {}, {}",
+                op_mnemonic(*func),
+                reg(*rd),
+                reg(*rs1),
+                reg(*rs2)
+            ),
+            RvInst::Ecall => writeln!(out, "    ecall"),
+        };
+    }
+    if let Some(label) = labels.get(&((decoded.len() as i64) * 4)) {
+        let _ = writeln!(out, "{label}:");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let words = assemble(
+            "
+            li   a0, 10
+            li   a1, 0
+            loop:
+            add  a1, a1, a0
+            lw   t0, 4(sp)
+            sw   t0, -8(s0)
+            addi a0, a0, -1
+            bnez a0, loop
+            jal  ra, helper
+            ecall
+            helper:
+            srai t1, t2, 3
+            mulh t3, t4, t5
+            ret
+            ",
+        )
+        .unwrap();
+        let text = disassemble(&words).unwrap();
+        let reassembled = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reassembled, words);
+    }
+
+    #[test]
+    fn lui_prints_the_page_number() {
+        let words = assemble("lui a0, 0x12345").unwrap();
+        let text = disassemble(&words).unwrap();
+        assert!(text.contains("lui x10, 74565"), "{text}");
+    }
+
+    #[test]
+    fn bad_word_is_an_error() {
+        assert!(disassemble(&[0xFFFF_FFFF]).is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! RV32IM instruction definitions with real binary encode/decode.
+//!
+//! The baseline CPU of the paper's evaluation is a CV32E40P-class
+//! RV32IM core; this module implements the relevant instruction
+//! formats (R/I/S/B/U/J) with their standard RISC-V encodings.
+
+use std::error::Error;
+use std::fmt;
+
+/// One decoded RV32IM instruction (fields hold register indices
+/// 0–31 and sign-extended immediates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum RvInst {
+    Lui { rd: u8, imm: i32 },
+    Auipc { rd: u8, imm: i32 },
+    Jal { rd: u8, offset: i32 },
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    Branch { func: BranchFunc, rs1: u8, rs2: u8, offset: i32 },
+    Load { func: LoadFunc, rd: u8, rs1: u8, offset: i32 },
+    Store { func: StoreFunc, rs1: u8, rs2: u8, offset: i32 },
+    OpImm { func: OpImmFunc, rd: u8, rs1: u8, imm: i32 },
+    Op { func: OpFunc, rd: u8, rs1: u8, rs2: u8 },
+    Ecall,
+}
+
+/// Branch comparisons (funct3 of the BRANCH opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchFunc {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// Load widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum LoadFunc {
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum StoreFunc {
+    Sb,
+    Sh,
+    Sw,
+}
+
+/// Immediate ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum OpImmFunc {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+/// Register-register operations (RV32I plus the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum OpFunc {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl OpFunc {
+    /// `true` for M-extension multiply ops.
+    pub fn is_mul(self) -> bool {
+        matches!(self, OpFunc::Mul | OpFunc::Mulh | OpFunc::Mulhsu | OpFunc::Mulhu)
+    }
+
+    /// `true` for M-extension divide/remainder ops.
+    pub fn is_div(self) -> bool {
+        matches!(self, OpFunc::Div | OpFunc::Divu | OpFunc::Rem | OpFunc::Remu)
+    }
+}
+
+/// A word that is not a supported RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeRvError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeRvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid RV32IM instruction {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeRvError {}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Encodes an instruction to its RV32IM word.
+pub fn encode(inst: RvInst) -> u32 {
+    let r = |v: u8| u32::from(v);
+    match inst {
+        RvInst::Lui { rd, imm } => ((imm as u32) & 0xFFFF_F000) | (r(rd) << 7) | 0x37,
+        RvInst::Auipc { rd, imm } => ((imm as u32) & 0xFFFF_F000) | (r(rd) << 7) | 0x17,
+        RvInst::Jal { rd, offset } => {
+            let o = offset as u32;
+            let imm20 = (o >> 20) & 1;
+            let imm10_1 = (o >> 1) & 0x3FF;
+            let imm11 = (o >> 11) & 1;
+            let imm19_12 = (o >> 12) & 0xFF;
+            (imm20 << 31) | (imm10_1 << 21) | (imm11 << 20) | (imm19_12 << 12) | (r(rd) << 7)
+                | 0x6F
+        }
+        RvInst::Jalr { rd, rs1, offset } => {
+            ((offset as u32 & 0xFFF) << 20) | (r(rs1) << 15) | (r(rd) << 7) | 0x67
+        }
+        RvInst::Branch {
+            func,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match func {
+                BranchFunc::Beq => 0,
+                BranchFunc::Bne => 1,
+                BranchFunc::Blt => 4,
+                BranchFunc::Bge => 5,
+                BranchFunc::Bltu => 6,
+                BranchFunc::Bgeu => 7,
+            };
+            let o = offset as u32;
+            let imm12 = (o >> 12) & 1;
+            let imm10_5 = (o >> 5) & 0x3F;
+            let imm4_1 = (o >> 1) & 0xF;
+            let imm11 = (o >> 11) & 1;
+            (imm12 << 31)
+                | (imm10_5 << 25)
+                | (r(rs2) << 20)
+                | (r(rs1) << 15)
+                | (f3 << 12)
+                | (imm4_1 << 8)
+                | (imm11 << 7)
+                | 0x63
+        }
+        RvInst::Load {
+            func,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let f3 = match func {
+                LoadFunc::Lb => 0,
+                LoadFunc::Lh => 1,
+                LoadFunc::Lw => 2,
+                LoadFunc::Lbu => 4,
+                LoadFunc::Lhu => 5,
+            };
+            ((offset as u32 & 0xFFF) << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x03
+        }
+        RvInst::Store {
+            func,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match func {
+                StoreFunc::Sb => 0,
+                StoreFunc::Sh => 1,
+                StoreFunc::Sw => 2,
+            };
+            let o = offset as u32;
+            ((o >> 5 & 0x7F) << 25)
+                | (r(rs2) << 20)
+                | (r(rs1) << 15)
+                | (f3 << 12)
+                | ((o & 0x1F) << 7)
+                | 0x23
+        }
+        RvInst::OpImm { func, rd, rs1, imm } => {
+            let (f3, imm12) = match func {
+                OpImmFunc::Addi => (0, imm as u32 & 0xFFF),
+                OpImmFunc::Slti => (2, imm as u32 & 0xFFF),
+                OpImmFunc::Sltiu => (3, imm as u32 & 0xFFF),
+                OpImmFunc::Xori => (4, imm as u32 & 0xFFF),
+                OpImmFunc::Ori => (6, imm as u32 & 0xFFF),
+                OpImmFunc::Andi => (7, imm as u32 & 0xFFF),
+                OpImmFunc::Slli => (1, imm as u32 & 0x1F),
+                OpImmFunc::Srli => (5, imm as u32 & 0x1F),
+                OpImmFunc::Srai => (5, (imm as u32 & 0x1F) | 0x400),
+            };
+            (imm12 << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x13
+        }
+        RvInst::Op { func, rd, rs1, rs2 } => {
+            let (f7, f3) = match func {
+                OpFunc::Add => (0x00, 0),
+                OpFunc::Sub => (0x20, 0),
+                OpFunc::Sll => (0x00, 1),
+                OpFunc::Slt => (0x00, 2),
+                OpFunc::Sltu => (0x00, 3),
+                OpFunc::Xor => (0x00, 4),
+                OpFunc::Srl => (0x00, 5),
+                OpFunc::Sra => (0x20, 5),
+                OpFunc::Or => (0x00, 6),
+                OpFunc::And => (0x00, 7),
+                OpFunc::Mul => (0x01, 0),
+                OpFunc::Mulh => (0x01, 1),
+                OpFunc::Mulhsu => (0x01, 2),
+                OpFunc::Mulhu => (0x01, 3),
+                OpFunc::Div => (0x01, 4),
+                OpFunc::Divu => (0x01, 5),
+                OpFunc::Rem => (0x01, 6),
+                OpFunc::Remu => (0x01, 7),
+            };
+            (f7 << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x33
+        }
+        RvInst::Ecall => 0x0000_0073,
+    }
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes an RV32IM word.
+///
+/// # Errors
+///
+/// Returns [`DecodeRvError`] for unsupported encodings.
+pub fn decode(word: u32) -> Result<RvInst, DecodeRvError> {
+    let opcode = word & 0x7F;
+    let rd = bits(word, 11, 7) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let f3 = bits(word, 14, 12);
+    let f7 = bits(word, 31, 25);
+    let bad = Err(DecodeRvError { word });
+    let inst = match opcode {
+        0x37 => RvInst::Lui {
+            rd,
+            imm: (word & 0xFFFF_F000) as i32,
+        },
+        0x17 => RvInst::Auipc {
+            rd,
+            imm: (word & 0xFFFF_F000) as i32,
+        },
+        0x6F => {
+            let imm = (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1);
+            RvInst::Jal {
+                rd,
+                offset: sign_extend(imm, 21),
+            }
+        }
+        0x67 => {
+            if f3 != 0 {
+                return bad;
+            }
+            RvInst::Jalr {
+                rd,
+                rs1,
+                offset: sign_extend(bits(word, 31, 20), 12),
+            }
+        }
+        0x63 => {
+            let func = match f3 {
+                0 => BranchFunc::Beq,
+                1 => BranchFunc::Bne,
+                4 => BranchFunc::Blt,
+                5 => BranchFunc::Bge,
+                6 => BranchFunc::Bltu,
+                7 => BranchFunc::Bgeu,
+                _ => return bad,
+            };
+            let imm = (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1);
+            RvInst::Branch {
+                func,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 13),
+            }
+        }
+        0x03 => {
+            let func = match f3 {
+                0 => LoadFunc::Lb,
+                1 => LoadFunc::Lh,
+                2 => LoadFunc::Lw,
+                4 => LoadFunc::Lbu,
+                5 => LoadFunc::Lhu,
+                _ => return bad,
+            };
+            RvInst::Load {
+                func,
+                rd,
+                rs1,
+                offset: sign_extend(bits(word, 31, 20), 12),
+            }
+        }
+        0x23 => {
+            let func = match f3 {
+                0 => StoreFunc::Sb,
+                1 => StoreFunc::Sh,
+                2 => StoreFunc::Sw,
+                _ => return bad,
+            };
+            let imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7);
+            RvInst::Store {
+                func,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 12),
+            }
+        }
+        0x13 => {
+            let func = match f3 {
+                0 => OpImmFunc::Addi,
+                2 => OpImmFunc::Slti,
+                3 => OpImmFunc::Sltiu,
+                4 => OpImmFunc::Xori,
+                6 => OpImmFunc::Ori,
+                7 => OpImmFunc::Andi,
+                1 if f7 == 0 => OpImmFunc::Slli,
+                5 if f7 == 0 => OpImmFunc::Srli,
+                5 if f7 == 0x20 => OpImmFunc::Srai,
+                _ => return bad,
+            };
+            let imm = match func {
+                OpImmFunc::Slli | OpImmFunc::Srli | OpImmFunc::Srai => rs2 as i32,
+                _ => sign_extend(bits(word, 31, 20), 12),
+            };
+            RvInst::OpImm { func, rd, rs1, imm }
+        }
+        0x33 => {
+            let func = match (f7, f3) {
+                (0x00, 0) => OpFunc::Add,
+                (0x20, 0) => OpFunc::Sub,
+                (0x00, 1) => OpFunc::Sll,
+                (0x00, 2) => OpFunc::Slt,
+                (0x00, 3) => OpFunc::Sltu,
+                (0x00, 4) => OpFunc::Xor,
+                (0x00, 5) => OpFunc::Srl,
+                (0x20, 5) => OpFunc::Sra,
+                (0x00, 6) => OpFunc::Or,
+                (0x00, 7) => OpFunc::And,
+                (0x01, 0) => OpFunc::Mul,
+                (0x01, 1) => OpFunc::Mulh,
+                (0x01, 2) => OpFunc::Mulhsu,
+                (0x01, 3) => OpFunc::Mulhu,
+                (0x01, 4) => OpFunc::Div,
+                (0x01, 5) => OpFunc::Divu,
+                (0x01, 6) => OpFunc::Rem,
+                (0x01, 7) => OpFunc::Remu,
+                _ => return bad,
+            };
+            RvInst::Op { func, rd, rs1, rs2 }
+        }
+        0x73 if word == 0x0000_0073 => RvInst::Ecall,
+        _ => return bad,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 5  =>  0x00500093
+        assert_eq!(
+            encode(RvInst::OpImm {
+                func: OpImmFunc::Addi,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            }),
+            0x0050_0093
+        );
+        // add x3, x1, x2  =>  0x002081b3
+        assert_eq!(
+            encode(RvInst::Op {
+                func: OpFunc::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }),
+            0x0020_81B3
+        );
+        // lw x5, 8(x2)  =>  0x00812283
+        assert_eq!(
+            encode(RvInst::Load {
+                func: LoadFunc::Lw,
+                rd: 5,
+                rs1: 2,
+                offset: 8
+            }),
+            0x0081_2283
+        );
+        // ecall
+        assert_eq!(encode(RvInst::Ecall), 0x0000_0073);
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let samples = vec![
+            RvInst::Lui { rd: 7, imm: 0x12345 << 12 },
+            RvInst::Auipc { rd: 1, imm: -4096 },
+            RvInst::Jal { rd: 1, offset: -2048 },
+            RvInst::Jal { rd: 0, offset: 4094 },
+            RvInst::Jalr { rd: 0, rs1: 1, offset: 0 },
+            RvInst::Branch {
+                func: BranchFunc::Bge,
+                rs1: 4,
+                rs2: 5,
+                offset: -64,
+            },
+            RvInst::Branch {
+                func: BranchFunc::Bltu,
+                rs1: 30,
+                rs2: 31,
+                offset: 250,
+            },
+            RvInst::Load {
+                func: LoadFunc::Lbu,
+                rd: 9,
+                rs1: 10,
+                offset: -1,
+            },
+            RvInst::Store {
+                func: StoreFunc::Sw,
+                rs1: 2,
+                rs2: 3,
+                offset: -12,
+            },
+            RvInst::OpImm {
+                func: OpImmFunc::Srai,
+                rd: 6,
+                rs1: 6,
+                imm: 31,
+            },
+            RvInst::Op {
+                func: OpFunc::Remu,
+                rd: 11,
+                rs1: 12,
+                rs2: 13,
+            },
+            RvInst::Ecall,
+        ];
+        for inst in samples {
+            assert_eq!(decode(encode(inst)).unwrap(), inst, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // fence is unsupported
+        assert!(decode(0x0000_000F).is_err());
+    }
+
+    #[test]
+    fn m_extension_classification() {
+        assert!(OpFunc::Mul.is_mul());
+        assert!(OpFunc::Div.is_div());
+        assert!(!OpFunc::Add.is_mul());
+        assert!(!OpFunc::Add.is_div());
+    }
+}

@@ -1,0 +1,31 @@
+//! RV32IM instruction-set simulator used as the paper's comparison
+//! baseline (a CV32E40P-class in-order core with 32 KiB of memory).
+//!
+//! Real RISC-V binary encodings ([`inst`]), a two-pass assembler
+//! ([`asm`]) and an executor with a published-core cycle model
+//! ([`cpu`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ggpu_riscv::{assemble, Cpu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("li a0, 6\nli a1, 7\nmul a2, a0, a1\necall")?;
+//! let mut cpu = Cpu::new(&program, 1 << 16);
+//! let stats = cpu.run()?;
+//! assert_eq!(cpu.reg(12), 42);
+//! assert!(stats.cycles >= stats.instructions);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod inst;
+
+pub use asm::{assemble, AssembleRvError};
+pub use disasm::disassemble;
+pub use cpu::{Cpu, CpuError, CpuStats};
+pub use inst::{decode, encode, DecodeRvError, RvInst};

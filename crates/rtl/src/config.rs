@@ -1,0 +1,275 @@
+//! G-GPU configuration: the user-facing parameters of the generator.
+//!
+//! The paper's customization axes are the number of compute units
+//! (1–8) and the memory-system geometry; everything else (PEs per CU,
+//! wavefront organization) follows the FGPU architecture.
+
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of one G-GPU instance.
+///
+/// ```
+/// use ggpu_rtl::config::GgpuConfig;
+///
+/// let cfg = GgpuConfig::with_cus(4).expect("4 CUs is within range");
+/// assert_eq!(cfg.compute_units, 4);
+/// assert_eq!(cfg.max_work_items_per_cu(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GgpuConfig {
+    /// Number of compute units (paper range: 1–8).
+    pub compute_units: u32,
+    /// Processing elements per CU (FGPU: 8).
+    pub pes_per_cu: u32,
+    /// Work-items per wavefront (FGPU: 64).
+    pub wavefront_size: u32,
+    /// Maximum resident wavefronts per CU (FGPU: 8, i.e. 512
+    /// work-items).
+    pub max_wavefronts_per_cu: u32,
+    /// Data-cache capacity in KiB.
+    pub cache_kib: u32,
+    /// Number of parallel AXI data interfaces (paper: up to 4).
+    pub axi_data_interfaces: u32,
+    /// Number of general-memory-controller replicas (1 or 2). The
+    /// paper proposes replication as future work to shorten the
+    /// peripheral-CU routes that cap the 8-CU layout at 600 MHz.
+    pub memory_controllers: u32,
+    /// Allow more than 8 CUs (the paper lists this as future work; the
+    /// generator supports it behind this explicit opt-in).
+    pub allow_extended_cus: bool,
+}
+
+impl GgpuConfig {
+    /// The architecture the paper evaluates, with the given CU count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `compute_units` is outside 1–8.
+    pub fn with_cus(compute_units: u32) -> Result<Self, ConfigError> {
+        let cfg = Self {
+            compute_units,
+            ..Self::default()
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Upper bound on concurrently resident work-items per CU.
+    pub fn max_work_items_per_cu(&self) -> u32 {
+        self.wavefront_size * self.max_wavefronts_per_cu
+    }
+
+    /// Checks the configuration against the generator's supported
+    /// ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.compute_units == 0 {
+            return Err(ConfigError::ZeroComputeUnits);
+        }
+        if self.compute_units > 8 && !self.allow_extended_cus {
+            return Err(ConfigError::TooManyComputeUnits(self.compute_units));
+        }
+        if self.pes_per_cu == 0 || !self.pes_per_cu.is_power_of_two() {
+            return Err(ConfigError::BadPeCount(self.pes_per_cu));
+        }
+        if self.wavefront_size == 0
+            || !self.wavefront_size.is_multiple_of(self.pes_per_cu)
+            || !self.wavefront_size.is_power_of_two()
+        {
+            return Err(ConfigError::BadWavefrontSize(self.wavefront_size));
+        }
+        if self.max_wavefronts_per_cu == 0 {
+            return Err(ConfigError::BadWavefrontCount(self.max_wavefronts_per_cu));
+        }
+        // Bank word counts must stay inside the memory compiler's
+        // range (16-65536 words over 4 x 64-bit banks: 1-2048 KiB).
+        if self.cache_kib == 0
+            || !self.cache_kib.is_power_of_two()
+            || !(1..=2048).contains(&self.cache_kib)
+        {
+            return Err(ConfigError::BadCacheSize(self.cache_kib));
+        }
+        if self.axi_data_interfaces == 0 || self.axi_data_interfaces > 4 {
+            return Err(ConfigError::BadAxiCount(self.axi_data_interfaces));
+        }
+        if self.memory_controllers == 0 || self.memory_controllers > 2 {
+            return Err(ConfigError::BadControllerCount(self.memory_controllers));
+        }
+        Ok(())
+    }
+
+    /// Canonical design name, e.g. `"ggpu_4cu"`.
+    pub fn design_name(&self) -> String {
+        format!("ggpu_{}cu", self.compute_units)
+    }
+}
+
+impl Default for GgpuConfig {
+    /// The paper's FGPU-derived baseline: 8 PEs per CU, 64-item
+    /// wavefronts, 8 resident wavefronts, 32 KiB data cache, 4 AXI
+    /// data interfaces, 1 CU.
+    fn default() -> Self {
+        Self {
+            compute_units: 1,
+            pes_per_cu: 8,
+            wavefront_size: 64,
+            max_wavefronts_per_cu: 8,
+            cache_kib: 64,
+            axi_data_interfaces: 4,
+            memory_controllers: 1,
+            allow_extended_cus: false,
+        }
+    }
+}
+
+impl fmt::Display for GgpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "G-GPU {} CU x {} PE, WF {}, cache {} KiB, {} AXI",
+            self.compute_units,
+            self.pes_per_cu,
+            self.wavefront_size,
+            self.cache_kib,
+            self.axi_data_interfaces
+        )
+    }
+}
+
+/// Configuration constraint violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `compute_units` was zero.
+    ZeroComputeUnits,
+    /// `compute_units` exceeded 8 without `allow_extended_cus`.
+    TooManyComputeUnits(u32),
+    /// `pes_per_cu` must be a power of two.
+    BadPeCount(u32),
+    /// `wavefront_size` must be a power-of-two multiple of the PE
+    /// count.
+    BadWavefrontSize(u32),
+    /// `max_wavefronts_per_cu` was zero.
+    BadWavefrontCount(u32),
+    /// `cache_kib` must be a nonzero power of two.
+    BadCacheSize(u32),
+    /// `axi_data_interfaces` must be 1–4.
+    BadAxiCount(u32),
+    /// `memory_controllers` must be 1 or 2.
+    BadControllerCount(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroComputeUnits => f.write_str("compute unit count must be nonzero"),
+            ConfigError::TooManyComputeUnits(n) => write!(
+                f,
+                "{n} compute units exceeds the supported range of 8 (set allow_extended_cus to opt in)"
+            ),
+            ConfigError::BadPeCount(n) => {
+                write!(f, "PE count {n} must be a nonzero power of two")
+            }
+            ConfigError::BadWavefrontSize(n) => write!(
+                f,
+                "wavefront size {n} must be a power-of-two multiple of the PE count"
+            ),
+            ConfigError::BadWavefrontCount(n) => {
+                write!(f, "resident wavefront count {n} must be nonzero")
+            }
+            ConfigError::BadCacheSize(n) => {
+                write!(f, "cache size {n} KiB must be a nonzero power of two")
+            }
+            ConfigError::BadAxiCount(n) => {
+                write!(f, "AXI data interface count {n} must be 1-4")
+            }
+            ConfigError::BadControllerCount(n) => {
+                write!(f, "memory controller count {n} must be 1 or 2")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(GgpuConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_cu_counts_are_valid() {
+        for n in [1, 2, 4, 8] {
+            assert!(GgpuConfig::with_cus(n).is_ok(), "{n} CUs");
+        }
+    }
+
+    #[test]
+    fn nine_cus_need_opt_in() {
+        assert_eq!(
+            GgpuConfig::with_cus(9).unwrap_err(),
+            ConfigError::TooManyComputeUnits(9)
+        );
+        let cfg = GgpuConfig {
+            compute_units: 16,
+            allow_extended_cus: true,
+            ..GgpuConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_cus_rejected() {
+        assert_eq!(
+            GgpuConfig::with_cus(0).unwrap_err(),
+            ConfigError::ZeroComputeUnits
+        );
+    }
+
+    #[test]
+    fn wavefront_must_be_multiple_of_pes() {
+        let cfg = GgpuConfig {
+            wavefront_size: 24,
+            ..GgpuConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadWavefrontSize(24))
+        ));
+    }
+
+    #[test]
+    fn cache_must_be_power_of_two() {
+        let cfg = GgpuConfig {
+            cache_kib: 48,
+            ..GgpuConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadCacheSize(48))));
+    }
+
+    #[test]
+    fn axi_range() {
+        for bad in [0, 5] {
+            let cfg = GgpuConfig {
+                axi_data_interfaces: bad,
+                ..GgpuConfig::default()
+            };
+            assert!(matches!(cfg.validate(), Err(ConfigError::BadAxiCount(_))));
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        let cfg = GgpuConfig::with_cus(8).unwrap();
+        assert_eq!(cfg.design_name(), "ggpu_8cu");
+        assert!(cfg.to_string().contains("8 CU"));
+        assert_eq!(cfg.max_work_items_per_cu(), 512);
+    }
+}

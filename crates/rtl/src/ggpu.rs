@@ -1,0 +1,572 @@
+//! The G-GPU netlist generator: builds the FGPU-derived module
+//! hierarchy (PE → CU → top with general memory controller) as a
+//! [`Design`].
+
+use crate::calib::{self, activity};
+use crate::config::{ConfigError, GgpuConfig};
+use ggpu_netlist::module::{CellGroup, Instance, MacroInst, MemoryRole, Module};
+use ggpu_netlist::timing::{LogicStage, PathEndpoint, TimingPath};
+use ggpu_netlist::Design;
+use ggpu_tech::sram::SramConfig;
+use ggpu_tech::stdcell::CellClass;
+
+/// Module name of the compute-unit partition.
+pub const CU_MODULE: &str = "compute_unit";
+/// Module name of the processing element.
+pub const PE_MODULE: &str = "processing_element";
+/// Module name of the general memory controller partition.
+pub const GMC_MODULE: &str = "memory_controller";
+
+fn macro_path(
+    name: &str,
+    macro_name: &str,
+    depth: usize,
+    class: CellClass,
+) -> TimingPath {
+    TimingPath::new(
+        name,
+        PathEndpoint::Macro(macro_name.into()),
+        PathEndpoint::Register,
+        LogicStage::chain(class, depth, 2),
+    )
+}
+
+/// Builds one processing element.
+fn build_pe() -> Module {
+    let mut pe = Module::new(PE_MODULE)
+        .with_group(CellGroup::new(
+            "pipeline_regs",
+            CellClass::Dff,
+            calib::PE_FF,
+            activity::PE_REGS,
+        ))
+        .with_group(CellGroup::new(
+            "alu_adders",
+            CellClass::FullAdder,
+            calib::PE_ALU_ADDERS,
+            activity::PE_COMB,
+        ))
+        .with_group(CellGroup::new(
+            "mul_array",
+            CellClass::FullAdder,
+            calib::PE_MUL_ADDERS,
+            activity::PE_COMB * 0.6,
+        ))
+        .with_group(CellGroup::new(
+            "logic_unit",
+            CellClass::Nand2,
+            calib::PE_LOGIC_GATES,
+            activity::PE_COMB,
+        ))
+        .with_group(CellGroup::new(
+            "shifter",
+            CellClass::Mux2,
+            calib::PE_SHIFT_MUXES,
+            activity::PE_COMB * 0.7,
+        ))
+        .with_group(CellGroup::new(
+            "misc",
+            CellClass::Aoi21,
+            calib::PE_MISC_GATES,
+            activity::PE_COMB,
+        ))
+        .with_macro(MacroInst::new(
+            "rf_bank",
+            SramConfig::dual(calib::RF_WORDS, calib::RF_BITS),
+            MemoryRole::RegisterFile,
+            activity::RF,
+        ));
+    // The unoptimized design's critical path: a register-file read
+    // into the operand-routing logic (the paper: "the critical path
+    // ... has its starting point at a memory block" inside the CU).
+    pe.paths.push(macro_path(
+        "rf_read",
+        "rf_bank",
+        calib::RF_READ_DEPTH,
+        CellClass::Nand2,
+    ));
+    pe.paths.push(TimingPath::new(
+        "alu_bypass",
+        PathEndpoint::Register,
+        PathEndpoint::Register,
+        LogicStage::chain(CellClass::Nand2, 18, 2),
+    ));
+    pe.paths.push(TimingPath::new(
+        "rf_writeback",
+        PathEndpoint::Register,
+        PathEndpoint::Macro("rf_bank".into()),
+        LogicStage::chain(CellClass::Mux2, 4, 2),
+    ));
+    pe
+}
+
+/// Builds the compute unit around `pe`.
+fn build_cu(pe: ggpu_netlist::ModuleId, cfg: &GgpuConfig) -> Module {
+    let mut cu = Module::new(CU_MODULE)
+        .with_group(CellGroup::new(
+            "ctrl_regs",
+            CellClass::Dff,
+            calib::CU_CTRL_FF,
+            activity::CU_CTRL,
+        ))
+        .with_group(CellGroup::new(
+            "ctrl_muxes",
+            CellClass::Mux2,
+            calib::CU_CTRL_MUXES,
+            activity::CU_COMB,
+        ))
+        .with_group(CellGroup::new(
+            "ctrl_nands",
+            CellClass::Nand2,
+            calib::CU_CTRL_NANDS,
+            activity::CU_COMB,
+        ))
+        .with_group(CellGroup::new(
+            "ctrl_aois",
+            CellClass::Aoi21,
+            calib::CU_CTRL_AOIS,
+            activity::CU_COMB,
+        ))
+        .with_group(CellGroup::new(
+            "ctrl_xors",
+            CellClass::Xor2,
+            calib::CU_CTRL_XORS,
+            activity::CU_COMB,
+        ));
+
+    for i in 0..cfg.pes_per_cu {
+        cu.children.push(Instance {
+            name: format!("pe{i}"),
+            module: pe,
+        });
+    }
+
+    for i in 0..2 {
+        cu.macros.push(MacroInst::new(
+            format!("cram{i}"),
+            SramConfig::dual(calib::CRAM_WORDS, calib::CRAM_BITS),
+            MemoryRole::InstructionRam,
+            activity::CRAM,
+        ));
+    }
+    for i in 0..4 {
+        cu.macros.push(MacroInst::new(
+            format!("lram{i}"),
+            SramConfig::dual(calib::LRAM_WORDS, calib::LRAM_BITS),
+            MemoryRole::ScratchRam,
+            activity::LRAM,
+        ));
+    }
+    for i in 0..4 {
+        cu.macros.push(MacroInst::new(
+            format!("wf_state{i}"),
+            SramConfig::dual(calib::WF_STATE_WORDS, calib::WF_STATE_BITS),
+            MemoryRole::SchedulerState,
+            activity::WF_STATE,
+        ));
+    }
+    for i in 0..2 {
+        cu.macros.push(MacroInst::new(
+            format!("div_stack{i}"),
+            SramConfig::dual(calib::DIV_STACK_WORDS, calib::DIV_STACK_BITS),
+            MemoryRole::SchedulerState,
+            activity::DIV_STACK,
+        ));
+    }
+    for i in 0..cfg.pes_per_cu {
+        cu.macros.push(MacroInst::new(
+            format!("op_fifo{i}"),
+            SramConfig::dual(calib::OP_FIFO_WORDS, calib::OP_FIFO_BITS),
+            MemoryRole::Fifo,
+            activity::OP_FIFO,
+        ));
+    }
+    for i in 0..calib::LSU_BUF_COUNT {
+        cu.macros.push(MacroInst::new(
+            format!("lsu_buf{i}"),
+            SramConfig::dual(calib::LSU_BUF_WORDS, calib::LSU_BUF_BITS),
+            MemoryRole::Fifo,
+            activity::LSU_BUF,
+        ));
+    }
+    for i in 0..cfg.pes_per_cu {
+        cu.macros.push(MacroInst::new(
+            format!("accum{i}"),
+            SramConfig::dual(calib::ACCUM_WORDS, calib::ACCUM_BITS),
+            MemoryRole::ScratchRam,
+            activity::ACCUM,
+        ));
+    }
+
+    cu.paths.push(macro_path(
+        "cram_fetch",
+        "cram0",
+        calib::CRAM_FETCH_DEPTH,
+        CellClass::Nand2,
+    ));
+    cu.paths.push(macro_path(
+        "lram_read",
+        "lram0",
+        calib::LRAM_READ_DEPTH,
+        CellClass::Nand2,
+    ));
+    cu.paths.push(macro_path(
+        "wf_state_read",
+        "wf_state0",
+        calib::WF_STATE_DEPTH,
+        CellClass::Nand2,
+    ));
+    cu.paths.push(macro_path(
+        "div_stack_read",
+        "div_stack0",
+        calib::DIV_STACK_DEPTH,
+        CellClass::Nand2,
+    ));
+    // The deep pure-logic wavefront scheduler path: this is the path
+    // the paper fixes with on-demand pipeline insertion once the
+    // memory paths have been divided past it.
+    cu.paths.push(TimingPath::new(
+        "wf_sched",
+        PathEndpoint::Register,
+        PathEndpoint::Register,
+        LogicStage::chain(CellClass::Nand2, calib::WF_SCHED_DEPTH, 2),
+    ));
+    cu.paths.push(TimingPath::new(
+        "lsu_issue",
+        PathEndpoint::Register,
+        PathEndpoint::Macro("lsu_buf0".into()),
+        LogicStage::chain(CellClass::Mux2, 5, 2),
+    ));
+    cu
+}
+
+/// Builds the general memory controller (shared cache, runtime memory,
+/// AXI data movers).
+fn build_gmc(cfg: &GgpuConfig) -> Module {
+    let mut gmc = Module::new(GMC_MODULE)
+        .with_group(CellGroup::new(
+            "cache_ctrl_regs",
+            CellClass::Dff,
+            calib::GMC_FF,
+            activity::GMC,
+        ))
+        .with_group(CellGroup::new(
+            "cache_ctrl_logic",
+            CellClass::Nand2,
+            calib::GMC_COMB / 2,
+            activity::GMC,
+        ))
+        .with_group(CellGroup::new(
+            "data_mover_muxes",
+            CellClass::Mux2,
+            calib::GMC_COMB / 2,
+            activity::GMC,
+        ));
+
+    // The cache capacity is a user parameter: words per bank derive
+    // from it (banks x words x bits must equal the requested KiB).
+    let cache_words = cfg.cache_kib * 1024 * 8
+        / (calib::CACHE_DATA_BANKS as u32 * calib::CACHE_DATA_BITS);
+    for i in 0..calib::CACHE_DATA_BANKS {
+        gmc.macros.push(MacroInst::new(
+            format!("cache_data{i}"),
+            SramConfig::dual(cache_words, calib::CACHE_DATA_BITS),
+            MemoryRole::CacheData,
+            activity::CACHE_DATA,
+        ));
+    }
+    gmc.macros.push(MacroInst::new(
+        "cache_tag",
+        SramConfig::dual(calib::CACHE_TAG_WORDS, calib::CACHE_TAG_BITS),
+        MemoryRole::CacheTag,
+        activity::CACHE_TAG,
+    ));
+    for i in 0..calib::RTM_BANKS {
+        gmc.macros.push(MacroInst::new(
+            format!("rtm{i}"),
+            SramConfig::dual(calib::RTM_WORDS, calib::RTM_BITS),
+            MemoryRole::RuntimeMemory,
+            activity::RTM,
+        ));
+    }
+    for i in 0..cfg.axi_data_interfaces.min(2) {
+        gmc.macros.push(MacroInst::new(
+            format!("axi_fifo{i}"),
+            SramConfig::dual(calib::AXI_FIFO_WORDS, calib::AXI_FIFO_BITS),
+            MemoryRole::Fifo,
+            activity::AXI_FIFO,
+        ));
+    }
+
+    gmc.paths.push(macro_path(
+        "cache_data_read",
+        "cache_data0",
+        calib::CACHE_DATA_DEPTH,
+        CellClass::Mux2,
+    ));
+    gmc.paths.push(macro_path(
+        "tag_compare",
+        "cache_tag",
+        calib::CACHE_TAG_DEPTH,
+        CellClass::Xor2,
+    ));
+    gmc.paths.push(macro_path(
+        "rtm_read",
+        "rtm0",
+        calib::RTM_READ_DEPTH,
+        CellClass::Nand2,
+    ));
+    gmc.paths.push(macro_path(
+        "axi_fifo_read",
+        "axi_fifo0",
+        calib::AXI_FIFO_DEPTH,
+        CellClass::Nand2,
+    ));
+    gmc
+}
+
+/// Generates the complete G-GPU netlist for `cfg`.
+///
+/// The hierarchy is the paper's three-partition structure: `top`
+/// instantiates `compute_units` copies of [`CU_MODULE`] (each holding
+/// eight [`PE_MODULE`]s) and one [`GMC_MODULE`]; top-level glue holds
+/// the AXI control interface, the workgroup dispatcher and one
+/// arbitration path per CU (the paths the 8-CU layout fails on).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` is invalid.
+pub fn generate(cfg: &GgpuConfig) -> Result<Design, ConfigError> {
+    cfg.validate()?;
+    let mut design = Design::new(cfg.design_name());
+    let pe = design.add_module(build_pe());
+    let cu = design.add_module(build_cu(pe, cfg));
+    let gmc = design.add_module(build_gmc(cfg));
+
+    let n = u64::from(cfg.compute_units);
+    let mut top = Module::new("top")
+        .with_group(CellGroup::new(
+            "glue_regs",
+            CellClass::Dff,
+            calib::TOP_FF_BASE + calib::TOP_FF_PER_CU * n,
+            activity::TOP,
+        ))
+        .with_group(CellGroup::new(
+            "glue_logic",
+            CellClass::Nand2,
+            calib::TOP_COMB_BASE + calib::TOP_COMB_PER_CU * n,
+            activity::TOP,
+        ));
+    for i in 0..cfg.compute_units {
+        top.children.push(Instance {
+            name: format!("cu{i}"),
+            module: cu,
+        });
+        // One arbitration path per CU; the physical-design step
+        // annotates each with the route delay between that CU
+        // partition and the memory controller.
+        top.paths.push(TimingPath::new(
+            format!("arb_cu{i}"),
+            PathEndpoint::Register,
+            PathEndpoint::Register,
+            LogicStage::chain(CellClass::Mux2, calib::arb_depth(cfg.compute_units), 2),
+        ));
+    }
+    for g in 0..cfg.memory_controllers {
+        top.children.push(Instance {
+            name: if cfg.memory_controllers == 1 {
+                "gmc".into()
+            } else {
+                format!("gmc{g}")
+            },
+            module: gmc,
+        });
+    }
+    top.paths.push(TimingPath::new(
+        "dispatch",
+        PathEndpoint::Register,
+        PathEndpoint::Register,
+        LogicStage::chain(CellClass::Nand2, 16, 2),
+    ));
+    let top = design.add_module(top);
+    design.set_top(top);
+    debug_assert!(design.validate().is_ok());
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_netlist::stats::design_stats;
+    use ggpu_tech::Tech;
+
+    #[test]
+    fn generates_valid_designs_for_paper_cu_counts() {
+        for n in [1, 2, 4, 8] {
+            let cfg = GgpuConfig::with_cus(n).unwrap();
+            let d = generate(&cfg).unwrap();
+            assert!(d.validate().is_ok(), "{n} CUs");
+        }
+    }
+
+    #[test]
+    fn macro_counts_match_table1_progression() {
+        let tech = Tech::l65();
+        for (n, expect) in [(1u32, 51u64), (2, 93), (4, 177), (8, 345)] {
+            let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
+            let s = design_stats(&d, &tech).unwrap();
+            assert_eq!(s.macro_count, expect, "{n} CUs");
+        }
+    }
+
+    #[test]
+    fn ff_counts_are_near_table1() {
+        let tech = Tech::l65();
+        // Paper values; the generator is calibrated to within a few
+        // percent (architectural estimate, not a curve fit per row).
+        for (n, paper) in [(1u32, 119_778f64), (2, 229_171.0), (4, 437_318.0), (8, 852_094.0)]
+        {
+            let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
+            let s = design_stats(&d, &tech).unwrap();
+            let rel = (s.ff_cells as f64 - paper).abs() / paper;
+            assert!(rel < 0.05, "{n} CUs: {} vs paper {paper}", s.ff_cells);
+        }
+    }
+
+    #[test]
+    fn comb_counts_are_near_table1() {
+        let tech = Tech::l65();
+        for (n, paper) in [(1u32, 127_826f64), (2, 214_243.0), (4, 387_246.0), (8, 714_256.0)]
+        {
+            let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
+            let s = design_stats(&d, &tech).unwrap();
+            let rel = (s.comb_cells as f64 - paper).abs() / paper;
+            assert!(rel < 0.08, "{n} CUs: {} vs paper {paper}", s.comb_cells);
+        }
+    }
+
+    #[test]
+    fn total_area_is_near_table1() {
+        let tech = Tech::l65();
+        for (n, paper_mm2) in [(1u32, 4.19f64), (2, 7.45), (4, 13.84), (8, 26.51)] {
+            let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
+            let s = design_stats(&d, &tech).unwrap();
+            let rel = (s.total_area().to_mm2() - paper_mm2).abs() / paper_mm2;
+            assert!(
+                rel < 0.15,
+                "{n} CUs: {:.2} mm2 vs paper {paper_mm2}",
+                s.total_area().to_mm2()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_area_is_near_table1() {
+        let tech = Tech::l65();
+        for (n, paper_mm2) in [(1u32, 2.68f64), (8, 16.39)] {
+            let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
+            let s = design_stats(&d, &tech).unwrap();
+            let rel = (s.macro_area.to_mm2() - paper_mm2).abs() / paper_mm2;
+            assert!(
+                rel < 0.15,
+                "{n} CUs: {:.2} mm2 vs paper {paper_mm2}",
+                s.macro_area.to_mm2()
+            );
+        }
+    }
+
+    #[test]
+    fn area_grows_linearly_with_cus() {
+        let tech = Tech::l65();
+        let a1 = design_stats(&generate(&GgpuConfig::with_cus(1).unwrap()).unwrap(), &tech)
+            .unwrap()
+            .total_area();
+        let a8 = design_stats(&generate(&GgpuConfig::with_cus(8).unwrap()).unwrap(), &tech)
+            .unwrap()
+            .total_area();
+        let ratio = a8 / a1;
+        assert!((5.5..7.5).contains(&ratio), "8CU/1CU area ratio {ratio}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = GgpuConfig {
+            compute_units: 12,
+            ..GgpuConfig::default()
+        };
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn extended_cu_counts_generate_when_opted_in() {
+        let cfg = GgpuConfig {
+            compute_units: 16,
+            allow_extended_cus: true,
+            ..GgpuConfig::default()
+        };
+        let d = generate(&cfg).unwrap();
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn top_has_one_arb_path_per_cu() {
+        let d = generate(&GgpuConfig::with_cus(8).unwrap()).unwrap();
+        let top = d.module(d.top());
+        let arbs = top
+            .paths
+            .iter()
+            .filter(|p| p.name.starts_with("arb_cu"))
+            .count();
+        assert_eq!(arbs, 8);
+    }
+}
+
+#[cfg(test)]
+mod cache_param_tests {
+    use super::*;
+    use ggpu_sta::max_frequency;
+    use ggpu_tech::Tech;
+
+    #[test]
+    fn cache_capacity_drives_bank_geometry() {
+        for (kib, words) in [(32u32, 1024u32), (64, 2048), (128, 4096)] {
+            let cfg = GgpuConfig {
+                cache_kib: kib,
+                ..GgpuConfig::default()
+            };
+            let d = generate(&cfg).unwrap();
+            let gmc = d.module_by_name(GMC_MODULE).unwrap();
+            let bank = d.module(gmc).find_macro("cache_data0").unwrap();
+            assert_eq!(bank.config.words, words, "{kib} KiB");
+            assert_eq!(bank.config.bits, 64);
+        }
+    }
+
+    #[test]
+    fn bigger_cache_is_slower_until_divided() {
+        let tech = Tech::l65();
+        let small = generate(&GgpuConfig::default()).unwrap();
+        let big = generate(&GgpuConfig {
+            cache_kib: 256,
+            ..GgpuConfig::default()
+        })
+        .unwrap();
+        let f_small = max_frequency(&small, &tech).unwrap().unwrap();
+        let f_big = max_frequency(&big, &tech).unwrap().unwrap();
+        assert!(
+            f_big < f_small,
+            "8192-word cache banks must limit fmax: {f_small} vs {f_big}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_cache_rejected() {
+        for bad in [0u32, 3, 4096] {
+            let cfg = GgpuConfig {
+                cache_kib: bad,
+                ..GgpuConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "{bad} KiB");
+        }
+    }
+}

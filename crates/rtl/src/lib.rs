@@ -1,0 +1,33 @@
+//! Netlist generators for the G-GPU accelerator and the RISC-V
+//! baseline CPU.
+//!
+//! [`generate`] turns a [`GgpuConfig`] into the FGPU-derived module
+//! hierarchy described in the paper's Fig. 1: `compute_units` copies
+//! of an 8-PE compute unit, a general memory controller holding the
+//! shared direct-mapped write-back cache, runtime memory and AXI data
+//! movers, and the top-level glue. [`generate_riscv`] builds the
+//! CV32E40P-class comparison core of the evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use ggpu_rtl::{generate, GgpuConfig};
+//! use ggpu_netlist::stats::design_stats;
+//! use ggpu_tech::Tech;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate(&GgpuConfig::with_cus(1)?)?;
+//! let stats = design_stats(&design, &Tech::l65())?;
+//! assert_eq!(stats.macro_count, 51); // Table I, 1 CU @ 500 MHz
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calib;
+pub mod config;
+pub mod ggpu;
+pub mod riscv_core;
+
+pub use config::{ConfigError, GgpuConfig};
+pub use ggpu::{generate, CU_MODULE, GMC_MODULE, PE_MODULE};
+pub use riscv_core::{generate_riscv, RiscvConfig};

@@ -1,0 +1,123 @@
+//! Netlist generator for the RISC-V baseline CPU.
+//!
+//! The paper compares G-GPU against "an implementation of the popular
+//! RISC-V architecture" (a CV32E40P-class 32-bit in-order core) with
+//! 32 KiB of memory, synthesized at 667 MHz in the same technology.
+//! This generator produces the matching netlist so the area-derated
+//! speed-up of Fig. 6 can be computed from the same technology models.
+
+use ggpu_netlist::module::{CellGroup, MacroInst, MemoryRole, Module};
+use ggpu_netlist::timing::{LogicStage, PathEndpoint, TimingPath};
+use ggpu_netlist::Design;
+use ggpu_tech::sram::SramConfig;
+use ggpu_tech::stdcell::CellClass;
+
+/// Configuration of the baseline CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RiscvConfig {
+    /// Unified instruction/data memory size in KiB (paper: 32).
+    pub memory_kib: u32,
+}
+
+impl Default for RiscvConfig {
+    fn default() -> Self {
+        Self { memory_kib: 32 }
+    }
+}
+
+/// Generates the RISC-V baseline netlist.
+///
+/// # Panics
+///
+/// Panics if `memory_kib` is zero or not a multiple of 4 (one 4 KiB
+/// single-port bank per macro).
+pub fn generate_riscv(cfg: &RiscvConfig) -> Design {
+    assert!(
+        cfg.memory_kib > 0 && cfg.memory_kib.is_multiple_of(4),
+        "memory size must be a positive multiple of 4 KiB, got {}",
+        cfg.memory_kib
+    );
+    let mut design = Design::new("riscv_cv32e40p");
+    let mut core = Module::new("riscv_top")
+        .with_group(CellGroup::new("pipeline_regs", CellClass::Dff, 9_000, 0.28))
+        .with_group(CellGroup::new("alu", CellClass::FullAdder, 9_000, 0.20))
+        .with_group(CellGroup::new("mul_div", CellClass::FullAdder, 14_000, 0.10))
+        .with_group(CellGroup::new("decode_logic", CellClass::Nand2, 38_000, 0.18))
+        .with_group(CellGroup::new("bus_matrix", CellClass::Mux2, 26_000, 0.15))
+        .with_group(CellGroup::new("csr_misc", CellClass::Aoi21, 21_000, 0.15));
+
+    let banks = cfg.memory_kib / 4;
+    for i in 0..banks {
+        core.macros.push(MacroInst::new(
+            format!("mem{i}"),
+            SramConfig::single(1024, 32),
+            MemoryRole::ScratchRam,
+            0.35,
+        ));
+    }
+
+    core.paths.push(TimingPath::new(
+        "imem_fetch",
+        PathEndpoint::Macro("mem0".into()),
+        PathEndpoint::Register,
+        LogicStage::chain(CellClass::Nand2, 4, 2),
+    ));
+    core.paths.push(TimingPath::new(
+        "alu_path",
+        PathEndpoint::Register,
+        PathEndpoint::Register,
+        LogicStage::chain(CellClass::Nand2, 24, 2),
+    ));
+    core.paths.push(TimingPath::new(
+        "lsu_store",
+        PathEndpoint::Register,
+        PathEndpoint::Macro("mem0".into()),
+        LogicStage::chain(CellClass::Mux2, 4, 2),
+    ));
+    let id = design.add_module(core);
+    design.set_top(id);
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_netlist::stats::design_stats;
+    use ggpu_sta::max_frequency;
+    use ggpu_tech::Tech;
+
+    #[test]
+    fn baseline_is_valid_and_small() {
+        let d = generate_riscv(&RiscvConfig::default());
+        assert!(d.validate().is_ok());
+        let s = design_stats(&d, &Tech::l65()).unwrap();
+        // The paper's Fig. 6 implies the RISC-V (with 32 KiB memory)
+        // is about 1/6.5 the area of a 1-CU G-GPU: ~0.65-0.75 mm^2.
+        let mm2 = s.total_area().to_mm2();
+        assert!((0.55..=0.90).contains(&mm2), "RISC-V area {mm2} mm2");
+        assert_eq!(s.macro_count, 8);
+    }
+
+    #[test]
+    fn baseline_meets_667mhz() {
+        let d = generate_riscv(&RiscvConfig::default());
+        let fmax = max_frequency(&d, &Tech::l65()).unwrap().unwrap();
+        assert!(
+            fmax.value() >= 667.0,
+            "RISC-V must close 667 MHz as in the paper, got {fmax}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4 KiB")]
+    fn bad_memory_size_panics() {
+        let _ = generate_riscv(&RiscvConfig { memory_kib: 6 });
+    }
+
+    #[test]
+    fn larger_memory_means_more_banks() {
+        let d = generate_riscv(&RiscvConfig { memory_kib: 64 });
+        let s = design_stats(&d, &Tech::l65()).unwrap();
+        assert_eq!(s.macro_count, 16);
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulator configuration: machine geometry and timing parameters.
+
+/// Shared data-cache parameters (direct-mapped, write-back,
+/// write-allocate, banked — the FGPU's central multi-port cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in KiB.
+    pub size_kib: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Independently-ported banks (line index modulo banks).
+    pub banks: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            size_kib: 32,
+            line_bytes: 64,
+            banks: 4,
+            hit_latency: 6,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of cache lines.
+    pub fn lines(&self) -> u32 {
+        self.size_kib * 1024 / self.line_bytes
+    }
+}
+
+/// External-memory parameters (the AXI data interfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of parallel AXI data interfaces (paper: up to 4).
+    pub interfaces: u32,
+    /// Fixed access latency in cycles.
+    pub latency: u32,
+    /// Transfer bandwidth per interface, bytes per cycle.
+    pub bytes_per_cycle: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            interfaces: 4,
+            latency: 60,
+            bytes_per_cycle: 4,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimtConfig {
+    /// Number of compute units.
+    pub compute_units: u32,
+    /// Processing elements per CU (FGPU: 8).
+    pub pes_per_cu: u32,
+    /// Work-items per wavefront (FGPU: 64).
+    pub wavefront_size: u32,
+    /// Resident wavefronts per CU (FGPU: 8, i.e. 512 work-items).
+    pub max_wavefronts_per_cu: u32,
+    /// Shared data cache.
+    pub cache: CacheConfig,
+    /// External memory.
+    pub dram: DramConfig,
+    /// Simple-ALU result latency (deep FGPU pipeline).
+    pub alu_latency: u32,
+    /// Multiplier latency.
+    pub mul_latency: u32,
+    /// Divider latency.
+    pub div_latency: u32,
+    /// Cycles of CU occupancy per *lane* of a divide/remainder: the
+    /// FGPU's iterative divider is shared, so a wavefront's divides
+    /// serialize lane by lane (this is why the paper's div_int kernel
+    /// only reaches a 1.2x speed-up over the RISC-V).
+    pub div_serial: u32,
+    /// Local scratch (LRAM) access latency.
+    pub local_latency: u32,
+    /// Hard cycle ceiling; exceeded means a runaway kernel.
+    pub max_cycles: u64,
+}
+
+impl SimtConfig {
+    /// The paper's machine with the given CU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute_units` is zero.
+    pub fn with_cus(compute_units: u32) -> Self {
+        assert!(compute_units > 0, "need at least one compute unit");
+        Self {
+            compute_units,
+            ..Self::default()
+        }
+    }
+
+    /// Wavefronts needed for one full workgroup.
+    pub fn wavefronts_per_group(&self, workgroup_size: u32) -> u32 {
+        workgroup_size.div_ceil(self.wavefront_size)
+    }
+}
+
+impl Default for SimtConfig {
+    fn default() -> Self {
+        Self {
+            compute_units: 1,
+            pes_per_cu: 8,
+            wavefront_size: 64,
+            max_wavefronts_per_cu: 8,
+            cache: CacheConfig::default(),
+            dram: DramConfig::default(),
+            alu_latency: 4,
+            mul_latency: 6,
+            div_latency: 18,
+            div_serial: 36,
+            local_latency: 3,
+            max_cycles: 400_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_fgpu() {
+        let c = SimtConfig::default();
+        assert_eq!(c.pes_per_cu, 8);
+        assert_eq!(c.wavefront_size, 64);
+        assert_eq!(c.max_wavefronts_per_cu * c.wavefront_size, 512);
+        assert_eq!(c.dram.interfaces, 4);
+    }
+
+    #[test]
+    fn cache_line_count() {
+        assert_eq!(CacheConfig::default().lines(), 512);
+    }
+
+    #[test]
+    fn wavefronts_per_group_rounds_up() {
+        let c = SimtConfig::default();
+        assert_eq!(c.wavefronts_per_group(512), 8);
+        assert_eq!(c.wavefronts_per_group(65), 2);
+        assert_eq!(c.wavefronts_per_group(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute unit")]
+    fn zero_cus_panics() {
+        let _ = SimtConfig::with_cus(0);
+    }
+}

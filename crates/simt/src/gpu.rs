@@ -1,0 +1,1017 @@
+//! The cycle-level SIMT machine.
+//!
+//! Execution model (following the FGPU): work-items are grouped into
+//! wavefronts of 64, wavefronts into workgroups; workgroups are
+//! dispatched to CUs with free wavefront slots; each CU issues one
+//! vector instruction per ready wavefront, occupying its 8 PEs for
+//! `active_lanes / 8` beats. Divergence uses multi-PC lockstep: every
+//! work-item keeps its own PC, and the wavefront executes the minimum
+//! active PC each issue — arbitrary control flow is supported and the
+//! serialization cost of divergence emerges naturally.
+
+use crate::config::SimtConfig;
+use crate::memsys::{Dram, MemStats, SharedCache};
+use ggpu_isa::asm::{assemble, AssembleError};
+use ggpu_isa::inst::{AluOp, IdSource, Inst};
+use std::error::Error;
+use std::fmt;
+
+/// Local scratch (LRAM) words per CU.
+const LOCAL_WORDS: usize = 4096;
+/// Kernel parameter slots (FGPU runtime memory).
+const PARAM_SLOTS: usize = 8;
+
+/// A compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The instruction stream.
+    pub program: Vec<Inst>,
+}
+
+impl Kernel {
+    /// Assembles a kernel from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError`] on syntax errors.
+    pub fn from_asm(name: impl Into<String>, source: &str) -> Result<Self, AssembleError> {
+        Ok(Self {
+            name: name.into(),
+            program: assemble(source)?,
+        })
+    }
+}
+
+/// Kernel launch geometry and arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Launch {
+    /// Total number of work-items.
+    pub global_size: u32,
+    /// Work-items per workgroup.
+    pub workgroup_size: u32,
+    /// Kernel arguments (up to 8 words, the FGPU's RTM parameters).
+    pub params: Vec<u32>,
+}
+
+impl Launch {
+    /// A launch with the given geometry and arguments.
+    pub fn new(global_size: u32, workgroup_size: u32, params: Vec<u32>) -> Self {
+        Self {
+            global_size,
+            workgroup_size,
+            params,
+        }
+    }
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The launch parameters are invalid.
+    BadLaunch(String),
+    /// A global-memory access fell outside the configured memory.
+    MemoryOutOfBounds {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// A global/local access was not word-aligned.
+    Unaligned {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// A local-memory access fell outside the CU scratch.
+    LocalOutOfBounds {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// Control flow left the program.
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: u32,
+    },
+    /// A wavefront reached a workgroup barrier with divergent control
+    /// flow (not all active lanes arrived together).
+    DivergentBarrier {
+        /// The barrier's instruction index.
+        pc: u32,
+    },
+    /// The cycle ceiling was hit (runaway kernel).
+    CycleLimit {
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+            SimError::MemoryOutOfBounds { addr } => {
+                write!(f, "global memory access at {addr:#x} out of bounds")
+            }
+            SimError::Unaligned { addr } => write!(f, "unaligned word access at {addr:#x}"),
+            SimError::LocalOutOfBounds { addr } => {
+                write!(f, "local memory access at {addr:#x} out of bounds")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
+            SimError::DivergentBarrier { pc } => {
+                write!(f, "divergent control flow at barrier (pc {pc})")
+            }
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Counters of one kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Total cycles until the last wavefront finished.
+    pub cycles: u64,
+    /// Vector instructions issued.
+    pub vector_instructions: u64,
+    /// Per-lane operations executed.
+    pub lane_ops: u64,
+    /// Wavefronts executed.
+    pub wavefronts: u64,
+    /// Workgroups executed.
+    pub workgroups: u64,
+    /// CU-cycles in which a CU held live wavefronts but none was
+    /// ready to issue (all stalled on memory or long-latency results).
+    pub stall_cycles: u64,
+    /// CU-cycles spent with the issue stage occupied (vector beats,
+    /// including serialized divides).
+    pub busy_cycles: u64,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl RunStats {
+    /// Issue occupancy: fraction of CU-cycles that issued work, out of
+    /// all CU-cycles with resident wavefronts.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.busy_cycles + self.stall_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+}
+
+struct Wavefront {
+    pcs: Vec<u32>,
+    active: Vec<bool>,
+    regs: Vec<u32>,
+    global_ids: Vec<u32>,
+    local_ids: Vec<u32>,
+    group_id: u32,
+    ready_at: u64,
+    done: bool,
+    at_barrier: bool,
+}
+
+impl Wavefront {
+    fn new(wf_size: u32, group_id: u32, first_global: u32, first_local: u32, items: u32) -> Self {
+        let n = wf_size as usize;
+        let mut active = vec![false; n];
+        let mut global_ids = vec![0; n];
+        let mut local_ids = vec![0; n];
+        for lane in 0..items as usize {
+            active[lane] = true;
+            global_ids[lane] = first_global + lane as u32;
+            local_ids[lane] = first_local + lane as u32;
+        }
+        Self {
+            pcs: vec![0; n],
+            active,
+            regs: vec![0; n * 32],
+            global_ids,
+            local_ids,
+            group_id,
+            ready_at: 0,
+            done: items == 0,
+            at_barrier: false,
+        }
+    }
+
+    fn min_active_pc(&self) -> Option<u32> {
+        self.pcs
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(&pc, _)| pc)
+            .min()
+    }
+}
+
+struct ComputeUnit {
+    wavefronts: Vec<Wavefront>,
+    local_mem: Vec<u32>,
+    busy_until: u64,
+    rr_cursor: usize,
+}
+
+/// The SIMT machine: configuration plus global memory.
+pub struct Gpu {
+    config: SimtConfig,
+    memory: Vec<u32>,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config)
+            .field("memory_words", &self.memory.len())
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Creates a machine with `memory_words` words of zeroed global
+    /// memory.
+    pub fn new(config: SimtConfig, memory_words: usize) -> Self {
+        Self {
+            config,
+            memory: vec![0; memory_words],
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimtConfig {
+        &self.config
+    }
+
+    /// Global memory size in bytes.
+    pub fn memory_bytes(&self) -> u32 {
+        (self.memory.len() * 4) as u32
+    }
+
+    /// Copies words into global memory at a byte address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-bounds addresses.
+    pub fn write_words(&mut self, byte_addr: u32, data: &[u32]) -> Result<(), SimError> {
+        let start = self.word_index(byte_addr)?;
+        let end = start + data.len();
+        if end > self.memory.len() {
+            return Err(SimError::MemoryOutOfBounds {
+                addr: byte_addr + (data.len() as u32) * 4,
+            });
+        }
+        self.memory[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads words from global memory at a byte address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-bounds addresses.
+    pub fn read_words(&self, byte_addr: u32, len: usize) -> Result<Vec<u32>, SimError> {
+        let start = self.word_index(byte_addr)?;
+        let end = start + len;
+        if end > self.memory.len() {
+            return Err(SimError::MemoryOutOfBounds {
+                addr: byte_addr + (len as u32) * 4,
+            });
+        }
+        Ok(self.memory[start..end].to_vec())
+    }
+
+    fn word_index(&self, byte_addr: u32) -> Result<usize, SimError> {
+        if !byte_addr.is_multiple_of(4) {
+            return Err(SimError::Unaligned { addr: byte_addr });
+        }
+        let idx = (byte_addr / 4) as usize;
+        if idx >= self.memory.len() {
+            return Err(SimError::MemoryOutOfBounds { addr: byte_addr });
+        }
+        Ok(idx)
+    }
+
+    /// Runs `kernel` with the given launch geometry to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on invalid launches, memory faults,
+    /// control flow leaving the program, or the cycle ceiling.
+    pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, SimError> {
+        if kernel.program.is_empty() {
+            return Err(SimError::BadLaunch("empty program".into()));
+        }
+        if launch.global_size == 0 {
+            return Err(SimError::BadLaunch("zero global size".into()));
+        }
+        let max_wg = self.config.wavefront_size * self.config.max_wavefronts_per_cu;
+        if launch.workgroup_size == 0 || launch.workgroup_size > max_wg {
+            return Err(SimError::BadLaunch(format!(
+                "workgroup size {} outside 1-{max_wg}",
+                launch.workgroup_size
+            )));
+        }
+        if launch.params.len() > PARAM_SLOTS {
+            return Err(SimError::BadLaunch(format!(
+                "{} kernel parameters exceed the {PARAM_SLOTS} RTM slots",
+                launch.params.len()
+            )));
+        }
+        let mut params = [0u32; PARAM_SLOTS];
+        params[..launch.params.len()].copy_from_slice(&launch.params);
+
+        let mut cache = SharedCache::new(self.config.cache, Dram::new(self.config.dram));
+        let mut cus: Vec<ComputeUnit> = (0..self.config.compute_units)
+            .map(|_| ComputeUnit {
+                wavefronts: Vec::new(),
+                local_mem: vec![0; LOCAL_WORDS],
+                busy_until: 0,
+                rr_cursor: 0,
+            })
+            .collect();
+
+        let total_groups = launch.global_size.div_ceil(launch.workgroup_size);
+        let mut next_group: u32 = 0;
+        let mut stats = RunStats {
+            workgroups: u64::from(total_groups),
+            ..RunStats::default()
+        };
+
+        let mut now: u64 = 0;
+        loop {
+            if now > self.config.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
+            }
+
+            let mut any_alive = false;
+            for cu in cus.iter_mut() {
+                // Dispatch whole workgroups into free wavefront slots.
+                while next_group < total_groups {
+                    let live = cu.wavefronts.iter().filter(|w| !w.done).count() as u32;
+                    let free = self.config.max_wavefronts_per_cu - live;
+                    let first_item = next_group * launch.workgroup_size;
+                    let items_in_group =
+                        launch.workgroup_size.min(launch.global_size - first_item);
+                    let needed = self.config.wavefronts_per_group(items_in_group);
+                    if needed > free {
+                        break;
+                    }
+                    cu.wavefronts.retain(|w| !w.done);
+                    for wf_idx in 0..needed {
+                        let first_local = wf_idx * self.config.wavefront_size;
+                        let items = self
+                            .config
+                            .wavefront_size
+                            .min(items_in_group - first_local);
+                        cu.wavefronts.push(Wavefront::new(
+                            self.config.wavefront_size,
+                            next_group,
+                            first_item + first_local,
+                            first_local,
+                            items,
+                        ));
+                        stats.wavefronts += 1;
+                    }
+                    next_group += 1;
+                }
+
+                let has_live = cu.wavefronts.iter().any(|w| !w.done);
+                if has_live {
+                    any_alive = true;
+                }
+                if cu.busy_until > now {
+                    stats.busy_cycles += 1;
+                    continue;
+                }
+                // Round-robin wavefront selection.
+                let n_wf = cu.wavefronts.len();
+                let mut chosen = None;
+                for k in 0..n_wf {
+                    let idx = (cu.rr_cursor + k) % n_wf;
+                    let wf = &cu.wavefronts[idx];
+                    if !wf.done && !wf.at_barrier && wf.ready_at <= now {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+                let Some(idx) = chosen else {
+                    if has_live {
+                        stats.stall_cycles += 1;
+                    }
+                    continue;
+                };
+                cu.rr_cursor = (idx + 1) % n_wf;
+
+                let launch_sizes = (launch.global_size, launch.workgroup_size);
+                Self::issue(
+                    &self.config,
+                    &kernel.program,
+                    &params,
+                    launch_sizes,
+                    &mut self.memory,
+                    &mut cache,
+                    cu,
+                    idx,
+                    now,
+                    &mut stats,
+                )?;
+            }
+
+            if !any_alive && next_group >= total_groups {
+                break;
+            }
+            now += 1;
+        }
+        stats.cycles = now;
+        stats.mem = cache.stats();
+        Ok(stats)
+    }
+
+    /// Issues one vector instruction for wavefront `idx` of `cu`.
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        config: &SimtConfig,
+        program: &[Inst],
+        params: &[u32; PARAM_SLOTS],
+        (global_size, workgroup_size): (u32, u32),
+        memory: &mut [u32],
+        cache: &mut SharedCache,
+        cu: &mut ComputeUnit,
+        idx: usize,
+        now: u64,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
+        let wf = &mut cu.wavefronts[idx];
+        let Some(pc) = wf.min_active_pc() else {
+            wf.done = true;
+            return Ok(());
+        };
+        let inst = *program
+            .get(pc as usize)
+            .ok_or(SimError::PcOutOfRange { pc })?;
+
+        let lanes: Vec<usize> = (0..wf.pcs.len())
+            .filter(|&l| wf.active[l] && wf.pcs[l] == pc)
+            .collect();
+        let lane_count = lanes.len() as u32;
+        stats.vector_instructions += 1;
+        stats.lane_ops += u64::from(lane_count);
+
+        let reg = |wf: &Wavefront, lane: usize, r: ggpu_isa::inst::Reg| -> u32 {
+            wf.regs[lane * 32 + r.index()]
+        };
+        let mut mem_ready: u64 = now;
+
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                for &l in &lanes {
+                    let v = op.apply(reg(wf, l, rs1), reg(wf, l, rs2));
+                    wf.regs[l * 32 + rd.index()] = v;
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                for &l in &lanes {
+                    let v = op.apply(reg(wf, l, rs1), imm as i32 as u32);
+                    wf.regs[l * 32 + rd.index()] = v;
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::Lui { rd, imm } => {
+                for &l in &lanes {
+                    wf.regs[l * 32 + rd.index()] = u32::from(imm) << 16;
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::ReadId { rd, src } => {
+                for &l in &lanes {
+                    let v = match src {
+                        IdSource::GlobalId => wf.global_ids[l],
+                        IdSource::LocalId => wf.local_ids[l],
+                        IdSource::GroupId => wf.group_id,
+                        IdSource::GroupSize => workgroup_size,
+                        IdSource::GlobalSize => global_size,
+                    };
+                    wf.regs[l * 32 + rd.index()] = v;
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::Param { rd, idx: p } => {
+                for &l in &lanes {
+                    wf.regs[l * 32 + rd.index()] = params[p as usize];
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::Lw { rd, rs1, imm } | Inst::Sw { rs1, rs2: rd, imm } => {
+                let is_store = matches!(inst, Inst::Sw { .. });
+                // Coalesce: unique lines accessed once.
+                let mut touched_lines: Vec<u64> = Vec::with_capacity(lanes.len());
+                for &l in &lanes {
+                    let addr = reg(wf, l, rs1).wrapping_add(imm as i32 as u32);
+                    if addr % 4 != 0 {
+                        return Err(SimError::Unaligned { addr });
+                    }
+                    let widx = (addr / 4) as usize;
+                    if widx >= memory.len() {
+                        return Err(SimError::MemoryOutOfBounds { addr });
+                    }
+                    if is_store {
+                        memory[widx] = reg(wf, l, rd);
+                    } else {
+                        wf.regs[l * 32 + rd.index()] = memory[widx];
+                    }
+                    let line = u64::from(addr) / u64::from(cache.line_bytes());
+                    if !touched_lines.contains(&line) {
+                        touched_lines.push(line);
+                        let ready =
+                            cache.access(now, u64::from(addr), is_store);
+                        mem_ready = mem_ready.max(ready);
+                    }
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::Lwl { rd, rs1, imm } | Inst::Swl { rs1, rs2: rd, imm } => {
+                let is_store = matches!(inst, Inst::Swl { .. });
+                for &l in &lanes {
+                    let addr = reg(wf, l, rs1).wrapping_add(imm as i32 as u32);
+                    if addr % 4 != 0 {
+                        return Err(SimError::Unaligned { addr });
+                    }
+                    let widx = (addr / 4) as usize;
+                    if widx >= cu.local_mem.len() {
+                        return Err(SimError::LocalOutOfBounds { addr });
+                    }
+                    if is_store {
+                        cu.local_mem[widx] = reg(wf, l, rd);
+                    } else {
+                        wf.regs[l * 32 + rd.index()] = cu.local_mem[widx];
+                    }
+                    wf.pcs[l] = pc + 1;
+                }
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                for &l in &lanes {
+                    let taken = cond.test(reg(wf, l, rs1), reg(wf, l, rs2));
+                    wf.pcs[l] = if taken { target } else { pc + 1 };
+                }
+            }
+            Inst::Jmp { target } => {
+                for &l in &lanes {
+                    wf.pcs[l] = target;
+                }
+            }
+            Inst::Bar => {
+                // All active lanes must arrive together (uniform
+                // control flow at barriers, as on real SIMT machines).
+                let active_count = wf.active.iter().filter(|&&a| a).count();
+                if lanes.len() != active_count {
+                    return Err(SimError::DivergentBarrier { pc });
+                }
+                wf.at_barrier = true;
+                // PCs advance only on release, below.
+            }
+            Inst::Ret => {
+                for &l in &lanes {
+                    wf.active[l] = false;
+                }
+                if wf.active.iter().all(|&a| !a) {
+                    wf.done = true;
+                }
+            }
+        }
+        let became_done = matches!(inst, Inst::Ret) && cu.wavefronts[idx].done;
+
+        let mut beats = u64::from(lane_count.div_ceil(config.pes_per_cu).max(1));
+        // Divides serialize on the shared iterative divider.
+        if matches!(
+            inst,
+            Inst::Alu { op: AluOp::Divu | AluOp::Remu, .. }
+                | Inst::AluImm { op: AluOp::Divu | AluOp::Remu, .. }
+        ) {
+            beats += u64::from(lane_count) * u64::from(config.div_serial);
+        }
+        let latency = u64::from(match inst {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul => config.mul_latency,
+                AluOp::Divu | AluOp::Remu => config.div_latency,
+                _ => config.alu_latency,
+            },
+            Inst::Lw { .. } | Inst::Sw { .. } => 0, // folded into mem_ready
+            Inst::Lwl { .. } | Inst::Swl { .. } => config.local_latency,
+            _ => config.alu_latency,
+        });
+        let wf = &mut cu.wavefronts[idx];
+        wf.ready_at = (now + beats + latency).max(mem_ready);
+        cu.busy_until = now + beats;
+
+        // Workgroup barrier release: once every live wavefront of the
+        // group has arrived (or exited), advance the waiters. Checked
+        // when a barrier is reached and when a wavefront retires —
+        // both events can complete a group.
+        if matches!(inst, Inst::Bar) || became_done {
+            let group = cu.wavefronts[idx].group_id;
+            Self::release_barrier_group(cu, group, now);
+        }
+        Ok(())
+    }
+
+    /// Advances every waiting wavefront of `group` past its barrier if
+    /// no live wavefront of the group is still on its way there.
+    fn release_barrier_group(cu: &mut ComputeUnit, group: u32, now: u64) {
+        let all_arrived = cu
+            .wavefronts
+            .iter()
+            .filter(|w| !w.done && w.group_id == group)
+            .all(|w| w.at_barrier);
+        let any_waiting = cu
+            .wavefronts
+            .iter()
+            .any(|w| !w.done && w.group_id == group && w.at_barrier);
+        if all_arrived && any_waiting {
+            for w in cu
+                .wavefronts
+                .iter_mut()
+                .filter(|w| !w.done && w.group_id == group)
+            {
+                w.at_barrier = false;
+                for l in 0..w.pcs.len() {
+                    if w.active[l] {
+                        w.pcs[l] += 1;
+                    }
+                }
+                w.ready_at = w.ready_at.max(now + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(cus: u32) -> Gpu {
+        Gpu::new(SimtConfig::with_cus(cus), 1 << 18) // 1 MiB
+    }
+
+    /// out[i] = in[i] + 1 over n items; in @ param0, out @ param1.
+    const INCR: &str = "
+        gid   r1
+        param r2, 0
+        param r3, 1
+        slli  r4, r1, 2
+        add   r5, r4, r2
+        lw    r6, r5, 0
+        addi  r6, r6, 1
+        add   r7, r4, r3
+        sw    r7, r6, 0
+        ret
+    ";
+
+    #[test]
+    fn functional_increment() {
+        let mut g = gpu(1);
+        let n = 256u32;
+        let input: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        g.write_words(0x1000, &input).unwrap();
+        let k = Kernel::from_asm("incr", INCR).unwrap();
+        let stats = g
+            .launch(&k, &Launch::new(n, 64, vec![0x1000, 0x8000]))
+            .unwrap();
+        let out = g.read_words(0x8000, n as usize).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u32) * 3 + 1, "item {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.workgroups, 4);
+        assert_eq!(stats.wavefronts, 4);
+    }
+
+    #[test]
+    fn more_cus_are_faster() {
+        let k = Kernel::from_asm("incr", INCR).unwrap();
+        let n = 4096u32;
+        let input: Vec<u32> = (0..n).collect();
+        let mut cycles = Vec::new();
+        for cus in [1u32, 2, 4] {
+            let mut g = gpu(cus);
+            g.write_words(0x1000, &input).unwrap();
+            let s = g
+                .launch(&k, &Launch::new(n, 256, vec![0x1000, 0x10000]))
+                .unwrap();
+            cycles.push(s.cycles);
+        }
+        assert!(cycles[1] < cycles[0], "2 CUs beat 1: {cycles:?}");
+        assert!(cycles[2] < cycles[1], "4 CUs beat 2: {cycles:?}");
+    }
+
+    #[test]
+    fn divergent_kernel_is_slower_than_uniform() {
+        // Both kernels run the same instruction count per item, but one
+        // branches on gid parity (splitting every wavefront) while the
+        // other branches uniformly.
+        let divergent = "
+            gid  r1
+            andi r2, r1, 1
+            addi r3, r0, 16
+            beq  r2, r0, even
+            odd_loop:
+            addi r4, r4, 1
+            blt  r4, r3, odd_loop
+            ret
+            even:
+            even_loop:
+            addi r4, r4, 1
+            blt  r4, r3, even_loop
+            ret
+        ";
+        let uniform = divergent.replace("andi r2, r1, 1", "andi r2, r0, 1");
+        let k_div = Kernel::from_asm("div", divergent).unwrap();
+        let k_uni = Kernel::from_asm("uni", &uniform).unwrap();
+        let launch = Launch::new(1024, 256, vec![]);
+        let c_div = gpu(1).launch(&k_div, &launch).unwrap().cycles;
+        let c_uni = gpu(1).launch(&k_uni, &launch).unwrap().cycles;
+        assert!(
+            c_div > c_uni,
+            "divergence must cost cycles: {c_div} vs {c_uni}"
+        );
+    }
+
+    #[test]
+    fn cache_hits_make_reuse_cheap() {
+        // Sum the same small buffer from every work-item: after warmup
+        // everything hits.
+        let k = Kernel::from_asm(
+            "reuse",
+            "
+            param r2, 0
+            addi  r3, r0, 0    ; i
+            addi  r4, r0, 16   ; count
+            loop:
+            slli  r5, r3, 2
+            add   r5, r5, r2
+            lw    r6, r5, 0
+            add   r7, r7, r6
+            addi  r3, r3, 1
+            blt   r3, r4, loop
+            ret
+            ",
+        )
+        .unwrap();
+        let mut g = gpu(1);
+        g.write_words(0, &[1u32; 16]).unwrap();
+        let stats = g.launch(&k, &Launch::new(512, 512, vec![0])).unwrap();
+        assert!(
+            stats.mem.miss_ratio() < 0.05,
+            "miss ratio {}",
+            stats.mem.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn launch_validation() {
+        let mut g = gpu(1);
+        let k = Kernel::from_asm("k", "ret").unwrap();
+        assert!(matches!(
+            g.launch(&k, &Launch::new(0, 64, vec![])),
+            Err(SimError::BadLaunch(_))
+        ));
+        assert!(matches!(
+            g.launch(&k, &Launch::new(64, 0, vec![])),
+            Err(SimError::BadLaunch(_))
+        ));
+        assert!(matches!(
+            g.launch(&k, &Launch::new(64, 1024, vec![])),
+            Err(SimError::BadLaunch(_))
+        ));
+        assert!(matches!(
+            g.launch(&k, &Launch::new(64, 64, vec![0; 9])),
+            Err(SimError::BadLaunch(_))
+        ));
+        let empty = Kernel {
+            name: "e".into(),
+            program: vec![],
+        };
+        assert!(matches!(
+            g.launch(&empty, &Launch::new(64, 64, vec![])),
+            Err(SimError::BadLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn memory_faults_are_reported() {
+        let mut g = gpu(1);
+        let k = Kernel::from_asm("oob", "lui r1, 0x7fff\nlw r2, r1, 0\nret").unwrap();
+        assert!(matches!(
+            g.launch(&k, &Launch::new(1, 1, vec![])),
+            Err(SimError::MemoryOutOfBounds { .. })
+        ));
+        let k2 = Kernel::from_asm("unaligned", "addi r1, r0, 2\nlw r2, r1, 0\nret").unwrap();
+        assert!(matches!(
+            g.launch(&k2, &Launch::new(1, 1, vec![])),
+            Err(SimError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_kernel_hits_cycle_limit() {
+        let mut cfg = SimtConfig::with_cus(1);
+        cfg.max_cycles = 10_000;
+        let mut g = Gpu::new(cfg, 1024);
+        let k = Kernel::from_asm("spin", "forever: jmp forever").unwrap();
+        assert!(matches!(
+            g.launch(&k, &Launch::new(64, 64, vec![])),
+            Err(SimError::CycleLimit { limit: 10_000 })
+        ));
+    }
+
+    #[test]
+    fn local_memory_is_per_cu_scratch() {
+        let k = Kernel::from_asm(
+            "lram",
+            "
+            lid  r1
+            slli r2, r1, 2
+            addi r3, r0, 7
+            swl  r2, r3, 0
+            lwl  r4, r2, 0
+            param r5, 0
+            gid  r6
+            slli r6, r6, 2
+            add  r5, r5, r6
+            sw   r5, r4, 0
+            ret
+            ",
+        )
+        .unwrap();
+        let mut g = gpu(2);
+        let stats = g.launch(&k, &Launch::new(128, 64, vec![0x4000])).unwrap();
+        let out = g.read_words(0x4000, 128).unwrap();
+        assert!(out.iter().all(|&v| v == 7));
+        assert!(stats.mem.accesses > 0, "global stores went via cache");
+    }
+
+    #[test]
+    fn partial_wavefront_and_group() {
+        // 70 items in groups of 64: one full WF + one 6-item WF.
+        let mut g = gpu(1);
+        let input: Vec<u32> = (0..70).collect();
+        g.write_words(0x1000, &input).unwrap();
+        let k = Kernel::from_asm("incr", INCR).unwrap();
+        let stats = g
+            .launch(&k, &Launch::new(70, 64, vec![0x1000, 0x8000]))
+            .unwrap();
+        assert_eq!(stats.workgroups, 2);
+        let out = g.read_words(0x8000, 70).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+}
+
+#[cfg(test)]
+mod occupancy_tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernels_stall_more_than_compute_bound() {
+        // Pointer-chase-free streaming load kernel vs pure ALU kernel.
+        let mem_kernel = Kernel::from_asm(
+            "stream",
+            "
+            gid r1
+            param r2, 0
+            slli r3, r1, 8    ; stride 256B: one line per lane
+            add r3, r3, r2
+            lw r4, r3, 0
+            ret
+            ",
+        )
+        .unwrap();
+        let alu_kernel = Kernel::from_asm(
+            "alu",
+            "
+            gid r1
+            addi r2, r0, 32
+            loop:
+            add r3, r3, r1
+            addi r2, r2, -1
+            bne r2, r0, loop
+            ret
+            ",
+        )
+        .unwrap();
+        let mut g1 = Gpu::new(SimtConfig::with_cus(1), 1 << 20);
+        let mem = g1.launch(&mem_kernel, &Launch::new(512, 512, vec![0])).unwrap();
+        let mut g2 = Gpu::new(SimtConfig::with_cus(1), 1 << 20);
+        let alu = g2.launch(&alu_kernel, &Launch::new(512, 512, vec![])).unwrap();
+        assert!(
+            mem.occupancy() < alu.occupancy(),
+            "memory-bound occupancy {:.2} must be below compute-bound {:.2}",
+            mem.occupancy(),
+            alu.occupancy()
+        );
+        assert!(alu.occupancy() > 0.8, "ALU loop keeps the CU busy");
+    }
+
+    #[test]
+    fn occupancy_is_zero_for_empty_stats() {
+        assert_eq!(RunStats::default().occupancy(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+
+    /// Producer/consumer across wavefronts in one workgroup: every
+    /// lane publishes a value to LRAM, the group barriers, then each
+    /// lane reads its neighbour's slot.
+    #[test]
+    fn barrier_orders_cross_wavefront_lram_traffic() {
+        let src = "
+            lid   r1
+            addi  r3, r1, 3      ; value = lid + 3
+            slli  r2, r1, 2
+            swl   r2, r3, 0      ; lram[lid] = lid + 3
+            bar
+            wgsize r4
+            addi  r5, r1, 1
+            blt   r5, r4, nowrap ; neighbour = (lid + 1) mod wgsize
+            addi  r5, r0, 0
+            nowrap:
+            slli  r6, r5, 2
+            lwl   r7, r6, 0      ; lram[neighbour]
+            param r8, 0
+            gid   r9
+            slli  r9, r9, 2
+            add   r8, r8, r9
+            sw    r8, r7, 0
+            ret
+        ";
+        let kernel = Kernel::from_asm("exchange", src).unwrap();
+        let mut gpu = Gpu::new(SimtConfig::with_cus(2), 1 << 16);
+        // 256 items in 128-item workgroups: two wavefronts per group,
+        // so correctness requires the barrier to actually wait.
+        let stats = gpu.launch(&kernel, &Launch::new(256, 128, vec![0x400])).unwrap();
+        let out = gpu.read_words(0x400, 256).unwrap();
+        for wg in 0..2u32 {
+            for lid in 0..128u32 {
+                let neighbour = (lid + 1) % 128;
+                let expect = neighbour + 3;
+                assert_eq!(out[(wg * 128 + lid) as usize], expect, "wg {wg} lid {lid}");
+            }
+        }
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn divergent_barrier_is_detected() {
+        let src = "
+            lid  r1
+            andi r2, r1, 1
+            beq  r2, r0, even
+            bar                  ; only odd lanes arrive here
+            even:
+            ret
+        ";
+        let kernel = Kernel::from_asm("divbar", src).unwrap();
+        let mut gpu = Gpu::new(SimtConfig::with_cus(1), 1 << 12);
+        let err = gpu.launch(&kernel, &Launch::new(64, 64, vec![])).unwrap_err();
+        assert!(matches!(err, SimError::DivergentBarrier { .. }), "{err}");
+    }
+
+    #[test]
+    fn single_wavefront_barrier_is_a_noop() {
+        let kernel = Kernel::from_asm("solo", "bar\naddi r1, r0, 7\nret").unwrap();
+        let mut gpu = Gpu::new(SimtConfig::with_cus(1), 1 << 12);
+        let stats = gpu.launch(&kernel, &Launch::new(32, 32, vec![])).unwrap();
+        assert!(stats.cycles > 0, "must not deadlock");
+    }
+
+    #[test]
+    fn early_exiting_wavefront_does_not_deadlock_the_barrier() {
+        // One wavefront of the group returns before the barrier: the
+        // other must still be released (done WFs are excluded).
+        let src = "
+            lid  r1
+            addi r2, r0, 64
+            blt  r1, r2, waiters  ; first WF waits at barrier
+            ret                   ; second WF exits immediately
+            waiters:
+            bar
+            ret
+        ";
+        let kernel = Kernel::from_asm("halfexit", src).unwrap();
+        let mut gpu = Gpu::new(SimtConfig::with_cus(1), 1 << 12);
+        let stats = gpu.launch(&kernel, &Launch::new(128, 128, vec![])).unwrap();
+        assert!(stats.cycles > 0);
+    }
+}

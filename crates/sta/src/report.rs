@@ -1,0 +1,188 @@
+//! Timing report structures.
+
+use ggpu_netlist::timing::PathEndpoint;
+use ggpu_tech::units::{Mhz, Ns};
+use std::fmt;
+
+/// Timing of one representative path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTiming {
+    /// Module owning the path.
+    pub module: String,
+    /// Path name within the module.
+    pub path: String,
+    /// Launch endpoint.
+    pub start: PathEndpoint,
+    /// Capture endpoint.
+    pub end: PathEndpoint,
+    /// Launch delay (clock-to-Q or macro access time).
+    pub launch: Ns,
+    /// Combinational logic delay.
+    pub logic: Ns,
+    /// Annotated route delay (zero pre-layout).
+    pub route: Ns,
+    /// Capture setup requirement.
+    pub setup: Ns,
+    /// Total arrival time (launch + logic + route).
+    pub arrival: Ns,
+    /// Slack against the analysis clock.
+    pub slack: Ns,
+}
+
+impl PathTiming {
+    /// `true` if the path launches from a memory macro — the condition
+    /// GPUPlanner's map checks to decide between memory division and
+    /// pipeline insertion.
+    pub fn is_memory_launched(&self) -> bool {
+        matches!(self.start, PathEndpoint::Macro(_))
+    }
+
+    /// `true` if this path violates timing (negative slack).
+    pub fn is_violating(&self) -> bool {
+        self.slack.value() < 0.0
+    }
+}
+
+impl fmt::Display for PathTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}::{} [{} -> {}] arrival {:.3} (launch {:.3} + logic {:.3} + route {:.3}), slack {:.3}",
+            self.module, self.path, self.start, self.end, self.arrival, self.launch,
+            self.logic, self.route, self.slack
+        )
+    }
+}
+
+/// A full timing report: every analyzed path, sorted by ascending
+/// slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    clock: Mhz,
+    paths: Vec<PathTiming>,
+}
+
+impl TimingReport {
+    /// Builds a report from pre-sorted paths (ascending slack).
+    pub(crate) fn new(clock: Mhz, paths: Vec<PathTiming>) -> Self {
+        Self { clock, paths }
+    }
+
+    /// The clock the analysis ran at.
+    pub fn clock(&self) -> Mhz {
+        self.clock
+    }
+
+    /// All paths, worst slack first.
+    pub fn paths(&self) -> &[PathTiming] {
+        &self.paths
+    }
+
+    /// The critical (worst-slack) path, if any paths exist.
+    pub fn critical(&self) -> Option<&PathTiming> {
+        self.paths.first()
+    }
+
+    /// All timing-violating paths, worst first.
+    pub fn violations(&self) -> impl Iterator<Item = &PathTiming> {
+        self.paths.iter().filter(|p| p.is_violating())
+    }
+
+    /// `true` if every path meets timing.
+    pub fn meets_timing(&self) -> bool {
+        self.paths.iter().all(|p| !p.is_violating())
+    }
+
+    /// Worst negative slack, or zero if timing is met.
+    pub fn wns(&self) -> Ns {
+        self.critical()
+            .map(|c| c.slack.min(Ns::ZERO))
+            .unwrap_or(Ns::ZERO)
+    }
+
+    /// Total negative slack across all violating paths.
+    pub fn tns(&self) -> Ns {
+        self.violations().map(|p| p.slack).sum()
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timing @ {:.0}: {} paths, wns {:.3}, tns {:.3}",
+            self.clock,
+            self.paths.len(),
+            self.wns(),
+            self.tns()
+        )?;
+        for p in self.paths.iter().take(5) {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(name: &str, slack: f64) -> PathTiming {
+        PathTiming {
+            module: "m".into(),
+            path: name.into(),
+            start: PathEndpoint::Register,
+            end: PathEndpoint::Register,
+            launch: Ns::new(0.1),
+            logic: Ns::new(0.5),
+            route: Ns::ZERO,
+            setup: Ns::new(0.045),
+            arrival: Ns::new(0.6),
+            slack: Ns::new(slack),
+        }
+    }
+
+    #[test]
+    fn report_queries() {
+        let r = TimingReport::new(
+            Mhz::new(500.0),
+            vec![path("worst", -0.2), path("bad", -0.1), path("ok", 0.3)],
+        );
+        assert_eq!(r.critical().unwrap().path, "worst");
+        assert_eq!(r.violations().count(), 2);
+        assert!(!r.meets_timing());
+        assert!((r.wns().value() + 0.2).abs() < 1e-12);
+        assert!((r.tns().value() + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_report_meets_timing() {
+        let r = TimingReport::new(Mhz::new(500.0), vec![path("ok", 0.1)]);
+        assert!(r.meets_timing());
+        assert_eq!(r.wns(), Ns::ZERO);
+        assert_eq!(r.tns(), Ns::ZERO);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = TimingReport::new(Mhz::new(500.0), vec![]);
+        assert!(r.critical().is_none());
+        assert!(r.meets_timing());
+    }
+
+    #[test]
+    fn memory_launch_detection() {
+        let mut p = path("m", 0.0);
+        assert!(!p.is_memory_launched());
+        p.start = PathEndpoint::Macro("ram".into());
+        assert!(p.is_memory_launched());
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let r = TimingReport::new(Mhz::new(500.0), vec![path("x", -0.1)]);
+        let s = r.to_string();
+        assert!(s.contains("wns"));
+        assert!(s.contains("m::x"));
+    }
+}

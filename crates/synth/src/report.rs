@@ -1,0 +1,102 @@
+//! Synthesis report: one row of the paper's Table I.
+
+use ggpu_netlist::NetlistStats;
+use ggpu_tech::units::{MilliWatts, Mhz};
+use std::fmt;
+
+/// The result of logic synthesis of one design at one clock — exactly
+/// the columns of the paper's Table I plus timing closure data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Design name.
+    pub design: String,
+    /// Target clock the design was synthesized at.
+    pub clock: Mhz,
+    /// Maximum achievable frequency (zero-slack clock).
+    pub fmax: Option<Mhz>,
+    /// `true` if every path meets timing at `clock`.
+    pub meets_timing: bool,
+    /// Structural statistics (areas, counts).
+    pub stats: NetlistStats,
+    /// Static power.
+    pub leakage: MilliWatts,
+    /// Dynamic power at `clock`.
+    pub dynamic: MilliWatts,
+}
+
+impl SynthesisReport {
+    /// Total power (leakage + dynamic).
+    pub fn total_power(&self) -> MilliWatts {
+        self.leakage + self.dynamic
+    }
+
+    /// Formats the report as a Table-I-style row:
+    /// `area_mm2 mem_mm2 #FF #comb #mem leak_mW dyn_W total_W`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>7.2} {:>7.2} {:>8} {:>8} {:>5} {:>8.2} {:>7.2} {:>7.2}",
+            self.stats.total_area().to_mm2(),
+            self.stats.macro_area.to_mm2(),
+            self.stats.ff_cells,
+            self.stats.comb_cells,
+            self.stats.macro_count,
+            self.leakage.value(),
+            self.dynamic.to_watts(),
+            self.total_power().to_watts(),
+        )
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:.0}: {} (fmax {}, area {:.2} mm2, total {:.2} W)",
+            self.design,
+            self.clock,
+            if self.meets_timing { "MET" } else { "VIOLATED" },
+            match self.fmax {
+                Some(fm) => format!("{fm:.0}"),
+                None => "n/a".to_string(),
+            },
+            self.stats.total_area().to_mm2(),
+            self.total_power().to_watts(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SynthesisReport {
+        SynthesisReport {
+            design: "ggpu_1cu".into(),
+            clock: Mhz::new(500.0),
+            fmax: Some(Mhz::new(501.0)),
+            meets_timing: true,
+            stats: NetlistStats::default(),
+            leakage: MilliWatts::new(4.6),
+            dynamic: MilliWatts::new(1970.0),
+        }
+    }
+
+    #[test]
+    fn total_power_sums() {
+        let r = report();
+        assert!((r.total_power().value() - 1974.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_row_has_eight_columns() {
+        assert_eq!(report().table_row().split_whitespace().count(), 8);
+    }
+
+    #[test]
+    fn display_mentions_timing_state() {
+        let mut r = report();
+        assert!(r.to_string().contains("MET"));
+        r.meets_timing = false;
+        assert!(r.to_string().contains("VIOLATED"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Logic synthesis: statistics rollup, power computation and timing in
+//! one report.
+
+use crate::report::SynthesisReport;
+use ggpu_netlist::stats::design_stats;
+use ggpu_netlist::Design;
+use ggpu_sta::{analyze, max_frequency, StaError};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::error::Error;
+use std::fmt;
+
+/// Problems during synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The design failed structural validation.
+    Invalid(ggpu_netlist::design::ValidateDesignError),
+    /// Timing analysis failed.
+    Sta(StaError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Invalid(e) => write!(f, "invalid design: {e}"),
+            SynthesisError::Sta(e) => write!(f, "timing: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Invalid(e) => Some(e),
+            SynthesisError::Sta(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for SynthesisError {
+    fn from(e: StaError) -> Self {
+        SynthesisError::Sta(e)
+    }
+}
+
+/// Synthesizes `design` at `clock`: validates it, rolls up statistics
+/// and power, and runs timing — producing one Table-I row.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] if the design is structurally invalid,
+/// a macro is outside the compiler range, or a path references a
+/// missing macro.
+pub fn synthesize(
+    design: &Design,
+    tech: &Tech,
+    clock: Mhz,
+) -> Result<SynthesisReport, SynthesisError> {
+    design.validate().map_err(SynthesisError::Invalid)?;
+    let stats = design_stats(design, tech).map_err(StaError::from)?;
+    let report = analyze(design, tech, clock)?;
+    let fmax = max_frequency(design, tech)?;
+    let leakage = stats.total_leakage().to_milliwatts();
+    let dynamic = stats.energy_per_cycle.at_rate(clock);
+    Ok(SynthesisReport {
+        design: design.name().to_string(),
+        clock,
+        fmax,
+        meets_timing: report.meets_timing(),
+        stats,
+        leakage,
+        dynamic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_netlist::module::{CellGroup, Module};
+    use ggpu_tech::stdcell::CellClass;
+
+    fn trivial_design() -> Design {
+        let mut d = Design::new("triv");
+        let id = d.add_module(
+            Module::new("m").with_group(CellGroup::new("r", CellClass::Dff, 100, 0.3)),
+        );
+        d.set_top(id);
+        d
+    }
+
+    #[test]
+    fn synthesize_trivial() {
+        let r = synthesize(&trivial_design(), &Tech::l65(), Mhz::new(500.0)).unwrap();
+        assert!(r.meets_timing);
+        assert_eq!(r.stats.ff_cells, 100);
+        assert!(r.fmax.is_none(), "no timing paths declared");
+        assert!(r.leakage.value() > 0.0);
+        assert!(r.dynamic.value() > 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_clock() {
+        let d = trivial_design();
+        let tech = Tech::l65();
+        let slow = synthesize(&d, &tech, Mhz::new(250.0)).unwrap();
+        let fast = synthesize(&d, &tech, Mhz::new(500.0)).unwrap();
+        let ratio = fast.dynamic / slow.dynamic;
+        assert!((ratio - 2.0).abs() < 1e-9);
+        // Leakage does not scale with clock.
+        assert_eq!(slow.leakage, fast.leakage);
+    }
+
+    #[test]
+    fn invalid_design_is_rejected() {
+        let d = Design::new("empty");
+        assert!(matches!(
+            synthesize(&d, &Tech::l65(), Mhz::new(500.0)),
+            Err(SynthesisError::Invalid(_))
+        ));
+    }
+}

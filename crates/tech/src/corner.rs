@@ -1,0 +1,149 @@
+//! Operating corners.
+//!
+//! Sign-off flows time the design at a slow corner and check power at
+//! a fast one; GPUPlanner's map is corner-relative (the paper: results
+//! "depend mainly on the performance of the memories and of the
+//! standard cells"). [`Corner::apply`] derates a [`crate::Tech`]
+//! bundle with factors typical of a 65 nm LP process spread.
+
+use crate::sram::{MemoryCompiler, SramParams};
+use crate::stdcell::{CellSpec, StdCellLibrary};
+use crate::Tech;
+use std::fmt;
+
+/// A process/voltage/temperature corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Slow process, low voltage, high temperature — timing sign-off.
+    SlowCold,
+    /// Nominal.
+    Typical,
+    /// Fast process, high voltage — leakage/power sign-off.
+    FastHot,
+}
+
+impl Corner {
+    /// Multiplier on every cell and memory delay.
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            Corner::SlowCold => 1.18,
+            Corner::Typical => 1.0,
+            Corner::FastHot => 0.87,
+        }
+    }
+
+    /// Multiplier on static leakage.
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            Corner::SlowCold => 0.55,
+            Corner::Typical => 1.0,
+            Corner::FastHot => 2.4,
+        }
+    }
+
+    /// Multiplier on switching energy (voltage squared).
+    pub fn energy_factor(self) -> f64 {
+        match self {
+            Corner::SlowCold => 0.85,
+            Corner::Typical => 1.0,
+            Corner::FastHot => 1.21,
+        }
+    }
+
+    /// Derates a technology bundle to this corner.
+    pub fn apply(self, tech: &Tech) -> Tech {
+        let df = self.delay_factor();
+        let lf = self.leakage_factor();
+        let ef = self.energy_factor();
+
+        let cells: Vec<CellSpec> = tech
+            .library
+            .iter()
+            .map(|spec| CellSpec {
+                intrinsic_delay: spec.intrinsic_delay * df,
+                drive_res: spec.drive_res * df,
+                setup: spec.setup * df,
+                leakage: spec.leakage * lf,
+                switch_energy: spec.switch_energy * ef,
+                ..*spec
+            })
+            .collect();
+        let library = StdCellLibrary::new(format!("{}_{self}", tech.library.name()), cells);
+
+        let p = *tech.memory_compiler.params();
+        let memory_compiler = MemoryCompiler::new(SramParams {
+            t_fixed: p.t_fixed * df,
+            t_word: p.t_word * df,
+            t_bit: p.t_bit * df,
+            leak_fixed: p.leak_fixed * lf,
+            leak_per_kbit: p.leak_per_kbit * lf,
+            e_fixed: p.e_fixed * ef,
+            e_bit_word: p.e_bit_word * ef,
+            ..p
+        });
+
+        Tech {
+            library,
+            memory_compiler,
+            metal_stack: tech.metal_stack.clone(),
+            wire_load: tech.wire_load,
+        }
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corner::SlowCold => f.write_str("ss"),
+            Corner::Typical => f.write_str("tt"),
+            Corner::FastHot => f.write_str("ff"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramConfig;
+    use crate::stdcell::CellClass;
+
+    #[test]
+    fn slow_corner_is_slower_everywhere() {
+        let tt = Tech::l65();
+        let ss = Corner::SlowCold.apply(&tt);
+        assert!(ss.library.fo4_delay() > tt.library.fo4_delay());
+        let cfg = SramConfig::dual(2048, 32);
+        let m_tt = tt.memory_compiler.compile(cfg).unwrap();
+        let m_ss = ss.memory_compiler.compile(cfg).unwrap();
+        assert!(m_ss.access_time > m_tt.access_time);
+        // Area does not change across corners.
+        assert_eq!(m_ss.area, m_tt.area);
+    }
+
+    #[test]
+    fn fast_corner_leaks_more() {
+        let tt = Tech::l65();
+        let ff = Corner::FastHot.apply(&tt);
+        let dff_tt = tt.library.cell(CellClass::Dff);
+        let dff_ff = ff.library.cell(CellClass::Dff);
+        assert!(dff_ff.leakage > dff_tt.leakage);
+        assert!(dff_ff.intrinsic_delay < dff_tt.intrinsic_delay);
+    }
+
+    #[test]
+    fn typical_is_identity_on_delays() {
+        let tt = Tech::l65();
+        let tt2 = Corner::Typical.apply(&tt);
+        assert_eq!(
+            tt.library.cell(CellClass::Nand2).intrinsic_delay,
+            tt2.library.cell(CellClass::Nand2).intrinsic_delay
+        );
+    }
+
+    #[test]
+    fn corner_names() {
+        assert_eq!(Corner::SlowCold.to_string(), "ss");
+        assert_eq!(Corner::Typical.to_string(), "tt");
+        assert_eq!(Corner::FastHot.to_string(), "ff");
+    }
+}

@@ -1,0 +1,201 @@
+//! Back-end-of-line metal stack model.
+//!
+//! The paper's technology has a nine-layer stack in which M1, M8 and M9
+//! are reserved for power routing; Table II therefore reports signal
+//! wirelength for M2–M7 only. [`MetalStack::l65`] reproduces that
+//! arrangement with per-layer pitch and RC constants typical of a 65 nm
+//! process (lower layers: tight pitch, high resistance; upper layers:
+//! relaxed pitch, low resistance).
+
+use crate::units::{FemtoFarads, KiloOhms, Um};
+use std::fmt;
+
+/// Preferred routing direction of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Horizontal wires.
+    Horizontal,
+    /// Vertical wires.
+    Vertical,
+}
+
+impl Direction {
+    /// The perpendicular direction.
+    pub fn flipped(self) -> Self {
+        match self {
+            Direction::Horizontal => Direction::Vertical,
+            Direction::Vertical => Direction::Horizontal,
+        }
+    }
+}
+
+/// One metal layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalLayer {
+    /// Layer name, e.g. `"M2"`.
+    pub name: String,
+    /// 1-based index counted from the substrate.
+    pub index: u8,
+    /// Preferred routing direction.
+    pub direction: Direction,
+    /// Track pitch.
+    pub pitch: Um,
+    /// Wire resistance per micrometre.
+    pub res_per_um: KiloOhms,
+    /// Wire capacitance per micrometre.
+    pub cap_per_um: FemtoFarads,
+    /// `true` for layers reserved for the power grid (M1, M8, M9 in
+    /// the paper's stack); these never carry signal wirelength.
+    pub power_only: bool,
+}
+
+impl MetalLayer {
+    /// Elmore-style RC delay of an unbuffered wire of `length` on this
+    /// layer (0.5·R·C·L²).
+    pub fn rc_delay(&self, length: Um) -> crate::units::Ns {
+        let l = length.value();
+        0.5 * (self.res_per_um * l) * (self.cap_per_um * l)
+    }
+}
+
+impl fmt::Display for MetalLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A full metal stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalStack {
+    layers: Vec<MetalLayer>,
+}
+
+impl MetalStack {
+    /// Builds a stack from an explicit layer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or indices are not consecutive from 1.
+    pub fn new(layers: Vec<MetalLayer>) -> Self {
+        assert!(!layers.is_empty(), "a metal stack cannot be empty");
+        for (i, layer) in layers.iter().enumerate() {
+            assert_eq!(
+                usize::from(layer.index),
+                i + 1,
+                "layer indices must be consecutive from 1"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The nine-layer 65 nm stack of the paper: M1/M8/M9 power-only,
+    /// M2–M7 signal routing with alternating preferred directions.
+    pub fn l65() -> Self {
+        let layer = |index: u8, pitch: f64, res: f64, cap: f64, power: bool| MetalLayer {
+            name: format!("M{index}"),
+            index,
+            direction: if index.is_multiple_of(2) {
+                Direction::Horizontal
+            } else {
+                Direction::Vertical
+            },
+            pitch: Um::new(pitch),
+            res_per_um: KiloOhms::new(res),
+            cap_per_um: FemtoFarads::new(cap),
+            power_only: power,
+        };
+        Self::new(vec![
+            layer(1, 0.18, 0.00125, 0.195, true),
+            layer(2, 0.20, 0.00105, 0.190, false),
+            layer(3, 0.20, 0.00105, 0.190, false),
+            layer(4, 0.28, 0.00062, 0.200, false),
+            layer(5, 0.28, 0.00062, 0.200, false),
+            layer(6, 0.40, 0.00030, 0.210, false),
+            layer(7, 0.40, 0.00030, 0.210, false),
+            layer(8, 0.80, 0.00009, 0.230, true),
+            layer(9, 0.80, 0.00009, 0.230, true),
+        ])
+    }
+
+    /// All layers, bottom-up.
+    pub fn layers(&self) -> &[MetalLayer] {
+        &self.layers
+    }
+
+    /// The signal (non-power) routing layers, bottom-up.
+    pub fn signal_layers(&self) -> impl Iterator<Item = &MetalLayer> {
+        self.layers.iter().filter(|l| !l.power_only)
+    }
+
+    /// Looks a layer up by name (`"M2"`).
+    pub fn by_name(&self, name: &str) -> Option<&MetalLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the stack has no layers (never true for constructed
+    /// stacks, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l65_shape_matches_paper() {
+        let stack = MetalStack::l65();
+        assert_eq!(stack.len(), 9);
+        let signal: Vec<_> = stack.signal_layers().map(|l| l.name.clone()).collect();
+        assert_eq!(signal, ["M2", "M3", "M4", "M5", "M6", "M7"]);
+        assert!(stack.by_name("M1").unwrap().power_only);
+        assert!(stack.by_name("M8").unwrap().power_only);
+        assert!(stack.by_name("M9").unwrap().power_only);
+    }
+
+    #[test]
+    fn upper_layers_are_faster() {
+        let stack = MetalStack::l65();
+        let m2 = stack.by_name("M2").unwrap();
+        let m7 = stack.by_name("M7").unwrap();
+        let len = Um::new(1000.0);
+        assert!(m7.rc_delay(len) < m2.rc_delay(len));
+    }
+
+    #[test]
+    fn rc_delay_is_quadratic_in_length() {
+        let stack = MetalStack::l65();
+        let m4 = stack.by_name("M4").unwrap();
+        let d1 = m4.rc_delay(Um::new(500.0)).value();
+        let d2 = m4.rc_delay(Um::new(1000.0)).value();
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directions_alternate() {
+        let stack = MetalStack::l65();
+        let m2 = stack.by_name("M2").unwrap();
+        let m3 = stack.by_name("M3").unwrap();
+        assert_ne!(m2.direction, m3.direction);
+        assert_eq!(m2.direction.flipped(), m3.direction);
+    }
+
+    #[test]
+    fn lookup_missing_layer() {
+        assert!(MetalStack::l65().by_name("M10").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn nonconsecutive_indices_rejected() {
+        let mut layers = MetalStack::l65().layers().to_vec();
+        layers[3].index = 9;
+        let _ = MetalStack::new(layers);
+    }
+}

@@ -1,0 +1,363 @@
+//! Strongly-typed physical quantities used throughout the flow.
+//!
+//! All quantities wrap `f64` and carry their unit in the type so that a
+//! delay can never be accidentally added to an area
+//! ([C-NEWTYPE](https://rust-lang.github.io/api-guidelines/type-safety.html)).
+//!
+//! ```
+//! use ggpu_tech::units::{Mhz, Ns};
+//!
+//! let clk = Mhz::new(500.0);
+//! assert_eq!(clk.period(), Ns::new(2.0));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Declares an `f64` newtype with arithmetic, ordering and display.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw `f64` value.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A time interval in nanoseconds.
+    Ns,
+    "ns"
+);
+quantity!(
+    /// A clock frequency in megahertz.
+    Mhz,
+    "MHz"
+);
+quantity!(
+    /// A length in micrometres (layout distances, wirelength).
+    Um,
+    "um"
+);
+quantity!(
+    /// An area in square micrometres.
+    Um2,
+    "um^2"
+);
+quantity!(
+    /// Power in milliwatts.
+    MilliWatts,
+    "mW"
+);
+quantity!(
+    /// Power in nanowatts (per-cell leakage).
+    NanoWatts,
+    "nW"
+);
+quantity!(
+    /// Energy in picojoules (per-event switching energy).
+    PicoJoules,
+    "pJ"
+);
+quantity!(
+    /// Capacitance in femtofarads.
+    FemtoFarads,
+    "fF"
+);
+quantity!(
+    /// Resistance in kilo-ohms.
+    KiloOhms,
+    "kOhm"
+);
+
+impl Mhz {
+    /// Clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    pub fn period(self) -> Ns {
+        assert!(self.0 > 0.0, "frequency must be positive, got {self}");
+        Ns::new(1000.0 / self.0)
+    }
+}
+
+impl Ns {
+    /// Frequency whose period is this interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero or negative.
+    pub fn frequency(self) -> Mhz {
+        assert!(self.0 > 0.0, "period must be positive, got {self}");
+        Mhz::new(1000.0 / self.0)
+    }
+}
+
+impl Um2 {
+    /// Converts to square millimetres (the unit used in the paper's
+    /// Table I).
+    pub fn to_mm2(self) -> f64 {
+        self.0 / 1.0e6
+    }
+
+    /// Constructs an area from square millimetres.
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self(mm2 * 1.0e6)
+    }
+}
+
+impl Um {
+    /// Converts to millimetres.
+    pub fn to_mm(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Mul<Um> for Um {
+    type Output = Um2;
+    fn mul(self, rhs: Um) -> Um2 {
+        Um2::new(self.0 * rhs.0)
+    }
+}
+
+/// RC product: resistance times capacitance gives a delay.
+///
+/// 1 kOhm * 1 fF = 1e3 * 1e-15 s = 1e-12 s = 1e-3 ns.
+impl Mul<FemtoFarads> for KiloOhms {
+    type Output = Ns;
+    fn mul(self, rhs: FemtoFarads) -> Ns {
+        Ns::new(self.0 * rhs.0 * 1.0e-3)
+    }
+}
+
+impl Mul<KiloOhms> for FemtoFarads {
+    type Output = Ns;
+    fn mul(self, rhs: KiloOhms) -> Ns {
+        rhs * self
+    }
+}
+
+impl NanoWatts {
+    /// Converts to milliwatts.
+    pub fn to_milliwatts(self) -> MilliWatts {
+        MilliWatts::new(self.0 * 1.0e-6)
+    }
+}
+
+impl MilliWatts {
+    /// Converts to watts (the unit of the paper's dynamic-power column).
+    pub fn to_watts(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl PicoJoules {
+    /// Power dissipated when this energy is spent once per cycle of the
+    /// given clock: 1 pJ * 1 MHz = 1e-12 J * 1e6 / s = 1e-6 W = 1e-3 mW.
+    pub fn at_rate(self, clock: Mhz) -> MilliWatts {
+        MilliWatts::new(self.0 * clock.value() * 1.0e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_500mhz_is_2ns() {
+        assert!((Mhz::new(500.0).period().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_of_1_5ns_is_667mhz() {
+        let f = Ns::new(1.5).frequency();
+        assert!((f.value() - 666.666).abs() < 1e-2);
+    }
+
+    #[test]
+    fn period_roundtrip() {
+        let f = Mhz::new(590.0);
+        let back = f.period().frequency();
+        assert!((back.value() - f.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn period_of_zero_panics() {
+        let _ = Mhz::new(0.0).period();
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let a = Ns::new(1.0) + Ns::new(0.5);
+        assert_eq!(a, Ns::new(1.5));
+        let b = a - Ns::new(0.25);
+        assert_eq!(b, Ns::new(1.25));
+        assert_eq!(b * 2.0, Ns::new(2.5));
+        assert_eq!(2.0 * b, Ns::new(2.5));
+        assert_eq!(b / 2.0, Ns::new(0.625));
+        assert_eq!(Ns::new(3.0) / Ns::new(1.5), 2.0);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Ns = [Ns::new(0.1), Ns::new(0.2), Ns::new(0.3)]
+            .into_iter()
+            .sum();
+        assert!((total.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_product_is_delay() {
+        // 1 kOhm driving 100 fF is a 0.1 ns RC constant.
+        let d = KiloOhms::new(1.0) * FemtoFarads::new(100.0);
+        assert!((d.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_conversions() {
+        assert!((Um2::from_mm2(4.19).to_mm2() - 4.19).abs() < 1e-12);
+        let a = Um::new(2000.0) * Um::new(500.0);
+        assert!((a.to_mm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_at_rate() {
+        // 2 pJ at 500 MHz = 1 mW.
+        let p = PicoJoules::new(2.0).at_rate(Mhz::new(500.0));
+        assert!((p.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanowatt_conversion() {
+        let mw = NanoWatts::new(4_620_000.0).to_milliwatts();
+        assert!((mw.value() - 4.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Ns::new(1.2345)), "1.23 ns");
+        assert_eq!(format!("{}", Mhz::new(500.0)), "500 MHz");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Ns::new(1.0).max(Ns::new(2.0)), Ns::new(2.0));
+        assert_eq!(Ns::new(1.0).min(Ns::new(2.0)), Ns::new(1.0));
+        assert_eq!(Ns::new(-1.5).abs(), Ns::new(1.5));
+    }
+}

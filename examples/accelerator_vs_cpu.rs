@@ -1,0 +1,52 @@
+//! Should you replace a RISC-V with a G-GPU? Runs a workload on both
+//! simulated targets and reports the raw and per-area speed-ups — the
+//! decision data of the paper's Figs. 5 and 6, for a workload mix you
+//! choose.
+//!
+//! ```text
+//! cargo run --release --example accelerator_vs_cpu [n]
+//! ```
+
+use g_gpu::kernels::{all, scaled_speedup};
+use g_gpu::netlist::stats::design_stats;
+use g_gpu::rtl::{generate, generate_riscv, GgpuConfig, RiscvConfig};
+use g_gpu::tech::Tech;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1024);
+
+    // Area ratio from the same technology models used for synthesis.
+    let tech = Tech::l65();
+    let riscv_area = design_stats(&generate_riscv(&RiscvConfig::default()), &tech)?
+        .total_area();
+    println!("workload size n = {n}\n");
+    println!("{:>14}  {:>10}  {:>9}  {:>9}  {:>10}", "kernel", "riscv cyc", "gpu 1cu", "speedup", "per-area");
+
+    for bench in all() {
+        // Keep the heavy quadratic kernels at a laptop-friendly size.
+        let n = match bench.name {
+            "xcorr" | "parallel_sel" => n.min(512),
+            _ => n,
+        };
+        let rv = bench.run_riscv(n.min(2048))?;
+        let gpu = bench.run_gpu(n, 1)?;
+        let speedup = scaled_speedup(rv.cycles, n.min(2048), gpu.cycles, n);
+        let ggpu_area =
+            design_stats(&generate(&GgpuConfig::with_cus(1)?)?, &tech)?.total_area();
+        let per_area = speedup / (ggpu_area / riscv_area);
+        println!(
+            "{:>14}  {:>10}  {:>9}  {:>8.1}x  {:>9.2}x",
+            bench.name, rv.cycles, gpu.cycles, speedup, per_area
+        );
+    }
+    println!(
+        "\nreading: >1x per-area means the accelerator outperforms simply \
+         tiling the chip with RISC-V cores (paper Fig. 6)."
+    );
+    Ok(())
+}

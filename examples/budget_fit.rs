@@ -1,0 +1,36 @@
+//! "I have X mm² and Y watts — what is the best G-GPU I can have?"
+//! Uses [`GpuPlanner::best_within`] to search the version space under
+//! PPA ceilings, the everyday question the paper's flow exists to
+//! answer.
+//!
+//! ```text
+//! cargo run --release --example budget_fit [area_mm2] [power_w]
+//! ```
+
+use g_gpu::planner::{datasheet, GpuPlanner};
+use g_gpu::tech::Tech;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let area: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let power: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5.0);
+
+    let planner = GpuPlanner::new(Tech::l65());
+    println!("searching for the best G-GPU within {area} mm2 and {power} W...\n");
+    match planner.best_within(area, power)? {
+        Some(version) => {
+            println!(
+                "best fit: {} ({:.2} mm2, {:.2} W, fmax {:.0})",
+                version.spec.version_name(),
+                version.synthesis.stats.total_area().to_mm2(),
+                version.synthesis.total_power().to_watts(),
+                version.synthesis.fmax.expect("planned versions have paths"),
+            );
+            let implemented = planner.implement(&version)?;
+            println!("\n{}", datasheet(&implemented));
+        }
+        None => println!("no version fits — relax the budget or shrink the spec"),
+    }
+    Ok(())
+}

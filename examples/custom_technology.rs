@@ -1,0 +1,48 @@
+//! Retargeting GPUPlanner to a different technology — the paper:
+//! *"our framework can handle any memory and technology with little
+//! effort. The designer only has to give the basic information of the
+//! memory blocks."* This example slows the memory compiler down 15 %
+//! (a low-leakage process corner) and shows how the map's plan and
+//! the reachable frequencies change.
+//!
+//! ```text
+//! cargo run --release --example custom_technology
+//! ```
+
+use g_gpu::planner::{GpuPlanner, Specification};
+use g_gpu::tech::sram::{MemoryCompiler, SramParams};
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The stock 65 nm low-power technology...
+    let stock = Tech::l65();
+    // ...and a corner with 15 % slower memories.
+    let mut slow_params = SramParams::l65lp();
+    slow_params.t_fixed *= 1.15;
+    slow_params.t_word *= 1.15;
+    slow_params.t_bit *= 1.15;
+    let mut slow = Tech::l65();
+    slow.memory_compiler = MemoryCompiler::new(slow_params);
+
+    for (name, tech) in [("stock l65lp", stock), ("slow-memory corner", slow)] {
+        let planner = GpuPlanner::new(tech);
+        println!("{name}:");
+        for freq in [500.0, 590.0, 667.0] {
+            let spec = Specification::new(1, Mhz::new(freq));
+            match planner.plan(&spec) {
+                Ok(v) => println!(
+                    "  {:>3.0} MHz: fmax {:>3.0}, {} divisions, {} pipelines, {:.2} mm2",
+                    freq,
+                    v.synthesis.fmax.map(|f| f.value()).unwrap_or(0.0),
+                    v.plan.divisions.len(),
+                    v.plan.pipelines.len(),
+                    v.synthesis.stats.total_area().to_mm2(),
+                ),
+                Err(e) => println!("  {freq:>3.0} MHz: {e}"),
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Design-space exploration over the paper's 12 versions: for every
+//! CU count and frequency point, show what the frequency map had to do
+//! (which memories were divided, where pipelines were inserted) and
+//! the resulting PPA — the paper's §III/§IV narrative end to end.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use g_gpu::planner::{paper_versions, GpuPlanner};
+use g_gpu::tech::Tech;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let planner = GpuPlanner::new(Tech::l65());
+
+    // Group the 12 versions by CU count so the frequency progression
+    // reads like the paper's Table I.
+    let mut by_cu: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for spec in paper_versions() {
+        let version = planner.plan(&spec)?;
+        let divisions = version.plan.divisions.len();
+        let pipelines = version.plan.pipelines.len();
+        let s = &version.synthesis;
+        by_cu.entry(spec.compute_units).or_default().push(format!(
+            "  @{:>3.0} MHz: {:>6.2} mm2, {:>4} macros, fmax {:>3.0}, {} division(s), {} pipeline(s)",
+            spec.frequency.value(),
+            s.stats.total_area().to_mm2(),
+            s.stats.macro_count,
+            s.fmax.map(|f| f.value()).unwrap_or(0.0),
+            divisions,
+            pipelines,
+        ));
+    }
+    for (cus, lines) in &by_cu {
+        println!("{cus} CU:");
+        for line in lines {
+            println!("{line}");
+        }
+    }
+
+    // Show one full recipe in detail: the 667 MHz single-CU version.
+    let spec = g_gpu::planner::Specification::new(1, g_gpu::tech::units::Mhz::new(667.0));
+    let version = planner.plan(&spec)?;
+    println!("\nrecipe for {}:", spec.version_name());
+    for action in version.plan.actions() {
+        println!("  {action}");
+    }
+
+    // The map also reports when a target is out of reach.
+    let too_fast =
+        g_gpu::planner::Specification::new(1, g_gpu::tech::units::Mhz::new(1200.0));
+    match planner.plan(&too_fast) {
+        Err(e) => println!("\n1.2 GHz request: {e}"),
+        Ok(_) => println!("\n1.2 GHz request unexpectedly succeeded"),
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Exports the generated G-GPU as structural Verilog plus the
+//! frequency-map spreadsheet — the two artifacts a designer takes from
+//! GPUPlanner into a downstream flow.
+//!
+//! ```text
+//! cargo run --release --example export_rtl [cus] [out_dir]
+//! ```
+
+use g_gpu::netlist::to_structural_verilog;
+use g_gpu::planner::{render_map, GpuPlanner, Specification};
+use g_gpu::rtl::{generate, GgpuConfig};
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let cus: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out_dir: PathBuf = args.next().unwrap_or_else(|| "target/rtl".into()).into();
+    fs::create_dir_all(&out_dir)?;
+
+    let tech = Tech::l65();
+    // Baseline RTL + the map toward 667 MHz.
+    let baseline = generate(&GgpuConfig::with_cus(cus)?)?;
+    fs::write(
+        out_dir.join(format!("ggpu_{cus}cu_baseline.v")),
+        to_structural_verilog(&baseline),
+    )?;
+    fs::write(
+        out_dir.join(format!("ggpu_{cus}cu_map_667.csv")),
+        render_map(&baseline, &tech, Mhz::new(667.0))?,
+    )?;
+
+    // Optimized RTL after the DSE applied the map.
+    let planner = GpuPlanner::new(tech);
+    let optimized = planner.plan(&Specification::new(cus, Mhz::new(667.0)))?;
+    fs::write(
+        out_dir.join(format!("ggpu_{cus}cu_667mhz.v")),
+        to_structural_verilog(&optimized.design),
+    )?;
+
+    for entry in fs::read_dir(&out_dir)? {
+        let entry = entry?;
+        println!("{} ({} bytes)", entry.path().display(), entry.metadata()?.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Renders the paper's Fig. 3 comparison: the 1-CU floorplan without
+//! optimizations (500 MHz) next to the memory-divided 667 MHz variant,
+//! as SVG files with macros coloured by role.
+//!
+//! ```text
+//! cargo run --release --example floorplan_svg [out_dir]
+//! ```
+
+use g_gpu::planner::{GpuPlanner, Specification};
+use g_gpu::pnr::to_svg;
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/floorplans".into())
+        .into();
+    fs::create_dir_all(&out_dir)?;
+    let planner = GpuPlanner::new(Tech::l65());
+
+    for freq in [500.0, 667.0] {
+        let spec = Specification::new(1, Mhz::new(freq));
+        let implemented = planner.implement(&planner.plan(&spec)?)?;
+        let path = out_dir.join(format!("1cu_{freq:.0}mhz.svg"));
+        fs::write(&path, to_svg(&implemented.layout))?;
+        let macros: usize = implemented
+            .layout
+            .placements
+            .iter()
+            .map(|p| p.macros.len())
+            .sum();
+        println!(
+            "{}: {} macros placed, chip {:.2} mm2, route delays {:?} -> {}",
+            spec.version_name(),
+            macros,
+            implemented.layout.floorplan.chip.area().to_mm2(),
+            implemented
+                .layout
+                .cu_route_delays
+                .iter()
+                .map(|d| format!("{d:.2}"))
+                .collect::<Vec<_>>(),
+            path.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate one G-GPU version through the full GPUPlanner
+//! flow and print its characteristics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use g_gpu::planner::{GpuPlanner, Specification};
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Pick a technology and a specification: 1 compute unit at
+    //    590 MHz (one of the paper's Table I versions).
+    let planner = GpuPlanner::new(Tech::l65());
+    let spec = Specification::new(1, Mhz::new(590.0));
+
+    // 2. First-order estimate before committing to synthesis.
+    let estimate = planner.estimate(&spec)?;
+    println!(
+        "estimate: baseline fmax {:.0}, ~{:.2} mm2, ~{:.2} W, feasible: {}",
+        estimate.baseline_fmax,
+        estimate.est_area_mm2,
+        estimate.est_power_w,
+        estimate.likely_feasible
+    );
+
+    // 3. Run the design-space exploration and logic synthesis.
+    let version = planner.plan(&spec)?;
+    println!("\nmap advice trace:");
+    for line in &version.trace {
+        println!("  {line}");
+    }
+    println!("\noptimization recipe:");
+    for action in version.plan.actions() {
+        println!("  {action}");
+    }
+    println!(
+        "\nsynthesis: {}\n  (area mem #FF #comb #mem leak dynW totW)\n  {}",
+        version.synthesis,
+        version.synthesis.table_row()
+    );
+
+    // 4. Physical synthesis: floorplan, placement, routing, timing.
+    let implemented = planner.implement(&version)?;
+    println!(
+        "\nlayout: chip {:.2} mm2, wirelength {:.1} mm, achieved clock {:.0}",
+        implemented.layout.floorplan.chip.area().to_mm2(),
+        implemented.layout.wirelength.total().to_mm(),
+        implemented.achieved_clock()
+    );
+    println!("within specification: {}", implemented.within_spec);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the whole G-GPU / GPUPlanner reproduction.
+pub use ggpu_isa as isa;
+pub use ggpu_kernels as kernels;
+pub use ggpu_netlist as netlist;
+pub use ggpu_pnr as pnr;
+pub use ggpu_riscv as riscv;
+pub use ggpu_rtl as rtl;
+pub use ggpu_simt as simt;
+pub use ggpu_sta as sta;
+pub use ggpu_synth as synth;
+pub use ggpu_tech as tech;
+pub use gpuplanner as planner;

@@ -1,0 +1,126 @@
+//! End-to-end integration of the whole GPUPlanner flow: specification
+//! → exploration → logic synthesis → physical synthesis, reproducing
+//! the paper's four physically implemented versions.
+
+use g_gpu::planner::{physical_versions, GpuPlanner, Specification};
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+
+#[test]
+fn the_four_physical_versions_behave_like_the_paper() {
+    let planner = GpuPlanner::new(Tech::l65());
+    let results: Vec<_> = planner.run(&physical_versions());
+    assert_eq!(results.len(), 4);
+    let implemented: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("all four versions implement"))
+        .collect();
+
+    // 1cu@500, 1cu@667 and 8cu@500 close timing at the requested clock.
+    for (i, name) in [(0, "1cu@500"), (1, "1cu@667"), (2, "8cu@500")] {
+        assert!(
+            implemented[i].within_spec,
+            "{name} must close (achieved {})",
+            implemented[i].achieved_clock()
+        );
+    }
+    // 8cu@667 fails on the peripheral-CU routes and lands near 600 MHz.
+    let v8 = &implemented[3];
+    assert!(!v8.within_spec);
+    let achieved = v8.achieved_clock().value();
+    assert!(
+        (540.0..660.0).contains(&achieved),
+        "8cu@667 achieved {achieved}, paper: 600"
+    );
+    // The failing paths are the top-level arbitration routes.
+    let crit = v8.layout.post_route.critical().expect("paths exist");
+    assert!(
+        crit.path.starts_with("arb_cu"),
+        "critical post-route path is {}, expected an arb route",
+        crit.path
+    );
+}
+
+#[test]
+fn eight_cu_layout_has_more_wire_on_every_layer_than_one_cu() {
+    let planner = GpuPlanner::new(Tech::l65());
+    let one = planner
+        .implement(&planner.plan(&Specification::new(1, Mhz::new(500.0))).unwrap())
+        .unwrap();
+    let eight = planner
+        .implement(&planner.plan(&Specification::new(8, Mhz::new(500.0))).unwrap())
+        .unwrap();
+    for layer in ["M2", "M3", "M4", "M5", "M6", "M7"] {
+        assert!(
+            eight.layout.wirelength.layer(layer) > one.layout.wirelength.layer(layer),
+            "{layer}"
+        );
+    }
+}
+
+#[test]
+fn optimized_version_has_more_macros_and_area_but_same_ffs_modulo_pipelines() {
+    let planner = GpuPlanner::new(Tech::l65());
+    let base = planner
+        .plan(&Specification::new(1, Mhz::new(500.0)))
+        .unwrap();
+    let fast = planner
+        .plan(&Specification::new(1, Mhz::new(667.0)))
+        .unwrap();
+    assert!(fast.synthesis.stats.macro_count > base.synthesis.stats.macro_count);
+    assert!(fast.synthesis.stats.total_area() > base.synthesis.stats.total_area());
+    // FF delta is exactly the inserted pipeline registers.
+    let delta = fast.synthesis.stats.ff_cells - base.synthesis.stats.ff_cells;
+    let pipelines = fast.plan.pipelines.len() as u64;
+    assert_eq!(delta, pipelines * g_gpu::synth::PIPELINE_WIDTH_BITS);
+}
+
+#[test]
+fn rebuilt_design_synthesizes_identically() {
+    let planner = GpuPlanner::new(Tech::l65());
+    let spec = Specification::new(2, Mhz::new(590.0));
+    let planned = planner.plan(&spec).unwrap();
+    let rebuilt = planner.rebuild(&spec, &planned.plan).unwrap();
+    let report =
+        g_gpu::synth::synthesize(&rebuilt, planner.tech(), spec.frequency).unwrap();
+    assert_eq!(report.stats, planned.synthesis.stats);
+    assert_eq!(report.meets_timing, planned.synthesis.meets_timing);
+}
+
+#[test]
+fn power_ceiling_flags_hot_versions() {
+    let planner = GpuPlanner::new(Tech::l65());
+    // An 8-CU version dissipates over 10 W; a 5 W ceiling must fail.
+    let spec = Specification::new(8, Mhz::new(500.0)).with_max_power_w(5.0);
+    let implemented = planner.implement(&planner.plan(&spec).unwrap()).unwrap();
+    assert!(!implemented.within_spec);
+    // The same version with a generous ceiling passes.
+    let spec_ok = Specification::new(8, Mhz::new(500.0)).with_max_power_w(50.0);
+    let implemented_ok = planner.implement(&planner.plan(&spec_ok).unwrap()).unwrap();
+    assert!(implemented_ok.within_spec);
+}
+
+#[test]
+fn replicating_the_memory_controller_rescues_8cu_at_667mhz() {
+    // The paper's future-work proposal, implemented: "replicating the
+    // general memory controller, shortening the distance between the
+    // peripheral CUs". With two controller replicas the 8-CU design
+    // must close a higher clock than with one.
+    let planner = GpuPlanner::new(Tech::l65());
+    let single = planner
+        .implement(&planner.plan(&Specification::new(8, Mhz::new(667.0))).unwrap())
+        .unwrap();
+    let spec2 = Specification::new(8, Mhz::new(667.0)).with_memory_controllers(2);
+    let doubled = planner.implement(&planner.plan(&spec2).unwrap()).unwrap();
+    assert!(!single.within_spec, "single controller caps out");
+    assert!(
+        doubled.achieved_clock().value() > single.achieved_clock().value() + 20.0,
+        "replication must shorten the worst routes: {} vs {}",
+        doubled.achieved_clock(),
+        single.achieved_clock()
+    );
+    // The fix costs area: a second controller's macros and logic.
+    let area_1 = single.planned.synthesis.stats.total_area();
+    let area_2 = doubled.planned.synthesis.stats.total_area();
+    assert!(area_2 > area_1);
+}
