@@ -1,40 +1,41 @@
-//! Criterion benches of the Table III machinery: both simulators
-//! running the evaluation kernels at reduced (CI-friendly) sizes.
+//! Micro-benchmarks of the Table III machinery: both simulators
+//! running the evaluation kernels at reduced (CI-friendly) sizes,
+//! plus the parallel multi-kernel sweep. Criterion-free
+//! (`ggpu_bench::timer`) so the workspace builds with no network
+//! access; run with `cargo bench -p ggpu-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ggpu_kernels::all;
+use ggpu_bench::timer::Suite;
+use ggpu_kernels::{all, run_gpu_suite};
 use std::hint::black_box;
 
-fn bench_gpu_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simt");
-    group.sample_size(10);
+fn main() {
+    let mut suite = Suite::new("kernels", 10);
+
     for bench in all() {
         // Quadratic kernels get smaller sizes to keep wall time sane.
         let n = match bench.name {
             "xcorr" | "parallel_sel" => 256,
             _ => 2048,
         };
-        group.bench_function(format!("{}/{n}/2cu", bench.name), |b| {
-            b.iter(|| bench.run_gpu(black_box(n), 2).expect("runs and verifies"));
+        suite.bench(format!("simt/{}/{n}/2cu", bench.name), || {
+            bench.run_gpu(black_box(n), 2).expect("runs and verifies")
         });
     }
-    group.finish();
-}
 
-fn bench_riscv_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("riscv");
-    group.sample_size(10);
     for bench in all() {
         let n = match bench.name {
             "xcorr" | "parallel_sel" => 128,
             _ => 512,
         };
-        group.bench_function(format!("{}/{n}", bench.name), |b| {
-            b.iter(|| bench.run_riscv(black_box(n)).expect("runs and verifies"));
+        suite.bench(format!("riscv/{}/{n}", bench.name), || {
+            bench.run_riscv(black_box(n)).expect("runs and verifies")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_gpu_kernels, bench_riscv_kernels);
-criterion_main!(benches);
+    // The threaded seven-kernel sweep (Fig. 6 machinery) end to end.
+    suite.bench("simt/suite/7-kernels/2cu/threads", || {
+        run_gpu_suite(&all(), 512, 2).expect("sweep runs")
+    });
+
+    suite.finish();
+}

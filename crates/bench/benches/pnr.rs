@@ -1,44 +1,36 @@
-//! Criterion benches of the physical flow (Table II / Figs. 3-4
+//! Micro-benchmarks of the physical flow (Table II / Figs. 3-4
 //! machinery): floorplan, placement, routing and post-route timing.
+//! Criterion-free (`ggpu_bench::timer`) so the workspace builds with
+//! no network access; run with `cargo bench -p ggpu-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ggpu_bench::timer::Suite;
 use ggpu_pnr::{build_floorplan, place_and_route, DensityTargets, PnrOptions};
 use ggpu_rtl::{generate, GgpuConfig};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
 use std::hint::black_box;
 
-fn bench_floorplan(c: &mut Criterion) {
+fn main() {
     let tech = Tech::l65();
-    let design = generate(&GgpuConfig::with_cus(8).expect("valid")).expect("generates");
-    c.bench_function("floorplan/8cu", |b| {
-        b.iter(|| {
-            build_floorplan(black_box(&design), &tech, DensityTargets::default())
-                .expect("floorplans")
-        });
-    });
-}
+    let mut suite = Suite::new("pnr", 10);
 
-fn bench_place_and_route(c: &mut Criterion) {
-    let tech = Tech::l65();
-    let mut group = c.benchmark_group("place_and_route");
-    group.sample_size(10);
+    let design8 = generate(&GgpuConfig::with_cus(8).expect("valid")).expect("generates");
+    suite.bench("floorplan/8cu", || {
+        build_floorplan(black_box(&design8), &tech, DensityTargets::default()).expect("floorplans")
+    });
+
     for cus in [1u32, 8] {
         let design = generate(&GgpuConfig::with_cus(cus).expect("valid")).expect("generates");
-        group.bench_function(format!("{cus}cu@500"), |b| {
-            b.iter(|| {
-                place_and_route(
-                    black_box(&design),
-                    &tech,
-                    Mhz::new(500.0),
-                    PnrOptions::default(),
-                )
-                .expect("routes")
-            });
+        suite.bench(format!("place_and_route/{cus}cu@500"), || {
+            place_and_route(
+                black_box(&design),
+                &tech,
+                Mhz::new(500.0),
+                PnrOptions::default(),
+            )
+            .expect("routes")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_floorplan, bench_place_and_route);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,7 +1,9 @@
-//! Criterion benches of the logic-synthesis side of the flow: netlist
+//! Micro-benchmarks of the logic-synthesis side of the flow: netlist
 //! generation, STA, and the full Table-I planning step per version.
+//! Criterion-free (`ggpu_bench::timer`) so the workspace builds with
+//! no network access; run with `cargo bench -p ggpu-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ggpu_bench::timer::Suite;
 use ggpu_rtl::{generate, GgpuConfig};
 use ggpu_sta::max_frequency;
 use ggpu_tech::units::Mhz;
@@ -9,37 +11,29 @@ use ggpu_tech::Tech;
 use gpuplanner::{GpuPlanner, Specification};
 use std::hint::black_box;
 
-fn bench_generate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
+fn main() {
+    let mut suite = Suite::new("synthesis", 10);
+
     for cus in [1u32, 8] {
-        group.bench_function(format!("{cus}cu"), |b| {
-            let cfg = GgpuConfig::with_cus(cus).expect("valid");
-            b.iter(|| generate(black_box(&cfg)).expect("generates"));
+        let cfg = GgpuConfig::with_cus(cus).expect("valid");
+        suite.bench(format!("generate/{cus}cu"), || {
+            generate(black_box(&cfg)).expect("generates")
         });
     }
-    group.finish();
-}
 
-fn bench_sta(c: &mut Criterion) {
     let tech = Tech::l65();
     let design = generate(&GgpuConfig::with_cus(8).expect("valid")).expect("generates");
-    c.bench_function("sta/fmax_8cu", |b| {
-        b.iter(|| max_frequency(black_box(&design), &tech).expect("times"));
+    suite.bench("sta/fmax_8cu", || {
+        max_frequency(black_box(&design), &tech).expect("times")
     });
-}
 
-fn bench_plan(c: &mut Criterion) {
     let planner = GpuPlanner::new(Tech::l65());
-    let mut group = c.benchmark_group("plan");
-    group.sample_size(10);
     for (cus, mhz) in [(1u32, 500.0), (1, 667.0), (8, 667.0)] {
-        group.bench_function(format!("{cus}cu@{mhz:.0}"), |b| {
-            let spec = Specification::new(cus, Mhz::new(mhz));
-            b.iter(|| planner.plan(black_box(&spec)).expect("plans"));
+        let spec = Specification::new(cus, Mhz::new(mhz));
+        suite.bench(format!("plan/{cus}cu@{mhz:.0}"), || {
+            planner.plan(black_box(&spec)).expect("plans")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_generate, bench_sta, bench_plan);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -11,7 +11,12 @@ use gpuplanner::{GpuPlanner, Specification};
 fn main() {
     let planner = GpuPlanner::new(Tech::l65());
     let header: Vec<String> = [
-        "version", "1 GMC: achieved", "area mm2", "2 GMC: achieved", "area mm2", "worst route ns (1->2)",
+        "version",
+        "1 GMC: achieved",
+        "area mm2",
+        "2 GMC: achieved",
+        "area mm2",
+        "worst route ns (1->2)",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -21,8 +26,7 @@ fn main() {
         let mut cells = vec![format!("{cus}cu@667MHz")];
         let mut worst = Vec::new();
         for replicas in [1u32, 2] {
-            let spec = Specification::new(cus, Mhz::new(667.0))
-                .with_memory_controllers(replicas);
+            let spec = Specification::new(cus, Mhz::new(667.0)).with_memory_controllers(replicas);
             let implemented = planner
                 .implement(&planner.plan(&spec).expect("frequency reachable"))
                 .expect("implements");

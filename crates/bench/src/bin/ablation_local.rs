@@ -8,7 +8,12 @@ use ggpu_kernels::bench::{all, mat_mul_local};
 
 fn main() {
     let header: Vec<String> = [
-        "cus", "global cyc", "lram cyc", "speedup", "cache accesses", "lram saved %",
+        "cus",
+        "global cyc",
+        "lram cyc",
+        "speedup",
+        "cache accesses",
+        "lram saved %",
     ]
     .iter()
     .map(|s| s.to_string())

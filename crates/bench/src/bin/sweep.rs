@@ -15,7 +15,14 @@ fn main() {
         .unwrap_or(1);
     let planner = GpuPlanner::new(Tech::l65());
     let header: Vec<String> = [
-        "target MHz", "fmax", "area mm2", "d.area %", "#mem", "divisions", "pipelines", "total W",
+        "target MHz",
+        "fmax",
+        "area mm2",
+        "d.area %",
+        "#mem",
+        "divisions",
+        "pipelines",
+        "total W",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -40,10 +47,7 @@ fn main() {
                 ]);
             }
             Err(PlanError::Dse(e)) => {
-                rows.push(vec![
-                    target.to_string(),
-                    format!("({e})"),
-                ]);
+                rows.push(vec![target.to_string(), format!("({e})")]);
             }
             Err(e) => panic!("{e}"),
         }

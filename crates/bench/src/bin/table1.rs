@@ -12,18 +12,138 @@ type PaperRow = (&'static str, f64, f64, u64, u64, u64, f64, f64, f64);
 
 /// Paper Table I.
 const PAPER: [PaperRow; 12] = [
-    ("1cu@500MHz", 4.19, 2.68, 119_778, 127_826, 51, 4.62, 1.97, 2.055),
-    ("1cu@590MHz", 4.66, 3.15, 120_035, 128_894, 68, 4.73, 2.57, 2.66),
-    ("1cu@667MHz", 4.77, 3.26, 120_035, 130_802, 71, 4.65, 2.62, 2.72),
-    ("2cu@500MHz", 7.45, 4.64, 229_171, 214_243, 93, 8.54, 3.63, 3.77),
-    ("2cu@590MHz", 8.16, 5.34, 229_172, 221_946, 120, 8.73, 4.63, 4.81),
-    ("2cu@667MHz", 8.27, 5.45, 229_172, 222_028, 123, 8.72, 4.69, 4.87),
-    ("4cu@500MHz", 13.84, 8.56, 437_318, 387_246, 177, 16.07, 6.88, 7.14),
-    ("4cu@590MHz", 15.03, 9.72, 436_807, 397_995, 224, 16.41, 8.70, 9.02),
-    ("4cu@667MHz", 15.15, 9.83, 436_807, 398_124, 227, 16.43, 8.75, 9.07),
-    ("8cu@500MHz", 26.51, 16.39, 852_094, 714_256, 345, 30.79, 13.33, 13.86),
-    ("8cu@590MHz", 28.65, 18.49, 850_559, 737_232, 432, 31.25, 16.81, 17.40),
-    ("8cu@667MHz", 28.69, 18.60, 848_511, 730_506, 435, 30.21, 19.10, 19.76),
+    (
+        "1cu@500MHz",
+        4.19,
+        2.68,
+        119_778,
+        127_826,
+        51,
+        4.62,
+        1.97,
+        2.055,
+    ),
+    (
+        "1cu@590MHz",
+        4.66,
+        3.15,
+        120_035,
+        128_894,
+        68,
+        4.73,
+        2.57,
+        2.66,
+    ),
+    (
+        "1cu@667MHz",
+        4.77,
+        3.26,
+        120_035,
+        130_802,
+        71,
+        4.65,
+        2.62,
+        2.72,
+    ),
+    (
+        "2cu@500MHz",
+        7.45,
+        4.64,
+        229_171,
+        214_243,
+        93,
+        8.54,
+        3.63,
+        3.77,
+    ),
+    (
+        "2cu@590MHz",
+        8.16,
+        5.34,
+        229_172,
+        221_946,
+        120,
+        8.73,
+        4.63,
+        4.81,
+    ),
+    (
+        "2cu@667MHz",
+        8.27,
+        5.45,
+        229_172,
+        222_028,
+        123,
+        8.72,
+        4.69,
+        4.87,
+    ),
+    (
+        "4cu@500MHz",
+        13.84,
+        8.56,
+        437_318,
+        387_246,
+        177,
+        16.07,
+        6.88,
+        7.14,
+    ),
+    (
+        "4cu@590MHz",
+        15.03,
+        9.72,
+        436_807,
+        397_995,
+        224,
+        16.41,
+        8.70,
+        9.02,
+    ),
+    (
+        "4cu@667MHz",
+        15.15,
+        9.83,
+        436_807,
+        398_124,
+        227,
+        16.43,
+        8.75,
+        9.07,
+    ),
+    (
+        "8cu@500MHz",
+        26.51,
+        16.39,
+        852_094,
+        714_256,
+        345,
+        30.79,
+        13.33,
+        13.86,
+    ),
+    (
+        "8cu@590MHz",
+        28.65,
+        18.49,
+        850_559,
+        737_232,
+        432,
+        31.25,
+        16.81,
+        17.40,
+    ),
+    (
+        "8cu@667MHz",
+        28.69,
+        18.60,
+        848_511,
+        730_506,
+        435,
+        30.21,
+        19.10,
+        19.76,
+    ),
 ];
 
 fn main() {

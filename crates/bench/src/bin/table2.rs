@@ -11,19 +11,47 @@ use gpuplanner::{physical_versions, GpuPlanner};
 const PAPER: [(&str, [f64; 6]); 4] = [
     (
         "1cu@500MHz",
-        [3_185_110.0, 5_132_356.0, 2_987_163.0, 2_713_788.0, 1_430_594.0, 616_666.0],
+        [
+            3_185_110.0,
+            5_132_356.0,
+            2_987_163.0,
+            2_713_788.0,
+            1_430_594.0,
+            616_666.0,
+        ],
     ),
     (
         "1cu@667MHz",
-        [15_340_072.0, 21_219_705.0, 9_866_798.0, 11_293_663.0, 8_801_517.0, 2_915_533.0],
+        [
+            15_340_072.0,
+            21_219_705.0,
+            9_866_798.0,
+            11_293_663.0,
+            8_801_517.0,
+            2_915_533.0,
+        ],
     ),
     (
         "8cu@500MHz",
-        [20_314_957.0, 27_928_578.0, 19_209_669.0, 21_953_276.0, 14_074_944.0, 6_316_321.0],
+        [
+            20_314_957.0,
+            27_928_578.0,
+            19_209_669.0,
+            21_953_276.0,
+            14_074_944.0,
+            6_316_321.0,
+        ],
     ),
     (
         "8cu@600MHz",
-        [25_637_608.0, 34_890_963.0, 22_387_405.0, 26_355_211.0, 11_111_664.0, 5_315_697.0],
+        [
+            25_637_608.0,
+            34_890_963.0,
+            22_387_405.0,
+            26_355_211.0,
+            11_111_664.0,
+            5_315_697.0,
+        ],
     ),
 ];
 

@@ -20,8 +20,8 @@ const PAPER_KCYCLES: [(&str, u64, u64, u64, u64, u64); 7] = [
 fn main() {
     let data = collect_table3();
     let header: Vec<String> = [
-        "kernel", "n(rv)", "n(gpu)", "rv kcyc", "1cu", "2cu", "4cu", "8cu",
-        "| paper:", "rv", "1cu", "2cu", "4cu", "8cu",
+        "kernel", "n(rv)", "n(gpu)", "rv kcyc", "1cu", "2cu", "4cu", "8cu", "| paper:", "rv",
+        "1cu", "2cu", "4cu", "8cu",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -10,6 +10,8 @@
 //! | `fig6`    | Fig. 6 — speed-up derated by area |
 //! | `layouts` | Figs. 3–4 — floorplan SVGs |
 
+pub mod timer;
+
 use ggpu_kernels::{all, scaled_speedup, Bench};
 use ggpu_netlist::stats::design_stats;
 use ggpu_rtl::{generate_riscv, RiscvConfig};
@@ -61,7 +63,12 @@ impl KernelCycles {
     /// Raw speed-up over the RISC-V for the CU-count index `i`
     /// (the paper's pessimistic input-size scaling).
     pub fn speedup(&self, i: usize) -> f64 {
-        scaled_speedup(self.riscv, self.bench.riscv_n, self.gpu[i], self.bench.gpu_n)
+        scaled_speedup(
+            self.riscv,
+            self.bench.riscv_n,
+            self.gpu[i],
+            self.bench.gpu_n,
+        )
     }
 }
 

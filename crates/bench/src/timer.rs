@@ -1,0 +1,149 @@
+//! Criterion-free micro-benchmark harness.
+//!
+//! The workspace must build with no network access, so the external
+//! `criterion` crate is replaced by this self-contained harness: each
+//! `[[bench]]` target stays `harness = false` and drives a [`Suite`]
+//! directly from `main`. Measurements are wall-clock medians over a
+//! fixed iteration budget (scale with `GGPU_BENCH_ITERS`), printed as
+//! an aligned table — enough fidelity to track the order-of-magnitude
+//! regressions these benches exist to catch.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark row.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Iterations measured.
+    pub iters: u32,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+}
+
+/// A named collection of benchmarks, printed on [`Suite::finish`].
+#[derive(Debug)]
+pub struct Suite {
+    name: &'static str,
+    default_iters: u32,
+    rows: Vec<Measurement>,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Suite {
+    /// A suite with the given default per-bench iteration count
+    /// (overridable globally via `GGPU_BENCH_ITERS`).
+    pub fn new(name: &'static str, default_iters: u32) -> Self {
+        let default_iters = std::env::var("GGPU_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_iters)
+            .max(1);
+        Self {
+            name,
+            default_iters,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Times `f` over the suite's iteration budget (plus one warm-up
+    /// iteration) and records the result.
+    pub fn bench<T>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> T) {
+        let iters = self.default_iters;
+        std::hint::black_box(f()); // warm-up
+        let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / iters;
+        let row = Measurement {
+            name: name.into(),
+            iters,
+            median,
+            min,
+            mean,
+        };
+        eprintln!(
+            "  {:<40} median {:>12}  (n={})",
+            row.name,
+            fmt_duration(row.median),
+            row.iters
+        );
+        self.rows.push(row);
+    }
+
+    /// The measurements so far.
+    pub fn rows(&self) -> &[Measurement] {
+        &self.rows
+    }
+
+    /// Prints the result table.
+    pub fn finish(self) {
+        println!("\n== {} ==", self.name);
+        println!(
+            "{:<40} {:>7} {:>14} {:>14} {:>14}",
+            "benchmark", "iters", "median", "min", "mean"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<40} {:>7} {:>14} {:>14} {:>14}",
+                r.name,
+                r.iters,
+                fmt_duration(r.median),
+                fmt_duration(r.min),
+                fmt_duration(r.mean)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut s = Suite::new("t", 3);
+        s.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(s.rows().len(), 1);
+        let r = &s.rows()[0];
+        assert!(r.min <= r.median);
+        assert!(r.median > Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -75,8 +75,7 @@ fn parse_imm(tok: &str, line: usize) -> Result<i16, AssembleError> {
         tok.parse::<i32>()
     }
     .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
-    i16::try_from(value)
-        .map_err(|_| err(line, format!("immediate `{tok}` out of 16-bit range")))
+    i16::try_from(value).map_err(|_| err(line, format!("immediate `{tok}` out of 16-bit range")))
 }
 
 fn alu_op(name: &str) -> Option<AluOp> {

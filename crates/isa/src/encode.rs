@@ -59,11 +59,17 @@ fn alu_index(op: AluOp) -> u32 {
 }
 
 fn cond_index(c: BranchCond) -> u32 {
-    BRANCH_CONDS.iter().position(|&o| o == c).expect("known cond") as u32
+    BRANCH_CONDS
+        .iter()
+        .position(|&o| o == c)
+        .expect("known cond") as u32
 }
 
 fn id_index(s: IdSource) -> u32 {
-    ID_SOURCES.iter().position(|&o| o == s).expect("known source") as u32
+    ID_SOURCES
+        .iter()
+        .position(|&o| o == s)
+        .expect("known source") as u32
 }
 
 fn pack(opcode: u32, a: u32, b: u32, imm: u32) -> u32 {
@@ -224,12 +230,31 @@ mod tests {
             Inst::Ret,
             Inst::Bar,
             Inst::Jmp { target: 123 },
-            Inst::Lui { rd: r(5), imm: 0xABCD },
+            Inst::Lui {
+                rd: r(5),
+                imm: 0xABCD,
+            },
             Inst::Param { rd: r(7), idx: 3 },
-            Inst::Lw { rd: r(1), rs1: r(2), imm: -4 },
-            Inst::Sw { rs1: r(3), rs2: r(4), imm: 8 },
-            Inst::Lwl { rd: r(1), rs1: r(2), imm: 0 },
-            Inst::Swl { rs1: r(3), rs2: r(4), imm: 12 },
+            Inst::Lw {
+                rd: r(1),
+                rs1: r(2),
+                imm: -4,
+            },
+            Inst::Sw {
+                rs1: r(3),
+                rs2: r(4),
+                imm: 8,
+            },
+            Inst::Lwl {
+                rd: r(1),
+                rs1: r(2),
+                imm: 0,
+            },
+            Inst::Swl {
+                rs1: r(3),
+                rs2: r(4),
+                imm: 12,
+            },
         ];
         for op in super::ALU_OPS {
             v.push(Inst::Alu {

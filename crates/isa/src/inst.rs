@@ -317,8 +317,18 @@ mod tests {
     #[test]
     fn classification() {
         let r = Reg::new(1);
-        assert!(Inst::Lw { rd: r, rs1: r, imm: 0 }.is_global_mem());
-        assert!(!Inst::Lwl { rd: r, rs1: r, imm: 0 }.is_global_mem());
+        assert!(Inst::Lw {
+            rd: r,
+            rs1: r,
+            imm: 0
+        }
+        .is_global_mem());
+        assert!(!Inst::Lwl {
+            rd: r,
+            rs1: r,
+            imm: 0
+        }
+        .is_global_mem());
         assert!(Inst::Ret.is_control());
         assert!(AluOp::Divu.is_long_latency());
         assert!(!AluOp::Add.is_long_latency());

@@ -4,73 +4,138 @@
 
 use ggpu_isa::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
 use ggpu_isa::{assemble, decode, encode};
-use proptest::prelude::*;
+use ggpu_prop::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.u32_in(0, 31) as u8)
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Divu),
-        Just(AluOp::Remu), Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor),
-        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra), Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-    ]
-}
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
 
-fn arb_cond() -> impl Strategy<Value = BranchCond> {
-    prop_oneof![
-        Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
-        Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu),
-    ]
-}
+const CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
 
-fn arb_id() -> impl Strategy<Value = IdSource> {
-    prop_oneof![
-        Just(IdSource::GlobalId), Just(IdSource::LocalId), Just(IdSource::GroupId),
-        Just(IdSource::GroupSize), Just(IdSource::GlobalSize),
-    ]
-}
+const IDS: [IdSource; 5] = [
+    IdSource::GlobalId,
+    IdSource::LocalId,
+    IdSource::GroupId,
+    IdSource::GroupSize,
+    IdSource::GlobalSize,
+];
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
-        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-        (arb_reg(), arb_id()).prop_map(|(rd, src)| Inst::ReadId { rd, src }),
-        (arb_reg(), 0u8..8).prop_map(|(rd, idx)| Inst::Param { rd, idx }),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Inst::Lw { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs1, rs2, imm)| Inst::Sw { rs1, rs2, imm }),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Inst::Lwl { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs1, rs2, imm)| Inst::Swl { rs1, rs2, imm }),
-        (arb_cond(), arb_reg(), arb_reg(), 0u32..65_536)
-            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
-        (0u32..65_536).prop_map(|target| Inst::Jmp { target }),
-        Just(Inst::Ret),
-    ]
-}
-
-#[allow(clippy::manual_checked_ops)] // reference mirrors ISA div-by-zero semantics
-mod props {
-use super::*;
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst()) {
-        prop_assert_eq!(decode(encode(inst)).expect("encodable"), inst);
+fn arb_inst(rng: &mut Rng) -> Inst {
+    match rng.u32_in(0, 11) {
+        0 => Inst::Alu {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+        },
+        1 => Inst::AluImm {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.any_i16(),
+        },
+        2 => Inst::Lui {
+            rd: arb_reg(rng),
+            imm: rng.any_u16(),
+        },
+        3 => Inst::ReadId {
+            rd: arb_reg(rng),
+            src: rng.pick_copy(&IDS),
+        },
+        4 => Inst::Param {
+            rd: arb_reg(rng),
+            idx: rng.u32_in(0, 7) as u8,
+        },
+        5 => Inst::Lw {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.any_i16(),
+        },
+        6 => Inst::Sw {
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            imm: rng.any_i16(),
+        },
+        7 => Inst::Lwl {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.any_i16(),
+        },
+        8 => Inst::Swl {
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            imm: rng.any_i16(),
+        },
+        9 => Inst::Branch {
+            cond: rng.pick_copy(&CONDS),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            target: rng.u32_in(0, 65_535),
+        },
+        10 => Inst::Jmp {
+            target: rng.u32_in(0, 65_535),
+        },
+        _ => Inst::Ret,
     }
+}
 
-    #[test]
-    fn alu_ops_match_reference_semantics(op in arb_alu_op(), a: u32, b: u32) {
+#[test]
+fn encode_decode_roundtrip() {
+    cases(512, |rng| {
+        let inst = arb_inst(rng);
+        assert_eq!(decode(encode(inst)).expect("encodable"), inst);
+    });
+}
+
+#[test]
+#[allow(clippy::manual_checked_ops)] // reference mirrors ISA div-by-zero semantics
+fn alu_ops_match_reference_semantics() {
+    cases(512, |rng| {
+        let op = rng.pick_copy(&ALU_OPS);
+        let a = rng.any_u32();
+        let b = rng.any_u32();
         let v = op.apply(a, b);
         let expect = match op {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Divu => if b == 0 { u32::MAX } else { a / b },
-            AluOp::Remu => if b == 0 { a } else { a % b },
+            AluOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
@@ -80,11 +145,16 @@ proptest! {
             AluOp::Slt => u32::from((a as i32) < (b as i32)),
             AluOp::Sltu => u32::from(a < b),
         };
-        prop_assert_eq!(v, expect);
-    }
+        assert_eq!(v, expect);
+    });
+}
 
-    #[test]
-    fn assembler_and_encoder_agree_on_alu(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+#[test]
+fn assembler_and_encoder_agree_on_alu() {
+    cases(256, |rng| {
+        let rd = rng.u32_in(0, 31) as u8;
+        let rs1 = rng.u32_in(0, 31) as u8;
+        let rs2 = rng.u32_in(0, 31) as u8;
         let text = format!("add r{rd}, r{rs1}, r{rs2}");
         let prog = assemble(&text).expect("valid text");
         let expect = Inst::Alu {
@@ -93,31 +163,41 @@ proptest! {
             rs1: Reg::new(rs1),
             rs2: Reg::new(rs2),
         };
-        prop_assert_eq!(prog[0], expect);
-    }
+        assert_eq!(prog[0], expect);
+    });
 }
 
-}
-
-proptest! {
-    /// Any random (label-free straight-line) program survives a full
-    /// disassemble -> reassemble trip.
-    #[test]
-    fn disassembly_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+/// Any random (label-free straight-line) program survives a full
+/// disassemble -> reassemble trip.
+#[test]
+fn disassembly_roundtrip() {
+    cases(256, |rng| {
+        let insts = rng.vec_of(1..=39, arb_inst);
         // Clamp control-flow targets into the program so the
         // disassembler can label them.
         let len = insts.len() as u32;
         let prog: Vec<Inst> = insts
             .into_iter()
             .map(|i| match i {
-                Inst::Branch { cond, rs1, rs2, target } =>
-                    Inst::Branch { cond, rs1, rs2, target: target % (len + 1) },
-                Inst::Jmp { target } => Inst::Jmp { target: target % (len + 1) },
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: target % (len + 1),
+                },
+                Inst::Jmp { target } => Inst::Jmp {
+                    target: target % (len + 1),
+                },
                 other => other,
             })
             .collect();
         let text = ggpu_isa::disassemble(&prog);
         let back = assemble(&text).expect("disassembly must reassemble");
-        prop_assert_eq!(back, prog);
-    }
+        assert_eq!(back, prog);
+    });
 }

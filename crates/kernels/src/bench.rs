@@ -9,6 +9,9 @@ use ggpu_riscv::{assemble as rv_assemble, AssembleRvError, Cpu, CpuError, CpuSta
 use ggpu_simt::{Gpu, Kernel, Launch, RunStats, SimError, SimtConfig};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
 /// Which benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -249,7 +252,28 @@ impl Bench {
     /// Returns [`BenchError`] on simulation faults or output
     /// mismatches.
     pub fn run_gpu_with(&self, n: u32, config: SimtConfig) -> Result<RunStats, BenchError> {
-        if self.kind == Kind::MatMulLocal && n % 64 != 0 {
+        self.run_gpu_inner(n, config, false)
+    }
+
+    /// Runs the kernel under the retained cycle-stepping reference
+    /// scheduler ([`ggpu_simt::Gpu::launch_reference`]) — the
+    /// validation oracle the event-driven core is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] on simulation faults or output
+    /// mismatches.
+    pub fn run_gpu_reference(&self, n: u32, cus: u32) -> Result<RunStats, BenchError> {
+        self.run_gpu_inner(n, SimtConfig::with_cus(cus), true)
+    }
+
+    fn run_gpu_inner(
+        &self,
+        n: u32,
+        config: SimtConfig,
+        reference: bool,
+    ) -> Result<RunStats, BenchError> {
+        if self.kind == Kind::MatMulLocal && !n.is_multiple_of(64) {
             return Err(BenchError::Gpu(SimError::BadLaunch(
                 "mat_mul_local requires full wavefronts (n % 64 == 0)".into(),
             )));
@@ -262,12 +286,13 @@ impl Bench {
         }
         let kernel = Kernel::from_asm(self.name, self.gpu_asm()).map_err(BenchError::GpuAsm)?;
         let wg = n.min(256);
-        let launch = Launch::new(
-            n,
-            wg,
-            vec![n, GPU_A, GPU_B, GPU_OUT, self.extra(n)],
-        );
-        let stats = gpu.launch(&kernel, &launch).map_err(BenchError::Gpu)?;
+        let launch = Launch::new(n, wg, vec![n, GPU_A, GPU_B, GPU_OUT, self.extra(n)]);
+        let stats = if reference {
+            gpu.launch_reference(&kernel, &launch)
+        } else {
+            gpu.launch(&kernel, &launch)
+        }
+        .map_err(BenchError::Gpu)?;
         let golden = self.golden(n);
         let out = gpu
             .read_words(GPU_OUT, golden.len())
@@ -304,6 +329,88 @@ impl Bench {
         self.check_output(&golden, &out)?;
         Ok(stats)
     }
+}
+
+/// Number of worker threads for a suite of `jobs` kernels: the
+/// `GGPU_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], clamped to the
+/// job count. The same knob governs the planner's parallel sweep.
+pub fn suite_threads(jobs: usize) -> usize {
+    let configured = std::env::var("GGPU_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let threads =
+        configured.unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+    threads.min(jobs.max(1))
+}
+
+/// Runs every benchmark at size `n` on `cus` compute units, verifying
+/// each against its golden reference, and returns `(name, stats)` in
+/// input order.
+///
+/// Each simulation owns its GPU instance, so the kernels run
+/// concurrently on [`suite_threads`] scoped worker threads (override
+/// with the `GGPU_THREADS` environment variable; `GGPU_THREADS=1`
+/// forces a sequential sweep with identical results).
+///
+/// # Errors
+///
+/// Returns the first [`BenchError`] in input order if any kernel
+/// faults or miscomputes.
+pub fn run_gpu_suite(
+    benches: &[Bench],
+    n: u32,
+    cus: u32,
+) -> Result<Vec<(&'static str, RunStats)>, BenchError> {
+    run_gpu_suite_with_threads(benches, n, cus, suite_threads(benches.len()))
+}
+
+/// [`run_gpu_suite`] on an explicit number of worker threads (`1`
+/// forces the sequential reference behavior).
+///
+/// # Errors
+///
+/// Returns the first [`BenchError`] in input order if any kernel
+/// faults or miscomputes.
+pub fn run_gpu_suite_with_threads(
+    benches: &[Bench],
+    n: u32,
+    cus: u32,
+    threads: usize,
+) -> Result<Vec<(&'static str, RunStats)>, BenchError> {
+    let jobs = benches.len();
+    let mut outcomes: Vec<(usize, Result<RunStats, BenchError>)> = if threads <= 1 || jobs <= 1 {
+        benches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.run_gpu(n, cus)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(Vec::with_capacity(jobs));
+        thread::scope(|scope| {
+            for _ in 0..threads.min(jobs) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let out = benches[i].run_gpu(n, cus);
+                    results
+                        .lock()
+                        .expect("suite worker poisoned")
+                        .push((i, out));
+                });
+            }
+        });
+        results.into_inner().expect("suite worker poisoned")
+    };
+    outcomes.sort_by_key(|(i, _)| *i);
+    outcomes
+        .into_iter()
+        .map(|(i, out)| out.map(|stats| (benches[i].name, stats)))
+        .collect()
 }
 
 /// Computes the paper's pessimistic speed-up: RISC-V cycles scaled by

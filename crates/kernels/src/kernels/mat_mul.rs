@@ -19,10 +19,7 @@ pub const K: u32 = 64;
 /// Builds the `(a, b)` input buffers for `n` output elements
 /// (`a` is `K` columns of `n` values, column-major).
 pub fn inputs(n: u32) -> (Vec<u32>, Vec<u32>) {
-    (
-        data((n * K) as usize, 4, 251),
-        data(K as usize, 5, 251),
-    )
+    (data((n * K) as usize, 4, 251), data(K as usize, 5, 251))
 }
 
 /// Reference output.

@@ -68,7 +68,10 @@ impl fmt::Display for ValidateDesignError {
         match self {
             ValidateDesignError::MissingTop => f.write_str("design has no top module"),
             ValidateDesignError::DanglingChild { parent, instance } => {
-                write!(f, "instance {instance} in {parent} refers to a missing module")
+                write!(
+                    f,
+                    "instance {instance} in {parent} refers to a missing module"
+                )
             }
             ValidateDesignError::InstantiationCycle(m) => {
                 write!(f, "instantiation cycle through module {m}")

@@ -234,12 +234,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "access activity must be in")]
     fn invalid_macro_activity_panics() {
-        let _ = MacroInst::new(
-            "x",
-            SramConfig::dual(64, 8),
-            MemoryRole::Other,
-            -0.1,
-        );
+        let _ = MacroInst::new("x", SramConfig::dual(64, 8), MemoryRole::Other, -0.1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::ids::ModuleId;
 use ggpu_tech::sram::CompileSramError;
 use ggpu_tech::units::{NanoWatts, PicoJoules, Um2};
 use ggpu_tech::Tech;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::{Add, AddAssign};
 
 /// Accumulated statistics of a module subtree or whole design.
@@ -155,8 +155,11 @@ pub fn subtree_stats(
         }
         let mut stats = local_stats(design, id, tech)?;
         // Children with the same target module share one memoized
-        // subtree; count instantiations.
-        let mut counts: HashMap<ModuleId, u64> = HashMap::new();
+        // subtree; count instantiations. BTreeMap, not HashMap: the
+        // accumulation below sums floats, so iteration order must be
+        // deterministic for stats to be bit-for-bit reproducible
+        // across calls (the parallel sweep asserts on this).
+        let mut counts: BTreeMap<ModuleId, u64> = BTreeMap::new();
         for child in &design.module(id).children {
             *counts.entry(child.module).or_insert(0) += 1;
         }

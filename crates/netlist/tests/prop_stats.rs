@@ -4,49 +4,57 @@
 use ggpu_netlist::module::{CellGroup, Instance, MacroInst, MemoryRole, Module};
 use ggpu_netlist::stats::{design_stats, local_stats};
 use ggpu_netlist::Design;
+use ggpu_prop::{cases, Rng};
 use ggpu_tech::sram::SramConfig;
 use ggpu_tech::stdcell::CellClass;
 use ggpu_tech::Tech;
-use proptest::prelude::*;
 
-fn arb_class() -> impl Strategy<Value = CellClass> {
-    prop_oneof![
-        Just(CellClass::Inv), Just(CellClass::Nand2), Just(CellClass::Mux2),
-        Just(CellClass::FullAdder), Just(CellClass::Dff), Just(CellClass::DffEn),
-    ]
+const CLASSES: [CellClass; 6] = [
+    CellClass::Inv,
+    CellClass::Nand2,
+    CellClass::Mux2,
+    CellClass::FullAdder,
+    CellClass::Dff,
+    CellClass::DffEn,
+];
+
+fn arb_leaf(rng: &mut Rng) -> Module {
+    let groups = rng.vec_of(1..=4, |r| {
+        (r.pick_copy(&CLASSES), r.u64_in(1, 4999), r.f64_in(0.0, 1.0))
+    });
+    let macros = rng.vec_of(0..=3, |r| {
+        (r.u32_in(4, 11), r.u32_in(2, 64), r.f64_in(0.0, 1.0))
+    });
+    let mut m = Module::new("leaf");
+    for (i, (class, count, act)) in groups.into_iter().enumerate() {
+        m.groups
+            .push(CellGroup::new(format!("g{i}"), class, count, act));
+    }
+    for (i, (wp, bits, act)) in macros.into_iter().enumerate() {
+        m.macros.push(MacroInst::new(
+            format!("m{i}"),
+            SramConfig::dual(1 << wp, bits),
+            MemoryRole::Other,
+            act,
+        ));
+    }
+    m
 }
 
-fn arb_leaf() -> impl Strategy<Value = Module> {
-    (
-        proptest::collection::vec((arb_class(), 1u64..5000, 0.0f64..=1.0), 1..5),
-        proptest::collection::vec((4u32..=11, 2u32..=64, 0.0f64..=1.0), 0..4),
-    )
-        .prop_map(|(groups, macros)| {
-            let mut m = Module::new("leaf");
-            for (i, (class, count, act)) in groups.into_iter().enumerate() {
-                m.groups.push(CellGroup::new(format!("g{i}"), class, count, act));
-            }
-            for (i, (wp, bits, act)) in macros.into_iter().enumerate() {
-                m.macros.push(MacroInst::new(
-                    format!("m{i}"),
-                    SramConfig::dual(1 << wp, bits),
-                    MemoryRole::Other,
-                    act,
-                ));
-            }
-            m
-        })
-}
-
-proptest! {
-    #[test]
-    fn stats_scale_linearly_with_instance_count(leaf in arb_leaf(), n in 1usize..12) {
+#[test]
+fn stats_scale_linearly_with_instance_count() {
+    cases(128, |rng| {
+        let leaf = arb_leaf(rng);
+        let n = rng.usize_in(1, 11);
         let tech = Tech::l65();
         let mut d = Design::new("t");
         let leaf_id = d.add_module(leaf);
         let mut top = Module::new("top");
         for i in 0..n {
-            top.children.push(Instance { name: format!("u{i}"), module: leaf_id });
+            top.children.push(Instance {
+                name: format!("u{i}"),
+                module: leaf_id,
+            });
         }
         let top_id = d.add_module(top);
         d.set_top(top_id);
@@ -54,17 +62,31 @@ proptest! {
 
         let one = local_stats(&d, leaf_id, &tech).expect("in range");
         let all = design_stats(&d, &tech).expect("in range");
-        prop_assert_eq!(all.ff_cells, one.ff_cells * n as u64);
-        prop_assert_eq!(all.comb_cells, one.comb_cells * n as u64);
-        prop_assert_eq!(all.macro_count, one.macro_count * n as u64);
-        let rel = |a: f64, b: f64| if b == 0.0 { (a - b).abs() } else { (a - b).abs() / b };
-        prop_assert!(rel(all.cell_area.value(), one.cell_area.value() * n as f64) < 1e-9);
-        prop_assert!(rel(all.macro_area.value(), one.macro_area.value() * n as f64) < 1e-9);
-        prop_assert!(rel(all.energy_per_cycle.value(), one.energy_per_cycle.value() * n as f64) < 1e-9);
-    }
+        assert_eq!(all.ff_cells, one.ff_cells * n as u64);
+        assert_eq!(all.comb_cells, one.comb_cells * n as u64);
+        assert_eq!(all.macro_count, one.macro_count * n as u64);
+        let rel = |a: f64, b: f64| {
+            if b == 0.0 {
+                (a - b).abs()
+            } else {
+                (a - b).abs() / b
+            }
+        };
+        assert!(rel(all.cell_area.value(), one.cell_area.value() * n as f64) < 1e-9);
+        assert!(rel(all.macro_area.value(), one.macro_area.value() * n as f64) < 1e-9);
+        assert!(
+            rel(
+                all.energy_per_cycle.value(),
+                one.energy_per_cycle.value() * n as f64
+            ) < 1e-9
+        );
+    });
+}
 
-    #[test]
-    fn deep_and_shallow_composition_agree(leaf in arb_leaf()) {
+#[test]
+fn deep_and_shallow_composition_agree() {
+    cases(128, |rng| {
+        let leaf = arb_leaf(rng);
         // top -> mid -> leaf must equal top -> leaf with the same
         // total multiplicity.
         let tech = Tech::l65();
@@ -72,12 +94,18 @@ proptest! {
         let l = deep.add_module(leaf.clone());
         let mut mid = Module::new("mid");
         for i in 0..3 {
-            mid.children.push(Instance { name: format!("l{i}"), module: l });
+            mid.children.push(Instance {
+                name: format!("l{i}"),
+                module: l,
+            });
         }
         let m = deep.add_module(mid);
         let mut top = Module::new("top");
         for i in 0..2 {
-            top.children.push(Instance { name: format!("m{i}"), module: m });
+            top.children.push(Instance {
+                name: format!("m{i}"),
+                module: m,
+            });
         }
         let t = deep.add_module(top);
         deep.set_top(t);
@@ -86,15 +114,18 @@ proptest! {
         let l2 = flat.add_module(leaf);
         let mut top2 = Module::new("top");
         for i in 0..6 {
-            top2.children.push(Instance { name: format!("l{i}"), module: l2 });
+            top2.children.push(Instance {
+                name: format!("l{i}"),
+                module: l2,
+            });
         }
         let t2 = flat.add_module(top2);
         flat.set_top(t2);
 
         let a = design_stats(&deep, &tech).expect("in range");
         let b = design_stats(&flat, &tech).expect("in range");
-        prop_assert_eq!(a.ff_cells, b.ff_cells);
-        prop_assert_eq!(a.macro_count, b.macro_count);
-        prop_assert!((a.total_area().value() - b.total_area().value()).abs() < 1e-6);
-    }
+        assert_eq!(a.ff_cells, b.ff_cells);
+        assert_eq!(a.macro_count, b.macro_count);
+        assert!((a.total_area().value() - b.total_area().value()).abs() < 1e-6);
+    });
 }

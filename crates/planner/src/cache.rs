@@ -1,0 +1,186 @@
+//! Memoized static timing analysis, shared across design points.
+//!
+//! `best_within` evaluates 24 (CU count, frequency) points, and the
+//! DSE loop behind each point re-times closely related netlists: the
+//! three frequency targets of one CU count share the baseline design
+//! and every common plan prefix. [`StaCache`] memoizes the two pure
+//! STA entry points — `max_frequency` and `analyze` — keyed by a
+//! structural fingerprint of the design (and clock), so concurrent
+//! workers and successive DSE iterations never repeat an analysis.
+
+use ggpu_netlist::Design;
+use ggpu_sta::{analyze, max_frequency, StaError, TimingReport};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Streams formatted output straight into a hasher, so fingerprinting
+/// never materializes the full debug string.
+struct HashWriter<'a, H: Hasher>(&'a mut H);
+
+impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// A 64-bit structural fingerprint of a design under a technology.
+///
+/// Two designs get the same fingerprint iff their full structural
+/// descriptions (modules, cell groups, macro geometries, timing paths,
+/// activities) and the technology agree; STA output is a pure function
+/// of exactly that input. Collisions are birthday-bounded at ~n²/2⁶⁵
+/// for n distinct designs — negligible for the flow's design counts.
+pub fn fingerprint(design: &Design, tech: &Tech) -> u64 {
+    let mut h = DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{design:?}|{tech:?}");
+    h.finish()
+}
+
+/// A thread-safe memo table for STA results.
+///
+/// Cloning a [`crate::GpuPlanner`] shares its cache (it is held behind
+/// an `Arc`), so parallel workers spawned from one planner all hit the
+/// same table.
+#[derive(Default)]
+pub struct StaCache {
+    fmax: Mutex<HashMap<u64, Option<Mhz>>>,
+    reports: Mutex<HashMap<(u64, u64), TimingReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for StaCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StaCache")
+            .field("entries", &self.entries())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl StaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`ggpu_sta::max_frequency`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StaError`] from the underlying analysis (errors
+    /// are not cached).
+    pub fn max_frequency(&self, design: &Design, tech: &Tech) -> Result<Option<Mhz>, StaError> {
+        let key = fingerprint(design, tech);
+        if let Some(v) = self.fmax.lock().expect("sta cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = max_frequency(design, tech)?;
+        self.fmax.lock().expect("sta cache poisoned").insert(key, v);
+        Ok(v)
+    }
+
+    /// Memoized [`ggpu_sta::analyze`] at `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StaError`] from the underlying analysis (errors
+    /// are not cached).
+    pub fn analyze(
+        &self,
+        design: &Design,
+        tech: &Tech,
+        clock: Mhz,
+    ) -> Result<TimingReport, StaError> {
+        let key = (fingerprint(design, tech), clock.value().to_bits());
+        if let Some(r) = self.reports.lock().expect("sta cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = analyze(design, tech, clock)?;
+        self.reports
+            .lock()
+            .expect("sta cache poisoned")
+            .insert(key, r.clone());
+        Ok(r)
+    }
+
+    /// Number of memoized results (both tables).
+    pub fn entries(&self) -> usize {
+        self.fmax.lock().expect("sta cache poisoned").len()
+            + self.reports.lock().expect("sta cache poisoned").len()
+    }
+
+    /// Analyses answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Analyses actually computed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_rtl::{generate, GgpuConfig};
+
+    #[test]
+    fn repeated_analyses_hit_the_cache() {
+        let tech = Tech::l65();
+        let design = generate(&GgpuConfig::with_cus(1).unwrap()).unwrap();
+        let cache = StaCache::new();
+        let f1 = cache.max_frequency(&design, &tech).unwrap();
+        let f2 = cache.max_frequency(&design, &tech).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        let r1 = cache.analyze(&design, &tech, Mhz::new(500.0)).unwrap();
+        let r2 = cache.analyze(&design, &tech, Mhz::new(500.0)).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        // A different clock is a different key.
+        let _ = cache.analyze(&design, &tech, Mhz::new(600.0)).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.entries(), 3);
+    }
+
+    #[test]
+    fn cached_results_match_direct_calls() {
+        let tech = Tech::l65();
+        let design = generate(&GgpuConfig::with_cus(2).unwrap()).unwrap();
+        let cache = StaCache::new();
+        assert_eq!(
+            cache.max_frequency(&design, &tech).unwrap(),
+            max_frequency(&design, &tech).unwrap()
+        );
+        assert_eq!(
+            cache.analyze(&design, &tech, Mhz::new(590.0)).unwrap(),
+            analyze(&design, &tech, Mhz::new(590.0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_structurally_different_designs() {
+        let tech = Tech::l65();
+        let d1 = generate(&GgpuConfig::with_cus(1).unwrap()).unwrap();
+        let d2 = generate(&GgpuConfig::with_cus(2).unwrap()).unwrap();
+        assert_ne!(fingerprint(&d1, &tech), fingerprint(&d2, &tech));
+        assert_eq!(fingerprint(&d1, &tech), fingerprint(&d1.clone(), &tech));
+    }
+}

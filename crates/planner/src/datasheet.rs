@@ -19,7 +19,11 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
     let _ = writeln!(out, "configuration : {}", planned.config);
     let _ = writeln!(out, "within spec   : {}", version.within_spec);
     let _ = writeln!(out);
-    let _ = writeln!(out, "optimization recipe ({} steps):", planned.plan.actions().len());
+    let _ = writeln!(
+        out,
+        "optimization recipe ({} steps):",
+        planned.plan.actions().len()
+    );
     if planned.plan.is_empty() {
         let _ = writeln!(out, "  (baseline, no optimization required)");
     }
@@ -28,8 +32,16 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "logic synthesis:");
-    let _ = writeln!(out, "  total area    : {:>9.2} mm2", s.stats.total_area().to_mm2());
-    let _ = writeln!(out, "  memory area   : {:>9.2} mm2", s.stats.macro_area.to_mm2());
+    let _ = writeln!(
+        out,
+        "  total area    : {:>9.2} mm2",
+        s.stats.total_area().to_mm2()
+    );
+    let _ = writeln!(
+        out,
+        "  memory area   : {:>9.2} mm2",
+        s.stats.macro_area.to_mm2()
+    );
     let _ = writeln!(out, "  flip-flops    : {:>9}", s.stats.ff_cells);
     let _ = writeln!(out, "  combinational : {:>9}", s.stats.comb_cells);
     let _ = writeln!(out, "  memory macros : {:>9}", s.stats.macro_count);
@@ -38,7 +50,9 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
     let _ = writeln!(
         out,
         "  fmax          : {:>9}",
-        s.fmax.map(|f| format!("{f:.0}")).unwrap_or_else(|| "n/a".into())
+        s.fmax
+            .map(|f| format!("{f:.0}"))
+            .unwrap_or_else(|| "n/a".into())
     );
     let _ = writeln!(out);
     let _ = writeln!(out, "physical synthesis:");
@@ -49,12 +63,24 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
         layout.floorplan.chip.h.to_mm(),
         layout.floorplan.chip.area().to_mm2()
     );
-    let _ = writeln!(out, "  wirelength    : {:>9.1} mm", layout.wirelength.total().to_mm());
+    let _ = writeln!(
+        out,
+        "  wirelength    : {:>9.1} mm",
+        layout.wirelength.total().to_mm()
+    );
     for (layer, wl) in layout.wirelength.iter() {
         let _ = writeln!(out, "    {layer:<4}        : {:>9.0} um", wl.value());
     }
     let _ = writeln!(out, "  achieved clock: {:.0}", layout.achieved_clock);
-    let _ = writeln!(out, "  post-route    : {}", if layout.meets_timing { "MET" } else { "VIOLATED" });
+    let _ = writeln!(
+        out,
+        "  post-route    : {}",
+        if layout.meets_timing {
+            "MET"
+        } else {
+            "VIOLATED"
+        }
+    );
     let _ = writeln!(out, "  CU route delays to memory controller:");
     for (i, d) in layout.cu_route_delays.iter().enumerate() {
         let _ = writeln!(out, "    cu{i:<2}        : {:>9.3}", d);
@@ -95,7 +121,11 @@ mod tests {
     fn baseline_datasheet_says_no_recipe() {
         let planner = GpuPlanner::new(Tech::l65());
         let implemented = planner
-            .implement(&planner.plan(&Specification::new(1, Mhz::new(500.0))).unwrap())
+            .implement(
+                &planner
+                    .plan(&Specification::new(1, Mhz::new(500.0)))
+                    .unwrap(),
+            )
             .unwrap();
         assert!(datasheet(&implemented).contains("baseline, no optimization required"));
     }

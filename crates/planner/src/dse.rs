@@ -1,7 +1,8 @@
 //! The design-space-exploration loop: iterate the frequency map's
 //! advice until the target frequency is met.
 
-use crate::map::{advise, Advice};
+use crate::cache::StaCache;
+use crate::map::{advise_with, Advice};
 use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
 use ggpu_synth::{divide_macro, insert_pipeline, DivideAxis, TransformError};
@@ -81,10 +82,14 @@ impl OptimizationPlan {
                 axis: DivideAxis::Words,
             })
             .collect();
-        out.extend(self.pipelines.iter().map(|(module, path)| Action::Pipeline {
-            module: module.clone(),
-            path: path.clone(),
-        }));
+        out.extend(
+            self.pipelines
+                .iter()
+                .map(|(module, path)| Action::Pipeline {
+                    module: module.clone(),
+                    path: path.clone(),
+                }),
+        );
         out
     }
 }
@@ -147,9 +152,7 @@ impl From<StaError> for DseError {
 /// macro name a plan keys on.
 fn original_macro_name(name: &str) -> &str {
     if let Some(pos) = name.rfind("_d") {
-        if name[pos + 2..].chars().all(|c| c.is_ascii_digit())
-            && !name[pos + 2..].is_empty()
-        {
+        if name[pos + 2..].chars().all(|c| c.is_ascii_digit()) && !name[pos + 2..].is_empty() {
             return &name[..pos];
         }
     }
@@ -237,6 +240,25 @@ pub struct Optimized {
 /// Returns [`DseError::Unreachable`] if the advice runs out or stops
 /// making progress before the target is met.
 pub fn optimize_for(base: &Design, tech: &Tech, target: Mhz) -> Result<Optimized, DseError> {
+    optimize_for_with(base, tech, target, &StaCache::new())
+}
+
+/// [`optimize_for`] with timing analyses memoized in `cache`.
+///
+/// Sharing one [`StaCache`] across the exploration of several targets
+/// (and across worker threads) turns the repeated re-timing of common
+/// plan prefixes into table lookups; see [`crate::cache`].
+///
+/// # Errors
+///
+/// Returns [`DseError::Unreachable`] if the advice runs out or stops
+/// making progress before the target is met.
+pub fn optimize_for_with(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+) -> Result<Optimized, DseError> {
     const MAX_ITERS: usize = 64;
     let mut plan = OptimizationPlan::default();
     let mut current = base.clone();
@@ -244,7 +266,7 @@ pub fn optimize_for(base: &Design, tech: &Tech, target: Mhz) -> Result<Optimized
     let mut best = Mhz::new(0.0);
 
     for _ in 0..MAX_ITERS {
-        let advice = advise(&current, tech, target)?;
+        let advice = advise_with(&current, tech, target, cache)?;
         trace.push(advice.to_string());
         match advice {
             Advice::Met { fmax } => {

@@ -2,7 +2,8 @@
 //! estimate → explore → logic synthesis → physical synthesis → PPA
 //! check.
 
-use crate::dse::{apply_plan, optimize_for, DseError, OptimizationPlan};
+use crate::cache::StaCache;
+use crate::dse::{apply_plan, optimize_for_with, DseError, OptimizationPlan};
 use crate::spec::Specification;
 use ggpu_netlist::Design;
 use ggpu_pnr::{place_and_route, Layout, PnrError, PnrOptions};
@@ -13,6 +14,56 @@ use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Number of worker threads for a parallel phase with `jobs` units of
+/// work: the `GGPU_THREADS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`], clamped
+/// to the job count.
+pub fn worker_threads(jobs: usize) -> usize {
+    let configured = std::env::var("GGPU_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let threads =
+        configured.unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+    threads.min(jobs.max(1))
+}
+
+/// Maps `job(0..jobs)` across `threads` scoped workers, returning the
+/// results in job order (as if mapped sequentially).
+///
+/// Work is handed out through an atomic index, so long jobs do not
+/// stall the queue behind them. With `threads <= 1` this degenerates
+/// to a plain sequential map with zero thread overhead.
+fn parallel_map<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(jobs));
+    thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = job(i);
+                results.lock().expect("worker poisoned").push((i, out));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("worker poisoned");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
 
 /// Errors of the end-to-end flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +178,7 @@ impl ImplementedVersion {
 pub struct GpuPlanner {
     tech: Tech,
     pnr_options: PnrOptions,
+    sta_cache: Arc<StaCache>,
 }
 
 impl GpuPlanner {
@@ -135,12 +187,21 @@ impl GpuPlanner {
         Self {
             tech,
             pnr_options: PnrOptions::default(),
+            sta_cache: Arc::new(StaCache::new()),
         }
     }
 
     /// The technology in use.
     pub fn tech(&self) -> &Tech {
         &self.tech
+    }
+
+    /// The planner's STA memo table. Clones of a planner share it, so
+    /// parallel workers and successive sweeps reuse each other's
+    /// analyses; inspect [`StaCache::hits`]/[`StaCache::misses`] for
+    /// effectiveness.
+    pub fn sta_cache(&self) -> &StaCache {
+        &self.sta_cache
     }
 
     /// Overrides the physical-flow options.
@@ -198,7 +259,7 @@ impl GpuPlanner {
     pub fn plan(&self, spec: &Specification) -> Result<PlannedVersion, PlanError> {
         let config = self.config_for(spec)?;
         let base = generate(&config)?;
-        let optimized = optimize_for(&base, &self.tech, spec.frequency)?;
+        let optimized = optimize_for_with(&base, &self.tech, spec.frequency, &self.sta_cache)?;
         let mut design = optimized.design;
         design.set_name(format!(
             "ggpu_{}cu_{:.0}mhz",
@@ -245,12 +306,27 @@ impl GpuPlanner {
     }
 
     /// The "single push of a button": plans and implements a whole
-    /// list of specifications, returning per-version results.
+    /// list of specifications, returning per-version results in spec
+    /// order.
+    ///
+    /// Versions are independent, so they are planned on
+    /// [`worker_threads`] scoped threads (override with the
+    /// `GGPU_THREADS` environment variable); all workers share this
+    /// planner's [`StaCache`].
     pub fn run(&self, specs: &[Specification]) -> Vec<Result<ImplementedVersion, PlanError>> {
-        specs
-            .iter()
-            .map(|spec| self.plan(spec).and_then(|p| self.implement(&p)))
-            .collect()
+        self.run_with_threads(specs, worker_threads(specs.len()))
+    }
+
+    /// [`GpuPlanner::run`] on an explicit number of worker threads
+    /// (`1` forces the sequential reference behavior).
+    pub fn run_with_threads(
+        &self,
+        specs: &[Specification],
+        threads: usize,
+    ) -> Vec<Result<ImplementedVersion, PlanError>> {
+        parallel_map(specs.len(), threads, |i| {
+            self.plan(&specs[i]).and_then(|p| self.implement(&p))
+        })
     }
 
     /// Searches the version space ({1..=8} CUs x the technology's
@@ -261,6 +337,13 @@ impl GpuPlanner {
     /// Returns `None` if no version fits. Unreachable frequencies are
     /// skipped, not errors.
     ///
+    /// The 24 design points are independent, so they are planned on
+    /// [`worker_threads`] scoped threads (override with the
+    /// `GGPU_THREADS` environment variable) sharing this planner's
+    /// [`StaCache`]; the winner is then selected by a deterministic
+    /// sequential reduction in `(CUs, frequency)` order, so the result
+    /// is identical to the single-threaded search.
+    ///
     /// # Errors
     ///
     /// Returns [`PlanError`] only for structural failures (invalid
@@ -270,34 +353,72 @@ impl GpuPlanner {
         max_area_mm2: f64,
         max_power_w: f64,
     ) -> Result<Option<PlannedVersion>, PlanError> {
+        let points = Self::sweep_points();
+        let threads = worker_threads(points.len());
+        self.best_within_with_threads(max_area_mm2, max_power_w, threads)
+    }
+
+    /// The `(CU count, frequency)` grid [`GpuPlanner::best_within`]
+    /// sweeps: {1..=8} CUs x the paper's frequency points, in search
+    /// order.
+    pub fn sweep_points() -> Vec<(u32, f64)> {
+        (1..=8u32)
+            .flat_map(|cus| {
+                crate::versions::PAPER_FREQUENCIES_MHZ
+                    .iter()
+                    .map(move |&mhz| (cus, mhz))
+            })
+            .collect()
+    }
+
+    /// [`GpuPlanner::best_within`] on an explicit number of worker
+    /// threads (`1` forces the sequential reference behavior). The
+    /// winner does not depend on `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] only for structural failures (invalid
+    /// configurations, synthesis errors).
+    pub fn best_within_with_threads(
+        &self,
+        max_area_mm2: f64,
+        max_power_w: f64,
+        threads: usize,
+    ) -> Result<Option<PlannedVersion>, PlanError> {
+        let points = Self::sweep_points();
+        let outcomes = parallel_map(points.len(), threads, |i| {
+            let (cus, mhz) = points[i];
+            let spec = Specification::new(cus, Mhz::new(mhz))
+                .with_max_area_mm2(max_area_mm2)
+                .with_max_power_w(max_power_w);
+            self.plan(&spec)
+        });
+        // Deterministic reduction, identical to the sequential loop:
+        // walk the grid in order, keep the highest throughput (ties
+        // broken by smaller area), propagate the first structural
+        // error.
         let mut best: Option<(f64, PlannedVersion)> = None;
-        for cus in 1..=8u32 {
-            for mhz in crate::versions::PAPER_FREQUENCIES_MHZ {
-                let spec = Specification::new(cus, Mhz::new(mhz))
-                    .with_max_area_mm2(max_area_mm2)
-                    .with_max_power_w(max_power_w);
-                let planned = match self.plan(&spec) {
-                    Ok(p) => p,
-                    Err(PlanError::Dse(_)) => continue,
-                    Err(e) => return Err(e),
-                };
-                let area = planned.synthesis.stats.total_area().to_mm2();
-                let power = planned.synthesis.total_power().to_watts();
-                if area > max_area_mm2 || power > max_power_w {
-                    continue;
+        for ((cus, mhz), outcome) in points.into_iter().zip(outcomes) {
+            let planned = match outcome {
+                Ok(p) => p,
+                Err(PlanError::Dse(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let area = planned.synthesis.stats.total_area().to_mm2();
+            let power = planned.synthesis.total_power().to_watts();
+            if area > max_area_mm2 || power > max_power_w {
+                continue;
+            }
+            let throughput = f64::from(cus) * mhz;
+            let better = match &best {
+                None => true,
+                Some((t, b)) => {
+                    throughput > *t
+                        || (throughput == *t && area < b.synthesis.stats.total_area().to_mm2())
                 }
-                let throughput = f64::from(cus) * mhz;
-                let better = match &best {
-                    None => true,
-                    Some((t, b)) => {
-                        throughput > *t
-                            || (throughput == *t
-                                && area < b.synthesis.stats.total_area().to_mm2())
-                    }
-                };
-                if better {
-                    best = Some((throughput, planned));
-                }
+            };
+            if better {
+                best = Some((throughput, planned));
             }
         }
         Ok(best.map(|(_, p)| p))
@@ -331,7 +452,9 @@ mod tests {
 
     #[test]
     fn plan_1cu_500_has_empty_recipe() {
-        let v = planner().plan(&Specification::new(1, Mhz::new(500.0))).unwrap();
+        let v = planner()
+            .plan(&Specification::new(1, Mhz::new(500.0)))
+            .unwrap();
         assert!(v.plan.is_empty());
         assert!(v.synthesis.meets_timing);
         assert_eq!(v.synthesis.stats.macro_count, 51);
@@ -339,7 +462,9 @@ mod tests {
 
     #[test]
     fn plan_1cu_667_meets_timing_with_divisions() {
-        let v = planner().plan(&Specification::new(1, Mhz::new(667.0))).unwrap();
+        let v = planner()
+            .plan(&Specification::new(1, Mhz::new(667.0)))
+            .unwrap();
         assert!(v.synthesis.meets_timing);
         assert!(!v.plan.divisions.is_empty());
         assert!(v.synthesis.fmax.unwrap().value() >= 667.0);
@@ -445,6 +570,60 @@ mod tests {
 }
 
 #[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares = parallel_map(37, 4, |i| i * i);
+        assert_eq!(squares, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        // Degenerate thread counts fall back to a sequential map.
+        assert_eq!(parallel_map(5, 0, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn worker_threads_clamps_to_jobs() {
+        // Whatever the machine/env supplies, a single job never gets
+        // more than one worker, and zero jobs still get one.
+        assert_eq!(worker_threads(1), 1);
+        assert_eq!(worker_threads(0), 1);
+        assert!(worker_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential() {
+        let p = GpuPlanner::new(Tech::l65());
+        let specs = [
+            Specification::new(1, Mhz::new(500.0)),
+            Specification::new(2, Mhz::new(590.0)),
+            Specification::new(1, Mhz::new(2000.0)), // unreachable
+            Specification::new(1, Mhz::new(667.0)),
+        ];
+        let seq = p.run_with_threads(&specs, 1);
+        let par = p.run_with_threads(&specs, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, q) in seq.iter().zip(&par) {
+            assert_eq!(s, q);
+        }
+        assert!(matches!(par[2], Err(PlanError::Dse(_))));
+    }
+
+    #[test]
+    fn clones_share_the_sta_cache() {
+        let p = GpuPlanner::new(Tech::l65());
+        let clone = p.clone();
+        clone.plan(&Specification::new(1, Mhz::new(500.0))).unwrap();
+        let misses = p.sta_cache().misses();
+        assert!(misses > 0, "clone's analyses land in the shared cache");
+        // Replanning the same spec is answered from the table.
+        p.plan(&Specification::new(1, Mhz::new(500.0))).unwrap();
+        assert_eq!(p.sta_cache().misses(), misses);
+        assert!(p.sta_cache().hits() > 0);
+    }
+}
+
+#[cfg(test)]
 mod best_within_tests {
     use super::*;
 
@@ -485,5 +664,21 @@ mod best_within_tests {
             .best_within(0.5, 0.01)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn parallel_search_returns_the_sequential_winner() {
+        let p = GpuPlanner::new(Tech::l65());
+        let seq = p
+            .best_within_with_threads(5.0, 100.0, 1)
+            .unwrap()
+            .expect("a 1-CU version fits");
+        let par = p
+            .best_within_with_threads(5.0, 100.0, 4)
+            .unwrap()
+            .expect("a 1-CU version fits");
+        assert_eq!(seq.spec, par.spec);
+        assert_eq!(seq.plan, par.plan);
+        assert_eq!(seq.synthesis, par.synthesis);
     }
 }

@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod datasheet;
 pub mod dse;
 pub mod flow;
@@ -34,10 +35,15 @@ pub mod spec;
 pub mod spreadsheet;
 pub mod versions;
 
+pub use cache::{fingerprint, StaCache};
 pub use datasheet::datasheet;
-pub use dse::{apply_plan, optimize_for, Action, DseError, OptimizationPlan, Optimized};
-pub use flow::{GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate};
-pub use map::{advise, Advice};
+pub use dse::{
+    apply_plan, optimize_for, optimize_for_with, Action, DseError, OptimizationPlan, Optimized,
+};
+pub use flow::{
+    worker_threads, GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate,
+};
+pub use map::{advise, advise_with, Advice};
 pub use spec::Specification;
 pub use spreadsheet::{frequency_map, map_to_csv, render_map, MapRow};
 pub use versions::{paper_versions, physical_versions};

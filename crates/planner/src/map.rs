@@ -7,8 +7,9 @@
 //! [`advise`] is that map as a function: it times the design and
 //! returns the next recommended action for a frequency target.
 
+use crate::cache::StaCache;
 use ggpu_netlist::Design;
-use ggpu_sta::{analyze, max_frequency, StaError};
+use ggpu_sta::StaError;
 use ggpu_tech::sram::MIN_WORDS;
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
@@ -80,7 +81,25 @@ impl fmt::Display for Advice {
 ///
 /// Returns [`StaError`] if timing analysis fails.
 pub fn advise(design: &Design, tech: &Tech, target: Mhz) -> Result<Advice, StaError> {
-    let fmax = match max_frequency(design, tech)? {
+    advise_with(design, tech, target, &StaCache::new())
+}
+
+/// [`advise`] with timing analyses memoized in `cache`.
+///
+/// The DSE loop re-times near-identical netlists — the baseline and
+/// every shared plan prefix — once per frequency target; threading one
+/// [`StaCache`] through makes those repeats table lookups.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if timing analysis fails.
+pub fn advise_with(
+    design: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+) -> Result<Advice, StaError> {
+    let fmax = match cache.max_frequency(design, tech)? {
         Some(f) => f,
         None => {
             // No timing paths at all: trivially meets any target.
@@ -90,8 +109,11 @@ pub fn advise(design: &Design, tech: &Tech, target: Mhz) -> Result<Advice, StaEr
     if fmax.value() >= target.value() {
         return Ok(Advice::Met { fmax });
     }
-    let report = analyze(design, tech, target)?;
-    let crit = report.paths().first().expect("paths exist when fmax exists");
+    let report = cache.analyze(design, tech, target)?;
+    let crit = report
+        .paths()
+        .first()
+        .expect("paths exist when fmax exists");
 
     if let ggpu_netlist::timing::PathEndpoint::Macro(name) = &crit.start {
         // Check that the macro can still be divided.

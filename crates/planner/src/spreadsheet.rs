@@ -44,11 +44,7 @@ pub struct MapRow {
 /// # Errors
 ///
 /// Returns [`StaError`] if timing analysis fails.
-pub fn frequency_map(
-    design: &Design,
-    tech: &Tech,
-    target: Mhz,
-) -> Result<Vec<MapRow>, StaError> {
+pub fn frequency_map(design: &Design, tech: &Tech, target: Mhz) -> Result<Vec<MapRow>, StaError> {
     let report = analyze(design, tech, target)?;
     let mut rows = Vec::new();
     for timing in report.paths() {
@@ -205,12 +201,13 @@ mod tests {
         let rows = frequency_map(&base(), &Tech::l65(), Mhz::new(667.0)).unwrap();
         let csv = map_to_csv(&rows);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "module,macro,words,bits,ports,access_ns,slack_ns,divide_by");
+        assert_eq!(
+            lines[0],
+            "module,macro,words,bits,ports,access_ns,slack_ns,divide_by"
+        );
         assert_eq!(lines.len(), rows.len() + 1);
         // Worst slack first.
-        let slack = |line: &str| -> f64 {
-            line.split(',').nth(6).unwrap().parse().unwrap()
-        };
+        let slack = |line: &str| -> f64 { line.split(',').nth(6).unwrap().parse().unwrap() };
         for pair in lines[1..].windows(2) {
             assert!(slack(pair[0]) <= slack(pair[1]));
         }

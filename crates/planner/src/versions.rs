@@ -47,6 +47,8 @@ mod tests {
     fn four_physical_versions_are_the_extremes() {
         let v = physical_versions();
         assert_eq!(v.len(), 4);
-        assert!(v.iter().all(|s| s.compute_units == 1 || s.compute_units == 8));
+        assert!(v
+            .iter()
+            .all(|s| s.compute_units == 1 || s.compute_units == 8));
     }
 }

@@ -100,7 +100,9 @@ impl Floorplan {
     /// Panics if the floorplan has no memory controller (never the
     /// case for floorplans produced by [`build_floorplan`]).
     pub fn gmc(&self) -> &Partition {
-        self.gmcs().next().expect("floorplan has a memory controller")
+        self.gmcs()
+            .next()
+            .expect("floorplan has a memory controller")
     }
 
     /// All memory-controller partitions (more than one when the design
@@ -134,9 +136,7 @@ impl Floorplan {
 pub const PACKING_EFFICIENCY: f64 = 0.72;
 
 fn partition_size(cell_area: Um2, macro_area: Um2, density: f64) -> Um2 {
-    Um2::new(
-        macro_area.value() * MACRO_HALO / PACKING_EFFICIENCY + cell_area.value() / density,
-    )
+    Um2::new(macro_area.value() * MACRO_HALO / PACKING_EFFICIENCY + cell_area.value() / density)
 }
 
 /// Builds the partitioned floorplan for a G-GPU-shaped design.
@@ -200,8 +200,16 @@ pub fn build_floorplan(
     let replicas = gmc_instances.len();
     let body_h = body_h.max(replicas as f64 * (gmc_h + CHANNEL));
 
-    let left_w = if left_count > 0 { cu_side + CHANNEL } else { 0.0 };
-    let right_w = if right_count > 0 { cu_side + CHANNEL } else { 0.0 };
+    let left_w = if left_count > 0 {
+        cu_side + CHANNEL
+    } else {
+        0.0
+    };
+    let right_w = if right_count > 0 {
+        cu_side + CHANNEL
+    } else {
+        0.0
+    };
     let body_w = left_w + gmc_w + CHANNEL + right_w;
     let chip_w = body_w.max(gmc_w + CHANNEL);
     let top_strip_h = (top_area.value() / chip_w).max(60.0);
@@ -304,7 +312,11 @@ mod tests {
         for n in [1, 2, 4, 8] {
             let fp = floorplan(n);
             for p in &fp.partitions {
-                assert!(fp.chip.contains(&p.rect), "{} escapes chip ({n} CUs)", p.name);
+                assert!(
+                    fp.chip.contains(&p.rect),
+                    "{} escapes chip ({n} CUs)",
+                    p.name
+                );
             }
             for (i, a) in fp.partitions.iter().enumerate() {
                 for b in fp.partitions.iter().skip(i + 1) {
@@ -328,10 +340,7 @@ mod tests {
         let max8 = dists.iter().cloned().fold(0.0, f64::max);
         let fp1 = floorplan(1);
         let d1 = fp1.cu_to_gmc_distance(0).unwrap().value();
-        assert!(
-            max8 > 2.0 * d1,
-            "8-CU worst distance {max8} vs 1-CU {d1}"
-        );
+        assert!(max8 > 2.0 * d1, "8-CU worst distance {max8} vs 1-CU {d1}");
         // The paper's failing routes are multi-millimetre.
         assert!(max8 > 2000.0, "worst distance {max8} um");
     }
@@ -368,8 +377,10 @@ mod tests {
         });
         let t = d.add_module(top);
         d.set_top(t);
-        let err =
-            build_floorplan(&d, &Tech::l65(), DensityTargets::default()).unwrap_err();
-        assert!(matches!(err, PnrError::MissingPartition("memory_controller")));
+        let err = build_floorplan(&d, &Tech::l65(), DensityTargets::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            PnrError::MissingPartition("memory_controller")
+        ));
     }
 }

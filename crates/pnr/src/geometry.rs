@@ -92,7 +92,10 @@ mod tests {
     fn overlap() {
         let a = r(0.0, 0.0, 50.0, 50.0);
         assert!(a.overlaps(&r(40.0, 40.0, 50.0, 50.0)));
-        assert!(!a.overlaps(&r(50.0, 0.0, 50.0, 50.0)), "edge touch is not overlap");
+        assert!(
+            !a.overlaps(&r(50.0, 0.0, 50.0, 50.0)),
+            "edge touch is not overlap"
+        );
         assert!(!a.overlaps(&r(200.0, 200.0, 10.0, 10.0)));
     }
 }

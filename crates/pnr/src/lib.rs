@@ -213,8 +213,7 @@ mod tests {
     fn pnr_does_not_mutate_the_design() {
         let d = generate(&GgpuConfig::with_cus(2).unwrap()).unwrap();
         let before = d.clone();
-        let _ =
-            place_and_route(&d, &Tech::l65(), Mhz::new(500.0), PnrOptions::default()).unwrap();
+        let _ = place_and_route(&d, &Tech::l65(), Mhz::new(500.0), PnrOptions::default()).unwrap();
         assert_eq!(d, before);
     }
 

@@ -60,7 +60,10 @@ fn collect_macros(
         out: &mut Vec<(String, MemoryRole, Um, Um)>,
     ) -> Result<(), PnrError> {
         for m in &design.module(module).macros {
-            let compiled = tech.memory_compiler.compile(m.config).map_err(PnrError::Sram)?;
+            let compiled = tech
+                .memory_compiler
+                .compile(m.config)
+                .map_err(PnrError::Sram)?;
             let name = if prefix.is_empty() {
                 m.name.clone()
             } else {
@@ -142,8 +145,7 @@ fn shelf_pack(
             None => {
                 // Open a new shelf; rotate if the macro is wider than
                 // the region.
-                let (w, h) = if region.x.value() + w > right && region.x.value() + h <= right
-                {
+                let (w, h) = if region.x.value() + w > right && region.x.value() + h <= right {
                     (h, w)
                 } else {
                     (w, h)

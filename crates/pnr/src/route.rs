@@ -47,12 +47,7 @@ const LOCAL_PROFILE: [(&str, f64); 6] = [
 
 /// Fraction of global (inter-partition) wirelength per layer; long
 /// routes prefer the fast upper layers.
-const GLOBAL_PROFILE: [(&str, f64); 4] = [
-    ("M4", 0.15),
-    ("M5", 0.35),
-    ("M6", 0.30),
-    ("M7", 0.20),
-];
+const GLOBAL_PROFILE: [(&str, f64); 4] = [("M4", 0.15), ("M5", 0.35), ("M6", 0.30), ("M7", 0.20)];
 
 /// Signal wirelength broken down by metal layer — the paper's
 /// Table II.
@@ -126,8 +121,7 @@ pub fn estimate_wirelength(
         .find(|p| p.kind == crate::floorplan::PartitionKind::Top)
     {
         for cu in floorplan.cus() {
-            global +=
-                TOP_CU_BUS_WIRES * cu.rect.center_distance(&top.rect).value() * ROUTE_DETOUR;
+            global += TOP_CU_BUS_WIRES * cu.rect.center_distance(&top.rect).value() * ROUTE_DETOUR;
         }
     }
     for (layer, frac) in GLOBAL_PROFILE {
@@ -159,7 +153,10 @@ pub fn annotate_routes(design: &mut Design, floorplan: &Floorplan, tech: &Tech) 
                 .map(|g| cu.rect.center_distance(&g.rect))
                 .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite"))
                 .expect("floorplan has a controller");
-            (cu.name.clone(), wire.delay(dist * ROUTE_DETOUR) + ROUTE_OVERHEAD)
+            (
+                cu.name.clone(),
+                wire.delay(dist * ROUTE_DETOUR) + ROUTE_OVERHEAD,
+            )
         })
         .collect();
 
@@ -168,7 +165,11 @@ pub fn annotate_routes(design: &mut Design, floorplan: &Floorplan, tech: &Tech) 
     let mut delays = Vec::with_capacity(cu_delays.len());
     for (cu_name, delay) in &cu_delays {
         // "cu3" -> path "arb_cu3".
-        if let Some(path) = top.paths.iter_mut().find(|p| p.name == format!("arb_{cu_name}")) {
+        if let Some(path) = top
+            .paths
+            .iter_mut()
+            .find(|p| p.name == format!("arb_{cu_name}"))
+        {
             path.route_delay = *delay;
         }
         delays.push(*delay);
@@ -254,7 +255,10 @@ mod tests {
         // route is substantial (multi-millimetre buffered wire).
         let min = delays.iter().cloned().fold(Ns::new(f64::MAX), Ns::min);
         let max = delays.iter().cloned().fold(Ns::ZERO, Ns::max);
-        assert!(max.value() > 1.5 * min.value(), "delay spread {min} .. {max}");
+        assert!(
+            max.value() > 1.5 * min.value(),
+            "delay spread {min} .. {max}"
+        );
         assert!(max.value() > 0.4, "worst route delay {max}");
         // The annotation landed on the arb paths.
         let top = d.module(d.top());

@@ -1,12 +1,14 @@
 //! Property tests of the physical flow over the generator's whole
 //! configuration space: partitions never overlap, macros always land
 //! inside their partition, and wirelength grows with the design.
+//!
+//! The configuration space (cus x gmcs) is small enough to sweep
+//! exhaustively, which is strictly stronger than sampling it.
 
 use ggpu_pnr::{build_floorplan, place_and_route, DensityTargets, PnrOptions};
 use ggpu_rtl::{generate, GgpuConfig};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
-use proptest::prelude::*;
 
 fn config(cus: u32, gmcs: u32) -> GgpuConfig {
     GgpuConfig {
@@ -16,48 +18,54 @@ fn config(cus: u32, gmcs: u32) -> GgpuConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn floorplans_are_always_legal(cus in 1u32..=8, gmcs in 1u32..=2) {
-        let tech = Tech::l65();
-        let design = generate(&config(cus, gmcs)).expect("valid config");
-        let fp = build_floorplan(&design, &tech, DensityTargets::default())
-            .expect("floorplans");
-        prop_assert_eq!(fp.cus().count(), cus as usize);
-        prop_assert_eq!(fp.gmcs().count(), gmcs as usize);
-        for p in &fp.partitions {
-            prop_assert!(fp.chip.contains(&p.rect), "{} escapes chip", p.name);
-        }
-        for (i, a) in fp.partitions.iter().enumerate() {
-            for b in fp.partitions.iter().skip(i + 1) {
-                prop_assert!(!a.rect.overlaps(&b.rect), "{} vs {}", a.name, b.name);
+#[test]
+fn floorplans_are_always_legal() {
+    let tech = Tech::l65();
+    for cus in 1u32..=8 {
+        for gmcs in 1u32..=2 {
+            let design = generate(&config(cus, gmcs)).expect("valid config");
+            let fp =
+                build_floorplan(&design, &tech, DensityTargets::default()).expect("floorplans");
+            assert_eq!(fp.cus().count(), cus as usize);
+            assert_eq!(fp.gmcs().count(), gmcs as usize);
+            for p in &fp.partitions {
+                assert!(fp.chip.contains(&p.rect), "{} escapes chip", p.name);
+            }
+            for (i, a) in fp.partitions.iter().enumerate() {
+                for b in fp.partitions.iter().skip(i + 1) {
+                    assert!(!a.rect.overlaps(&b.rect), "{} vs {}", a.name, b.name);
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn placement_and_routing_always_complete_at_500mhz(cus in 1u32..=8, gmcs in 1u32..=2) {
-        let tech = Tech::l65();
-        let design = generate(&config(cus, gmcs)).expect("valid config");
-        let layout = place_and_route(&design, &tech, Mhz::new(500.0), PnrOptions::default())
-            .expect("flow completes");
-        // Every macro of every partition is inside its outline.
-        for p in &layout.placements {
-            for m in &p.macros {
-                prop_assert!(p.partition.rect.contains(&m.rect), "{}", m.name);
+#[test]
+fn placement_and_routing_always_complete_at_500mhz() {
+    let tech = Tech::l65();
+    for cus in 1u32..=8 {
+        for gmcs in 1u32..=2 {
+            let design = generate(&config(cus, gmcs)).expect("valid config");
+            let layout = place_and_route(&design, &tech, Mhz::new(500.0), PnrOptions::default())
+                .expect("flow completes");
+            // Every macro of every partition is inside its outline.
+            for p in &layout.placements {
+                for m in &p.macros {
+                    assert!(p.partition.rect.contains(&m.rect), "{}", m.name);
+                }
             }
+            // The baseline always closes 500 MHz regardless of CU count.
+            assert!(layout.meets_timing, "fmax {}", layout.fmax);
+            assert!(layout.wirelength.total().value() > 0.0);
+            assert_eq!(layout.cu_route_delays.len(), cus as usize);
         }
-        // The baseline always closes 500 MHz regardless of CU count.
-        prop_assert!(layout.meets_timing, "fmax {}", layout.fmax);
-        prop_assert!(layout.wirelength.total().value() > 0.0);
-        prop_assert_eq!(layout.cu_route_delays.len(), cus as usize);
     }
+}
 
-    #[test]
-    fn more_cus_means_more_wire_and_area(cus in 1u32..=7) {
-        let tech = Tech::l65();
+#[test]
+fn more_cus_means_more_wire_and_area() {
+    let tech = Tech::l65();
+    for cus in 1u32..=7 {
         let small = generate(&config(cus, 1)).expect("valid");
         let big = generate(&config(cus + 1, 1)).expect("valid");
         let fp_s = build_floorplan(&small, &tech, DensityTargets::default()).expect("ok");
@@ -65,9 +73,13 @@ proptest! {
         // Adding a CU fills an empty column slot when the count goes
         // odd -> even, so chip area is non-decreasing (strictly larger
         // whenever a new row is opened).
-        prop_assert!(fp_b.chip.area().value() >= fp_s.chip.area().value() - 1e-6);
-        let wl_s = ggpu_pnr::estimate_wirelength(&small, &fp_s, &tech).expect("ok").total();
-        let wl_b = ggpu_pnr::estimate_wirelength(&big, &fp_b, &tech).expect("ok").total();
-        prop_assert!(wl_b.value() > wl_s.value());
+        assert!(fp_b.chip.area().value() >= fp_s.chip.area().value() - 1e-6);
+        let wl_s = ggpu_pnr::estimate_wirelength(&small, &fp_s, &tech)
+            .expect("ok")
+            .total();
+        let wl_b = ggpu_pnr::estimate_wirelength(&big, &fp_b, &tech)
+            .expect("ok")
+            .total();
+        assert!(wl_b.value() > wl_s.value());
     }
 }

@@ -1,0 +1,274 @@
+//! Self-contained deterministic property-testing support.
+//!
+//! The workspace builds in fully offline environments, so the external
+//! `proptest`/`rand` crates are replaced by this minimal harness: a
+//! [`Rng`] built on splitmix64 plus a [`cases`] runner that derives one
+//! reproducible seed per case. A failing case prints its case index and
+//! seed; re-running is deterministic, so failures always reproduce.
+//!
+//! # Example
+//!
+//! ```
+//! use ggpu_prop::{cases, Rng};
+//!
+//! cases(64, |rng| {
+//!     let a = rng.u32_in(0, 1000);
+//!     let b = rng.u32_in(0, 1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::ops::RangeInclusive;
+
+/// Default number of cases per property (override per call site, or
+/// globally with the `GGPU_PROP_CASES` environment variable).
+pub const DEFAULT_CASES: u32 = 128;
+
+/// A small, fast, deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            // Avoid the all-zero orbit start without losing determinism.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Modulo bias is negligible for test-scale spans (< 2^32).
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128) as u128;
+        (lo as i128 + (u128::from(self.next_u64()) % (span + 1)) as i128) as i64
+    }
+
+    /// Uniform `i32` in `[lo, hi]` (inclusive).
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_in(i64::from(lo), i64::from(hi)) as i32
+    }
+
+    /// Arbitrary `u32` over the full domain.
+    pub fn any_u32(&mut self) -> u32 {
+        self.next_u32()
+    }
+
+    /// Arbitrary `i32` over the full domain.
+    pub fn any_i32(&mut self) -> i32 {
+        self.next_u32() as i32
+    }
+
+    /// Arbitrary `i16` over the full domain.
+    pub fn any_i16(&mut self) -> i16 {
+        self.next_u32() as u16 as i16
+    }
+
+    /// Arbitrary `u16` over the full domain.
+    pub fn any_u16(&mut self) -> u16 {
+        self.next_u32() as u16
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Uniform choice from a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// Uniform choice from a non-empty slice, by value.
+    pub fn pick_copy<T: Copy>(&mut self, items: &[T]) -> T {
+        *self.pick(items)
+    }
+
+    /// A vector of `len_range`-many values drawn from `gen`.
+    pub fn vec_of<T>(
+        &mut self,
+        len_range: RangeInclusive<usize>,
+        mut gen: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(*len_range.start(), *len_range.end());
+        (0..len).map(|_| gen(self)).collect()
+    }
+}
+
+/// Prints the failing case's reproduction data if the closure panics.
+struct CaseReporter {
+    case: u32,
+    seed: u64,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "ggpu-prop: property failed at case {} (rng seed {:#018x}); \
+                 cases are deterministic, rerun to reproduce",
+                self.case, self.seed
+            );
+        }
+    }
+}
+
+fn case_count(requested: u32) -> u32 {
+    match std::env::var("GGPU_PROP_CASES") {
+        Ok(v) => v.parse().unwrap_or(requested),
+        Err(_) => requested,
+    }
+    .max(1)
+}
+
+/// Runs `property` once per case with a per-case deterministic RNG.
+///
+/// The case budget can be scaled globally with `GGPU_PROP_CASES`.
+pub fn cases(n: u32, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..case_count(n) {
+        let seed = 0x6770_7550_6C61_6E21 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let reporter = CaseReporter { case, seed };
+        let mut rng = Rng::seeded(seed);
+        property(&mut rng);
+        drop(reporter);
+    }
+}
+
+/// [`cases`] with the default budget.
+pub fn check(property: impl FnMut(&mut Rng)) {
+    cases(DEFAULT_CASES, property);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_in_bounds() {
+        let mut rng = Rng::seeded(42);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = rng.u32_in(3, 7);
+            assert!((3..=7).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 7;
+        }
+        assert!(saw_lo && saw_hi, "both endpoints must be reachable");
+        for _ in 0..2000 {
+            let v = rng.i32_in(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let f = rng.f64_unit();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_domain_draws_cover_sign_bit() {
+        let mut rng = Rng::seeded(1);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..100 {
+            let v = rng.any_i32();
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let mut rng = Rng::seeded(3);
+        for _ in 0..200 {
+            let v = rng.vec_of(1..=4, |r| r.any_u32());
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn cases_runs_the_requested_count() {
+        let mut count = 0;
+        if std::env::var("GGPU_PROP_CASES").is_err() {
+            cases(17, |_| count += 1);
+            assert_eq!(count, 17);
+        }
+    }
+
+    #[test]
+    fn pick_is_uniformish() {
+        let mut rng = Rng::seeded(9);
+        let items = [1u32, 2, 3];
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[(rng.pick_copy(&items) - 1) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "counts {counts:?}");
+        }
+    }
+}

@@ -21,9 +21,7 @@
 //! # }
 //! ```
 
-use crate::inst::{
-    encode, BranchFunc, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc,
-};
+use crate::inst::{encode, BranchFunc, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -55,9 +53,9 @@ fn err(line: usize, message: impl Into<String>) -> AssembleRvError {
 /// Parses a register: `x0`–`x31` or an ABI name.
 fn parse_reg(tok: &str, line: usize) -> Result<u8, AssembleRvError> {
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     if let Some(rest) = tok.strip_prefix('x') {
         if let Ok(n) = rest.parse::<u8>() {

@@ -5,7 +5,9 @@
 //! jumps, single-cycle multiply, 34-cycle iterative divide — matching
 //! the published CV32E40P characteristics.
 
-use crate::inst::{decode, BranchFunc, DecodeRvError, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc};
+use crate::inst::{
+    decode, BranchFunc, DecodeRvError, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -215,13 +217,9 @@ impl Cpu {
         Ok(match func {
             LoadFunc::Lb => self.memory[a] as i8 as i32 as u32,
             LoadFunc::Lbu => u32::from(self.memory[a]),
-            LoadFunc::Lh => {
-                i16::from_le_bytes([self.memory[a], self.memory[a + 1]]) as i32 as u32
-            }
+            LoadFunc::Lh => i16::from_le_bytes([self.memory[a], self.memory[a + 1]]) as i32 as u32,
             LoadFunc::Lhu => u32::from(u16::from_le_bytes([self.memory[a], self.memory[a + 1]])),
-            LoadFunc::Lw => u32::from_le_bytes(
-                self.memory[a..a + 4].try_into().expect("4 bytes"),
-            ),
+            LoadFunc::Lw => u32::from_le_bytes(self.memory[a..a + 4].try_into().expect("4 bytes")),
         })
     }
 
@@ -273,9 +271,7 @@ impl Cpu {
 
             match inst {
                 RvInst::Lui { rd, imm } => self.set_reg(rd, imm as u32),
-                RvInst::Auipc { rd, imm } => {
-                    self.set_reg(rd, self.pc.wrapping_add(imm as u32))
-                }
+                RvInst::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u32)),
                 RvInst::Jal { rd, offset } => {
                     self.set_reg(rd, self.pc.wrapping_add(4));
                     next_pc = self.pc.wrapping_add(offset as u32);
@@ -362,12 +358,8 @@ impl Cpu {
                         OpFunc::Or => a | b,
                         OpFunc::And => a & b,
                         OpFunc::Mul => a.wrapping_mul(b),
-                        OpFunc::Mulh => {
-                            ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32
-                        }
-                        OpFunc::Mulhsu => {
-                            ((i64::from(a as i32) * i64::from(b)) >> 32) as u32
-                        }
+                        OpFunc::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+                        OpFunc::Mulhsu => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
                         OpFunc::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
                         OpFunc::Div => {
                             if b == 0 {
@@ -432,8 +424,7 @@ mod tests {
 
     #[test]
     fn sum_loop() {
-        let (cpu, stats) = run(
-            "
+        let (cpu, stats) = run("
             li   a0, 10
             li   a1, 0
             loop:
@@ -441,8 +432,7 @@ mod tests {
             addi a0, a0, -1
             bnez a0, loop
             ecall
-            ",
-        );
+            ");
         assert_eq!(cpu.reg(11), 55);
         assert_eq!(stats.branches_taken, 9);
         assert!(stats.cycles > stats.instructions);
@@ -456,8 +446,7 @@ mod tests {
 
     #[test]
     fn loads_and_stores_roundtrip() {
-        let (cpu, stats) = run(
-            "
+        let (cpu, stats) = run("
             li  a0, 0x1000
             li  a1, -7
             sw  a1, 0(a0)
@@ -466,8 +455,7 @@ mod tests {
             lbu a3, 8(a0)
             lb  a4, 8(a0)
             ecall
-            ",
-        );
+            ");
         assert_eq!(cpu.reg(12) as i32, -7);
         assert_eq!(cpu.reg(13), 0xF9);
         assert_eq!(cpu.reg(14) as i32, -7);
@@ -477,8 +465,7 @@ mod tests {
 
     #[test]
     fn m_extension_semantics() {
-        let (cpu, stats) = run(
-            "
+        let (cpu, stats) = run("
             li  a0, -6
             li  a1, 4
             mul a2, a0, a1
@@ -488,8 +475,7 @@ mod tests {
             li  a6, 0
             divu a7, a5, a6
             ecall
-            ",
-        );
+            ");
         assert_eq!(cpu.reg(12) as i32, -24);
         assert_eq!(cpu.reg(13) as i32, -1, "-6/4 truncates toward zero");
         assert_eq!(cpu.reg(14) as i32, -2);
@@ -507,16 +493,14 @@ mod tests {
 
     #[test]
     fn function_call_via_jal_ret() {
-        let (cpu, _) = run(
-            "
+        let (cpu, _) = run("
             li   a0, 5
             jal  double
             ecall
             double:
             add  a0, a0, a0
             ret
-            ",
-        );
+            ");
         assert_eq!(cpu.reg(10), 10);
     }
 
@@ -532,7 +516,10 @@ mod tests {
         let program = assemble("loop: j loop").unwrap();
         let mut cpu = Cpu::new(&program, 4096);
         cpu.step_limit = 1000;
-        assert!(matches!(cpu.run(), Err(CpuError::StepLimit { limit: 1000 })));
+        assert!(matches!(
+            cpu.run(),
+            Err(CpuError::StepLimit { limit: 1000 })
+        ));
     }
 
     #[test]

@@ -111,7 +111,12 @@ pub fn disassemble(words: &[u32]) -> Result<String, DecodeRvError> {
             }
             RvInst::Auipc { rd, imm } => {
                 // No assembler pseudo for auipc with label; emit raw.
-                writeln!(out, "    # auipc {}, {:#x} (not reassemblable)", reg(*rd), imm)
+                writeln!(
+                    out,
+                    "    # auipc {}, {:#x} (not reassemblable)",
+                    reg(*rd),
+                    imm
+                )
             }
             RvInst::Jal { rd, offset } => {
                 let target = pc + i64::from(*offset);

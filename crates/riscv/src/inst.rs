@@ -12,15 +12,53 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum RvInst {
-    Lui { rd: u8, imm: i32 },
-    Auipc { rd: u8, imm: i32 },
-    Jal { rd: u8, offset: i32 },
-    Jalr { rd: u8, rs1: u8, offset: i32 },
-    Branch { func: BranchFunc, rs1: u8, rs2: u8, offset: i32 },
-    Load { func: LoadFunc, rd: u8, rs1: u8, offset: i32 },
-    Store { func: StoreFunc, rs1: u8, rs2: u8, offset: i32 },
-    OpImm { func: OpImmFunc, rd: u8, rs1: u8, imm: i32 },
-    Op { func: OpFunc, rd: u8, rs1: u8, rs2: u8 },
+    Lui {
+        rd: u8,
+        imm: i32,
+    },
+    Auipc {
+        rd: u8,
+        imm: i32,
+    },
+    Jal {
+        rd: u8,
+        offset: i32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    Branch {
+        func: BranchFunc,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
+    Load {
+        func: LoadFunc,
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    Store {
+        func: StoreFunc,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
+    OpImm {
+        func: OpImmFunc,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Op {
+        func: OpFunc,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     Ecall,
 }
 
@@ -98,12 +136,18 @@ pub enum OpFunc {
 impl OpFunc {
     /// `true` for M-extension multiply ops.
     pub fn is_mul(self) -> bool {
-        matches!(self, OpFunc::Mul | OpFunc::Mulh | OpFunc::Mulhsu | OpFunc::Mulhu)
+        matches!(
+            self,
+            OpFunc::Mul | OpFunc::Mulh | OpFunc::Mulhsu | OpFunc::Mulhu
+        )
     }
 
     /// `true` for M-extension divide/remainder ops.
     pub fn is_div(self) -> bool {
-        matches!(self, OpFunc::Div | OpFunc::Divu | OpFunc::Rem | OpFunc::Remu)
+        matches!(
+            self,
+            OpFunc::Div | OpFunc::Divu | OpFunc::Rem | OpFunc::Remu
+        )
     }
 }
 
@@ -138,8 +182,7 @@ pub fn encode(inst: RvInst) -> u32 {
             let imm10_1 = (o >> 1) & 0x3FF;
             let imm11 = (o >> 11) & 1;
             let imm19_12 = (o >> 12) & 0xFF;
-            (imm20 << 31) | (imm10_1 << 21) | (imm11 << 20) | (imm19_12 << 12) | (r(rd) << 7)
-                | 0x6F
+            (imm20 << 31) | (imm10_1 << 21) | (imm11 << 20) | (imm19_12 << 12) | (r(rd) << 7) | 0x6F
         }
         RvInst::Jalr { rd, rs1, offset } => {
             ((offset as u32 & 0xFFF) << 20) | (r(rs1) << 15) | (r(rd) << 7) | 0x67
@@ -438,11 +481,24 @@ mod tests {
     #[test]
     fn roundtrip_representative_instructions() {
         let samples = vec![
-            RvInst::Lui { rd: 7, imm: 0x12345 << 12 },
+            RvInst::Lui {
+                rd: 7,
+                imm: 0x12345 << 12,
+            },
             RvInst::Auipc { rd: 1, imm: -4096 },
-            RvInst::Jal { rd: 1, offset: -2048 },
-            RvInst::Jal { rd: 0, offset: 4094 },
-            RvInst::Jalr { rd: 0, rs1: 1, offset: 0 },
+            RvInst::Jal {
+                rd: 1,
+                offset: -2048,
+            },
+            RvInst::Jal {
+                rd: 0,
+                offset: 4094,
+            },
+            RvInst::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            },
             RvInst::Branch {
                 func: BranchFunc::Bge,
                 rs1: 4,

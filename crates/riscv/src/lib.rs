@@ -26,6 +26,6 @@ pub mod disasm;
 pub mod inst;
 
 pub use asm::{assemble, AssembleRvError};
-pub use disasm::disassemble;
 pub use cpu::{Cpu, CpuError, CpuStats};
+pub use disasm::disassemble;
 pub use inst::{decode, encode, DecodeRvError, RvInst};

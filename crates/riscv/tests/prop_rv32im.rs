@@ -2,89 +2,161 @@
 //! the instruction space, and executed arithmetic agrees with Rust's
 //! reference semantics.
 
+use ggpu_prop::{cases, Rng};
 use ggpu_riscv::inst::{
     decode, encode, BranchFunc, LoadFunc, OpFunc, OpImmFunc, RvInst, StoreFunc,
 };
 use ggpu_riscv::{assemble, Cpu};
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = u8> {
-    0u8..32
+const OPS: [OpFunc; 18] = [
+    OpFunc::Add,
+    OpFunc::Sub,
+    OpFunc::Sll,
+    OpFunc::Slt,
+    OpFunc::Sltu,
+    OpFunc::Xor,
+    OpFunc::Srl,
+    OpFunc::Sra,
+    OpFunc::Or,
+    OpFunc::And,
+    OpFunc::Mul,
+    OpFunc::Mulh,
+    OpFunc::Mulhsu,
+    OpFunc::Mulhu,
+    OpFunc::Div,
+    OpFunc::Divu,
+    OpFunc::Rem,
+    OpFunc::Remu,
+];
+
+const BRANCHES: [BranchFunc; 6] = [
+    BranchFunc::Beq,
+    BranchFunc::Bne,
+    BranchFunc::Blt,
+    BranchFunc::Bge,
+    BranchFunc::Bltu,
+    BranchFunc::Bgeu,
+];
+
+const LOADS: [LoadFunc; 5] = [
+    LoadFunc::Lb,
+    LoadFunc::Lh,
+    LoadFunc::Lw,
+    LoadFunc::Lbu,
+    LoadFunc::Lhu,
+];
+
+const STORES: [StoreFunc; 3] = [StoreFunc::Sb, StoreFunc::Sh, StoreFunc::Sw];
+
+const OP_IMMS: [OpImmFunc; 6] = [
+    OpImmFunc::Addi,
+    OpImmFunc::Slti,
+    OpImmFunc::Sltiu,
+    OpImmFunc::Xori,
+    OpImmFunc::Ori,
+    OpImmFunc::Andi,
+];
+
+const SHIFT_IMMS: [OpImmFunc; 3] = [OpImmFunc::Slli, OpImmFunc::Srli, OpImmFunc::Srai];
+
+fn arb_reg(rng: &mut Rng) -> u8 {
+    rng.u32_in(0, 31) as u8
 }
 
-fn arb_op() -> impl Strategy<Value = OpFunc> {
-    prop_oneof![
-        Just(OpFunc::Add), Just(OpFunc::Sub), Just(OpFunc::Sll), Just(OpFunc::Slt),
-        Just(OpFunc::Sltu), Just(OpFunc::Xor), Just(OpFunc::Srl), Just(OpFunc::Sra),
-        Just(OpFunc::Or), Just(OpFunc::And), Just(OpFunc::Mul), Just(OpFunc::Mulh),
-        Just(OpFunc::Mulhsu), Just(OpFunc::Mulhu), Just(OpFunc::Div), Just(OpFunc::Divu),
-        Just(OpFunc::Rem), Just(OpFunc::Remu),
-    ]
-}
-
-fn arb_inst() -> impl Strategy<Value = RvInst> {
-    prop_oneof![
-        (arb_reg(), any::<i32>()).prop_map(|(rd, v)| RvInst::Lui { rd, imm: v & !0xFFF_i32 }),
-        (arb_reg(), any::<i32>()).prop_map(|(rd, v)| RvInst::Auipc { rd, imm: v & !0xFFF_i32 }),
-        (arb_reg(), -1_048_576i32..1_048_575)
-            .prop_map(|(rd, o)| RvInst::Jal { rd, offset: o & !1 }),
-        (arb_reg(), arb_reg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| RvInst::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchFunc::Beq), Just(BranchFunc::Bne), Just(BranchFunc::Blt),
-                Just(BranchFunc::Bge), Just(BranchFunc::Bltu), Just(BranchFunc::Bgeu)
-            ],
-            arb_reg(), arb_reg(), -4096i32..=4095
-        )
-            .prop_map(|(func, rs1, rs2, o)| RvInst::Branch { func, rs1, rs2, offset: o & !1 }),
-        (
-            prop_oneof![Just(LoadFunc::Lb), Just(LoadFunc::Lh), Just(LoadFunc::Lw),
-                        Just(LoadFunc::Lbu), Just(LoadFunc::Lhu)],
-            arb_reg(), arb_reg(), -2048i32..=2047
-        )
-            .prop_map(|(func, rd, rs1, offset)| RvInst::Load { func, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreFunc::Sb), Just(StoreFunc::Sh), Just(StoreFunc::Sw)],
-            arb_reg(), arb_reg(), -2048i32..=2047
-        )
-            .prop_map(|(func, rs1, rs2, offset)| RvInst::Store { func, rs1, rs2, offset }),
-        (
-            prop_oneof![Just(OpImmFunc::Addi), Just(OpImmFunc::Slti), Just(OpImmFunc::Sltiu),
-                        Just(OpImmFunc::Xori), Just(OpImmFunc::Ori), Just(OpImmFunc::Andi)],
-            arb_reg(), arb_reg(), -2048i32..=2047
-        )
-            .prop_map(|(func, rd, rs1, imm)| RvInst::OpImm { func, rd, rs1, imm }),
-        (
-            prop_oneof![Just(OpImmFunc::Slli), Just(OpImmFunc::Srli), Just(OpImmFunc::Srai)],
-            arb_reg(), arb_reg(), 0i32..32
-        )
-            .prop_map(|(func, rd, rs1, imm)| RvInst::OpImm { func, rd, rs1, imm }),
-        (arb_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(func, rd, rs1, rs2)| RvInst::Op { func, rd, rs1, rs2 }),
-        Just(RvInst::Ecall),
-    ]
-}
-
-#[allow(clippy::manual_checked_ops)] // reference mirrors ISA div-by-zero semantics
-mod props {
-use super::*;
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst()) {
-        prop_assert_eq!(decode(encode(inst)).expect("encodable"), inst);
+fn arb_inst(rng: &mut Rng) -> RvInst {
+    match rng.u32_in(0, 10) {
+        0 => RvInst::Lui {
+            rd: arb_reg(rng),
+            imm: rng.any_i32() & !0xFFF_i32,
+        },
+        1 => RvInst::Auipc {
+            rd: arb_reg(rng),
+            imm: rng.any_i32() & !0xFFF_i32,
+        },
+        2 => RvInst::Jal {
+            rd: arb_reg(rng),
+            offset: rng.i32_in(-1_048_576, 1_048_574) & !1,
+        },
+        3 => RvInst::Jalr {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            offset: rng.i32_in(-2048, 2047),
+        },
+        4 => RvInst::Branch {
+            func: rng.pick_copy(&BRANCHES),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            offset: rng.i32_in(-4096, 4095) & !1,
+        },
+        5 => RvInst::Load {
+            func: rng.pick_copy(&LOADS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            offset: rng.i32_in(-2048, 2047),
+        },
+        6 => RvInst::Store {
+            func: rng.pick_copy(&STORES),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            offset: rng.i32_in(-2048, 2047),
+        },
+        7 => RvInst::OpImm {
+            func: rng.pick_copy(&OP_IMMS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.i32_in(-2048, 2047),
+        },
+        8 => RvInst::OpImm {
+            func: rng.pick_copy(&SHIFT_IMMS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.i32_in(0, 31),
+        },
+        9 => RvInst::Op {
+            func: rng.pick_copy(&OPS),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+        },
+        _ => RvInst::Ecall,
     }
+}
 
-    #[test]
-    fn executed_op_matches_reference(op in arb_op(), a: u32, b: u32) {
+#[test]
+fn encode_decode_roundtrip() {
+    cases(512, |rng| {
+        let inst = arb_inst(rng);
+        assert_eq!(decode(encode(inst)).expect("encodable"), inst);
+    });
+}
+
+#[test]
+#[allow(clippy::manual_checked_ops)] // reference mirrors ISA div-by-zero semantics
+fn executed_op_matches_reference() {
+    cases(256, |rng| {
+        let op = rng.pick_copy(&OPS);
+        let a = rng.any_u32();
+        let b = rng.any_u32();
         // Program: a in x5, b in x6, result in x7.
         let mnemonic = match op {
-            OpFunc::Add => "add", OpFunc::Sub => "sub", OpFunc::Sll => "sll",
-            OpFunc::Slt => "slt", OpFunc::Sltu => "sltu", OpFunc::Xor => "xor",
-            OpFunc::Srl => "srl", OpFunc::Sra => "sra", OpFunc::Or => "or",
-            OpFunc::And => "and", OpFunc::Mul => "mul", OpFunc::Mulh => "mulh",
-            OpFunc::Mulhsu => "mulhsu", OpFunc::Mulhu => "mulhu", OpFunc::Div => "div",
-            OpFunc::Divu => "divu", OpFunc::Rem => "rem", OpFunc::Remu => "remu",
+            OpFunc::Add => "add",
+            OpFunc::Sub => "sub",
+            OpFunc::Sll => "sll",
+            OpFunc::Slt => "slt",
+            OpFunc::Sltu => "sltu",
+            OpFunc::Xor => "xor",
+            OpFunc::Srl => "srl",
+            OpFunc::Sra => "sra",
+            OpFunc::Or => "or",
+            OpFunc::And => "and",
+            OpFunc::Mul => "mul",
+            OpFunc::Mulh => "mulh",
+            OpFunc::Mulhsu => "mulhsu",
+            OpFunc::Mulhu => "mulhu",
+            OpFunc::Div => "div",
+            OpFunc::Divu => "divu",
+            OpFunc::Rem => "rem",
+            OpFunc::Remu => "remu",
         };
         let program = assemble(&format!("{mnemonic} t2, t0, t1\necall")).expect("valid");
         let mut cpu = Cpu::new(&program, 4096);
@@ -107,32 +179,53 @@ proptest! {
             OpFunc::Mulhsu => ((i64::from(a as i32).wrapping_mul(i64::from(b))) >> 32) as u32,
             OpFunc::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
             OpFunc::Div => {
-                if b == 0 { u32::MAX }
-                else if a == 0x8000_0000 && b == u32::MAX { a }
-                else { ((a as i32).wrapping_div(b as i32)) as u32 }
+                if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
             }
-            OpFunc::Divu => if b == 0 { u32::MAX } else { a / b },
+            OpFunc::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
             OpFunc::Rem => {
-                if b == 0 { a }
-                else if a == 0x8000_0000 && b == u32::MAX { 0 }
-                else { ((a as i32).wrapping_rem(b as i32)) as u32 }
+                if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                }
             }
-            OpFunc::Remu => if b == 0 { a } else { a % b },
+            OpFunc::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
         };
-        prop_assert_eq!(cpu.reg(7), expect);
-    }
+        assert_eq!(cpu.reg(7), expect);
+    });
+}
 
-    #[test]
-    fn memory_roundtrip_via_store_load(value: u32, slot in 0u32..64) {
+#[test]
+fn memory_roundtrip_via_store_load() {
+    cases(256, |rng| {
+        let value = rng.any_u32();
+        let slot = rng.u32_in(0, 63);
         let addr = 0x1000 + slot * 4;
-        let program = assemble(&format!(
-            "li t0, {addr}\nsw t1, 0(t0)\nlw t2, 0(t0)\necall"
-        )).expect("valid");
+        let program =
+            assemble(&format!("li t0, {addr}\nsw t1, 0(t0)\nlw t2, 0(t0)\necall")).expect("valid");
         let mut cpu = Cpu::new(&program, 1 << 16);
         cpu.set_reg(6, value);
         cpu.run().expect("halts");
-        prop_assert_eq!(cpu.reg(7), value);
-    }
-}
-
+        assert_eq!(cpu.reg(7), value);
+    });
 }

@@ -131,7 +131,10 @@ pub const AXI_FIFO_DEPTH: usize = 6;
 /// MUX2 stages in the per-CU arbitration path at the top level,
 /// as a function of the CU count.
 pub fn arb_depth(compute_units: u32) -> usize {
-    3 + (compute_units as usize).next_power_of_two().trailing_zeros() as usize * 2
+    3 + (compute_units as usize)
+        .next_power_of_two()
+        .trailing_zeros() as usize
+        * 2
 }
 
 /// Switching-activity assumptions (fraction of cells toggling per

@@ -17,12 +17,7 @@ pub const PE_MODULE: &str = "processing_element";
 /// Module name of the general memory controller partition.
 pub const GMC_MODULE: &str = "memory_controller";
 
-fn macro_path(
-    name: &str,
-    macro_name: &str,
-    depth: usize,
-    class: CellClass,
-) -> TimingPath {
+fn macro_path(name: &str, macro_name: &str, depth: usize, class: CellClass) -> TimingPath {
     TimingPath::new(
         name,
         PathEndpoint::Macro(macro_name.into()),
@@ -265,8 +260,8 @@ fn build_gmc(cfg: &GgpuConfig) -> Module {
 
     // The cache capacity is a user parameter: words per bank derive
     // from it (banks x words x bits must equal the requested KiB).
-    let cache_words = cfg.cache_kib * 1024 * 8
-        / (calib::CACHE_DATA_BANKS as u32 * calib::CACHE_DATA_BITS);
+    let cache_words =
+        cfg.cache_kib * 1024 * 8 / (calib::CACHE_DATA_BANKS as u32 * calib::CACHE_DATA_BITS);
     for i in 0..calib::CACHE_DATA_BANKS {
         gmc.macros.push(MacroInst::new(
             format!("cache_data{i}"),
@@ -424,8 +419,12 @@ mod tests {
         let tech = Tech::l65();
         // Paper values; the generator is calibrated to within a few
         // percent (architectural estimate, not a curve fit per row).
-        for (n, paper) in [(1u32, 119_778f64), (2, 229_171.0), (4, 437_318.0), (8, 852_094.0)]
-        {
+        for (n, paper) in [
+            (1u32, 119_778f64),
+            (2, 229_171.0),
+            (4, 437_318.0),
+            (8, 852_094.0),
+        ] {
             let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
             let s = design_stats(&d, &tech).unwrap();
             let rel = (s.ff_cells as f64 - paper).abs() / paper;
@@ -436,8 +435,12 @@ mod tests {
     #[test]
     fn comb_counts_are_near_table1() {
         let tech = Tech::l65();
-        for (n, paper) in [(1u32, 127_826f64), (2, 214_243.0), (4, 387_246.0), (8, 714_256.0)]
-        {
+        for (n, paper) in [
+            (1u32, 127_826f64),
+            (2, 214_243.0),
+            (4, 387_246.0),
+            (8, 714_256.0),
+        ] {
             let d = generate(&GgpuConfig::with_cus(n).unwrap()).unwrap();
             let s = design_stats(&d, &tech).unwrap();
             let rel = (s.comb_cells as f64 - paper).abs() / paper;

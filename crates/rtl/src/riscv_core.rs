@@ -41,8 +41,18 @@ pub fn generate_riscv(cfg: &RiscvConfig) -> Design {
     let mut core = Module::new("riscv_top")
         .with_group(CellGroup::new("pipeline_regs", CellClass::Dff, 9_000, 0.28))
         .with_group(CellGroup::new("alu", CellClass::FullAdder, 9_000, 0.20))
-        .with_group(CellGroup::new("mul_div", CellClass::FullAdder, 14_000, 0.10))
-        .with_group(CellGroup::new("decode_logic", CellClass::Nand2, 38_000, 0.18))
+        .with_group(CellGroup::new(
+            "mul_div",
+            CellClass::FullAdder,
+            14_000,
+            0.10,
+        ))
+        .with_group(CellGroup::new(
+            "decode_logic",
+            CellClass::Nand2,
+            38_000,
+            0.18,
+        ))
         .with_group(CellGroup::new("bus_matrix", CellClass::Mux2, 26_000, 0.15))
         .with_group(CellGroup::new("csr_misc", CellClass::Aoi21, 21_000, 0.15));
 

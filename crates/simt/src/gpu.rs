@@ -15,6 +15,7 @@ use ggpu_isa::asm::{assemble, AssembleError};
 use ggpu_isa::inst::{AluOp, IdSource, Inst};
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Local scratch (LRAM) words per CU.
 const LOCAL_WORDS: usize = 4096;
@@ -127,7 +128,14 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// Counters of one kernel run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Equality compares only the *architectural* counters (cycles,
+/// instruction/stall/busy counts and memory statistics). The two
+/// host-side performance fields — [`RunStats::sim_wall`] and
+/// [`RunStats::sched_iterations`] — are excluded, so a run under the
+/// event-driven scheduler compares equal to the same run under the
+/// cycle-stepping reference even though the host cost differs.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
     /// Total cycles until the last wavefront finished.
     pub cycles: u64,
@@ -147,7 +155,32 @@ pub struct RunStats {
     pub busy_cycles: u64,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Host wall-clock time spent inside the simulator for this run.
+    pub sim_wall: Duration,
+    /// Scheduler-loop passes the run took on the host. The
+    /// cycle-stepping reference performs one pass per simulated cycle;
+    /// the event-driven scheduler performs one per *event*, so the
+    /// ratio between the two is the direct measure of skipped idle
+    /// cycles.
+    pub sched_iterations: u64,
 }
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Host-perf fields (sim_wall, sched_iterations) intentionally
+        // excluded: they describe the simulator, not the simulation.
+        self.cycles == other.cycles
+            && self.vector_instructions == other.vector_instructions
+            && self.lane_ops == other.lane_ops
+            && self.wavefronts == other.wavefronts
+            && self.workgroups == other.workgroups
+            && self.stall_cycles == other.stall_cycles
+            && self.busy_cycles == other.busy_cycles
+            && self.mem == other.mem
+    }
+}
+
+impl Eq for RunStats {}
 
 impl RunStats {
     /// Issue occupancy: fraction of CU-cycles that issued work, out of
@@ -158,6 +191,19 @@ impl RunStats {
             0.0
         } else {
             self.busy_cycles as f64 / total as f64
+        }
+    }
+
+    /// Simulation throughput: simulated cycles per host second.
+    ///
+    /// Returns 0.0 when the run was too fast for the host clock to
+    /// resolve.
+    pub fn simulated_cycles_per_second(&self) -> f64 {
+        let secs = self.sim_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
         }
     }
 }
@@ -294,13 +340,55 @@ impl Gpu {
         Ok(idx)
     }
 
-    /// Runs `kernel` with the given launch geometry to completion.
+    /// Runs `kernel` with the given launch geometry to completion
+    /// using the event-driven scheduler.
+    ///
+    /// Instead of stepping time one cycle at a time, the scheduler
+    /// jumps straight to the next timestamp at which any compute unit
+    /// can change state (issue-stage release, operand or memory
+    /// readiness, barrier release, workgroup dispatch), folding the
+    /// busy/stall accounting of the skipped cycles into closed-form
+    /// sums. The resulting [`RunStats`] are bit-identical to the
+    /// cycle-stepping reference ([`Gpu::launch_reference`]); only the
+    /// host-side `sched_iterations` and `sim_wall` fields differ, and
+    /// those are excluded from `RunStats` equality.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on invalid launches, memory faults,
     /// control flow leaving the program, or the cycle ceiling.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, SimError> {
+        self.launch_impl(kernel, launch, false)
+    }
+
+    /// Runs `kernel` under the cycle-stepping reference scheduler —
+    /// the plain `now += 1` loop that visits every simulated cycle.
+    ///
+    /// This is the validation oracle for [`Gpu::launch`]: both
+    /// schedulers execute the *same* per-cycle pass, so any change to
+    /// the event-driven fast path can be checked for bit-identical
+    /// architectural counters against this one. It is dramatically
+    /// slower on memory-bound or barrier-heavy kernels and exists for
+    /// verification, not for use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`Gpu::launch`] does.
+    pub fn launch_reference(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+    ) -> Result<RunStats, SimError> {
+        self.launch_impl(kernel, launch, true)
+    }
+
+    fn launch_impl(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        reference: bool,
+    ) -> Result<RunStats, SimError> {
+        let wall = Instant::now();
         if kernel.program.is_empty() {
             return Err(SimError::BadLaunch("empty program".into()));
         }
@@ -323,23 +411,75 @@ impl Gpu {
         let mut params = [0u32; PARAM_SLOTS];
         params[..launch.params.len()].copy_from_slice(&launch.params);
 
-        let mut cache = SharedCache::new(self.config.cache, Dram::new(self.config.dram));
-        let mut cus: Vec<ComputeUnit> = (0..self.config.compute_units)
-            .map(|_| ComputeUnit {
-                wavefronts: Vec::new(),
-                local_mem: vec![0; LOCAL_WORDS],
-                busy_until: 0,
-                rr_cursor: 0,
-            })
-            .collect();
-
         let total_groups = launch.global_size.div_ceil(launch.workgroup_size);
-        let mut next_group: u32 = 0;
-        let mut stats = RunStats {
-            workgroups: u64::from(total_groups),
-            ..RunStats::default()
+        let sched = Sched {
+            config: self.config,
+            program: &kernel.program,
+            params,
+            sizes: (launch.global_size, launch.workgroup_size),
+            memory: &mut self.memory,
+            cache: SharedCache::new(self.config.cache, Dram::new(self.config.dram)),
+            cus: (0..self.config.compute_units)
+                .map(|_| ComputeUnit {
+                    wavefronts: Vec::new(),
+                    local_mem: vec![0; LOCAL_WORDS],
+                    busy_until: 0,
+                    rr_cursor: 0,
+                })
+                .collect(),
+            total_groups,
+            next_group: 0,
+            stats: RunStats {
+                workgroups: u64::from(total_groups),
+                ..RunStats::default()
+            },
         };
+        let mut stats = if reference {
+            sched.run_cycle_reference()?
+        } else {
+            sched.run_event_driven()?
+        };
+        stats.sim_wall = wall.elapsed();
+        Ok(stats)
+    }
+}
 
+/// Outcome of one scheduler pass (one simulated cycle's worth of
+/// dispatch/issue work), used by the event-driven driver to decide
+/// how far time can jump.
+struct PassOutcome {
+    /// Some CU held live wavefronts at pass time (pre-issue), i.e.
+    /// the run is not finished.
+    any_alive: bool,
+    /// A wavefront retired during this pass, freeing a slot: dispatch
+    /// may newly succeed next cycle.
+    became_done: bool,
+    /// A workgroup was dispatched during this pass.
+    dispatched: bool,
+}
+
+/// One in-flight kernel run: machine state plus scheduling queues,
+/// shared by the event-driven scheduler and the cycle-stepping
+/// reference so both execute byte-for-byte identical passes.
+struct Sched<'a> {
+    config: SimtConfig,
+    program: &'a [Inst],
+    params: [u32; PARAM_SLOTS],
+    /// `(global_size, workgroup_size)`.
+    sizes: (u32, u32),
+    memory: &'a mut Vec<u32>,
+    cache: SharedCache,
+    cus: Vec<ComputeUnit>,
+    total_groups: u32,
+    next_group: u32,
+    stats: RunStats,
+}
+
+impl Sched<'_> {
+    /// Event-driven driver: the time wheel. Runs a pass, then jumps
+    /// `now` directly to the next event, accounting the skipped idle
+    /// cycles arithmetically.
+    fn run_event_driven(mut self) -> Result<RunStats, SimError> {
         let mut now: u64 = 0;
         loop {
             if now > self.config.max_cycles {
@@ -347,92 +487,185 @@ impl Gpu {
                     limit: self.config.max_cycles,
                 });
             }
-
-            let mut any_alive = false;
-            for cu in cus.iter_mut() {
-                // Dispatch whole workgroups into free wavefront slots.
-                while next_group < total_groups {
-                    let live = cu.wavefronts.iter().filter(|w| !w.done).count() as u32;
-                    let free = self.config.max_wavefronts_per_cu - live;
-                    let first_item = next_group * launch.workgroup_size;
-                    let items_in_group =
-                        launch.workgroup_size.min(launch.global_size - first_item);
-                    let needed = self.config.wavefronts_per_group(items_in_group);
-                    if needed > free {
-                        break;
-                    }
-                    cu.wavefronts.retain(|w| !w.done);
-                    for wf_idx in 0..needed {
-                        let first_local = wf_idx * self.config.wavefront_size;
-                        let items = self
-                            .config
-                            .wavefront_size
-                            .min(items_in_group - first_local);
-                        cu.wavefronts.push(Wavefront::new(
-                            self.config.wavefront_size,
-                            next_group,
-                            first_item + first_local,
-                            first_local,
-                            items,
-                        ));
-                        stats.wavefronts += 1;
-                    }
-                    next_group += 1;
-                }
-
-                let has_live = cu.wavefronts.iter().any(|w| !w.done);
-                if has_live {
-                    any_alive = true;
-                }
-                if cu.busy_until > now {
-                    stats.busy_cycles += 1;
-                    continue;
-                }
-                // Round-robin wavefront selection.
-                let n_wf = cu.wavefronts.len();
-                let mut chosen = None;
-                for k in 0..n_wf {
-                    let idx = (cu.rr_cursor + k) % n_wf;
-                    let wf = &cu.wavefronts[idx];
-                    if !wf.done && !wf.at_barrier && wf.ready_at <= now {
-                        chosen = Some(idx);
-                        break;
-                    }
-                }
-                let Some(idx) = chosen else {
-                    if has_live {
-                        stats.stall_cycles += 1;
-                    }
-                    continue;
-                };
-                cu.rr_cursor = (idx + 1) % n_wf;
-
-                let launch_sizes = (launch.global_size, launch.workgroup_size);
-                Self::issue(
-                    &self.config,
-                    &kernel.program,
-                    &params,
-                    launch_sizes,
-                    &mut self.memory,
-                    &mut cache,
-                    cu,
-                    idx,
-                    now,
-                    &mut stats,
-                )?;
+            let pass = self.pass(now)?;
+            if !pass.any_alive && self.next_group >= self.total_groups {
+                break;
             }
+            let next = self.next_event_after(now, &pass);
+            self.account_idle_span(now, next);
+            now = next;
+        }
+        self.stats.cycles = now;
+        self.stats.mem = self.cache.stats();
+        Ok(self.stats)
+    }
 
-            if !any_alive && next_group >= total_groups {
+    /// Cycle-stepping reference driver: visits every simulated cycle.
+    fn run_cycle_reference(mut self) -> Result<RunStats, SimError> {
+        let mut now: u64 = 0;
+        loop {
+            if now > self.config.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
+            }
+            let pass = self.pass(now)?;
+            if !pass.any_alive && self.next_group >= self.total_groups {
                 break;
             }
             now += 1;
         }
-        stats.cycles = now;
-        stats.mem = cache.stats();
-        Ok(stats)
+        self.stats.cycles = now;
+        self.stats.mem = self.cache.stats();
+        Ok(self.stats)
+    }
+
+    /// The earliest simulated time after `now` at which any CU can
+    /// change state.
+    ///
+    /// For every CU holding live wavefronts that is
+    /// `max(busy_until, min ready_at over issuable wavefronts)`; a
+    /// wavefront retirement (or dispatch) with workgroups still queued
+    /// re-opens dispatch at `now + 1`; once no live wavefront remains
+    /// anywhere, one final drain pass at `now + 1` reproduces the
+    /// reference loop's trailing busy accounting and break timing.
+    fn next_event_after(&self, now: u64, pass: &PassOutcome) -> u64 {
+        let mut next = u64::MAX;
+        for cu in &self.cus {
+            if !cu.wavefronts.iter().any(|w| !w.done) {
+                continue;
+            }
+            // A live CU always has an issuable (non-barrier) wavefront
+            // with finite readiness: barrier release is immediate once
+            // the whole group has arrived. The fallback keeps an
+            // (impossible) all-waiting CU from stopping the clock.
+            let ready = cu
+                .wavefronts
+                .iter()
+                .filter(|w| !w.done && !w.at_barrier)
+                .map(|w| w.ready_at)
+                .min()
+                .unwrap_or(now + 1);
+            next = next.min(cu.busy_until.max(ready));
+        }
+        if next == u64::MAX {
+            next = now + 1; // final drain pass
+        }
+        if self.next_group < self.total_groups && (pass.became_done || pass.dispatched) {
+            next = next.min(now + 1);
+        }
+        next.max(now + 1)
+    }
+
+    /// Adds the busy/stall increments the reference loop would have
+    /// made during the skipped cycles `now+1 ..= next-1`, in closed
+    /// form. During that span no CU state changes: a CU counts as
+    /// busy while `cycle < busy_until`, and as stalled for the rest of
+    /// the span iff it holds live wavefronts.
+    fn account_idle_span(&mut self, now: u64, next: u64) {
+        for cu in &self.cus {
+            self.stats.busy_cycles += cu.busy_until.min(next).saturating_sub(now + 1);
+            if cu.wavefronts.iter().any(|w| !w.done) {
+                self.stats.stall_cycles += next.saturating_sub(cu.busy_until.max(now + 1));
+            }
+        }
+    }
+
+    /// Executes one scheduler pass at simulated time `now`: per CU in
+    /// index order, workgroup dispatch, then (unless the issue stage
+    /// is occupied) round-robin selection and issue of one vector
+    /// instruction. This is exactly one iteration of the reference
+    /// cycle loop; the event-driven driver calls it only at event
+    /// times.
+    fn pass(&mut self, now: u64) -> Result<PassOutcome, SimError> {
+        self.stats.sched_iterations += 1;
+        let mut out = PassOutcome {
+            any_alive: false,
+            became_done: false,
+            dispatched: false,
+        };
+        for cu in self.cus.iter_mut() {
+            // Dispatch whole workgroups into free wavefront slots.
+            // Retired wavefronts are compacted once, *before* the slot
+            // computation (not per dispatched group), and the
+            // round-robin cursor is re-clamped so compaction cannot
+            // leave it pointing past the end of the list.
+            if self.next_group < self.total_groups {
+                cu.wavefronts.retain(|w| !w.done);
+                if cu.rr_cursor >= cu.wavefronts.len() {
+                    cu.rr_cursor = 0;
+                }
+                while self.next_group < self.total_groups {
+                    let live = cu.wavefronts.iter().filter(|w| !w.done).count() as u32;
+                    let free = self.config.max_wavefronts_per_cu - live;
+                    let first_item = self.next_group * self.sizes.1;
+                    let items_in_group = self.sizes.1.min(self.sizes.0 - first_item);
+                    let needed = self.config.wavefronts_per_group(items_in_group);
+                    if needed > free {
+                        break;
+                    }
+                    for wf_idx in 0..needed {
+                        let first_local = wf_idx * self.config.wavefront_size;
+                        let items = self.config.wavefront_size.min(items_in_group - first_local);
+                        cu.wavefronts.push(Wavefront::new(
+                            self.config.wavefront_size,
+                            self.next_group,
+                            first_item + first_local,
+                            first_local,
+                            items,
+                        ));
+                        self.stats.wavefronts += 1;
+                    }
+                    self.next_group += 1;
+                    out.dispatched = true;
+                }
+            }
+
+            let has_live = cu.wavefronts.iter().any(|w| !w.done);
+            if has_live {
+                out.any_alive = true;
+            }
+            if cu.busy_until > now {
+                self.stats.busy_cycles += 1;
+                continue;
+            }
+            // Round-robin wavefront selection.
+            let n_wf = cu.wavefronts.len();
+            let mut chosen = None;
+            for k in 0..n_wf {
+                let idx = (cu.rr_cursor + k) % n_wf;
+                let wf = &cu.wavefronts[idx];
+                if !wf.done && !wf.at_barrier && wf.ready_at <= now {
+                    chosen = Some(idx);
+                    break;
+                }
+            }
+            let Some(idx) = chosen else {
+                if has_live {
+                    self.stats.stall_cycles += 1;
+                }
+                continue;
+            };
+            cu.rr_cursor = (idx + 1) % n_wf;
+
+            out.became_done |= Self::issue(
+                &self.config,
+                self.program,
+                &self.params,
+                self.sizes,
+                self.memory,
+                &mut self.cache,
+                cu,
+                idx,
+                now,
+                &mut self.stats,
+            )?;
+        }
+        Ok(out)
     }
 
     /// Issues one vector instruction for wavefront `idx` of `cu`.
+    /// Returns whether a wavefront retired (freeing a dispatch slot).
     #[allow(clippy::too_many_arguments)]
     fn issue(
         config: &SimtConfig,
@@ -445,11 +678,11 @@ impl Gpu {
         idx: usize,
         now: u64,
         stats: &mut RunStats,
-    ) -> Result<(), SimError> {
+    ) -> Result<bool, SimError> {
         let wf = &mut cu.wavefronts[idx];
         let Some(pc) = wf.min_active_pc() else {
             wf.done = true;
-            return Ok(());
+            return Ok(true);
         };
         let inst = *program
             .get(pc as usize)
@@ -528,8 +761,7 @@ impl Gpu {
                     let line = u64::from(addr) / u64::from(cache.line_bytes());
                     if !touched_lines.contains(&line) {
                         touched_lines.push(line);
-                        let ready =
-                            cache.access(now, u64::from(addr), is_store);
+                        let ready = cache.access(now, u64::from(addr), is_store);
                         mem_ready = mem_ready.max(ready);
                     }
                     wf.pcs[l] = pc + 1;
@@ -595,8 +827,13 @@ impl Gpu {
         // Divides serialize on the shared iterative divider.
         if matches!(
             inst,
-            Inst::Alu { op: AluOp::Divu | AluOp::Remu, .. }
-                | Inst::AluImm { op: AluOp::Divu | AluOp::Remu, .. }
+            Inst::Alu {
+                op: AluOp::Divu | AluOp::Remu,
+                ..
+            } | Inst::AluImm {
+                op: AluOp::Divu | AluOp::Remu,
+                ..
+            }
         ) {
             beats += u64::from(lane_count) * u64::from(config.div_serial);
         }
@@ -622,7 +859,7 @@ impl Gpu {
             let group = cu.wavefronts[idx].group_id;
             Self::release_barrier_group(cu, group, now);
         }
-        Ok(())
+        Ok(became_done)
     }
 
     /// Advances every waiting wavefront of `group` past its barrier if
@@ -877,6 +1114,165 @@ mod tests {
 }
 
 #[cfg(test)]
+mod scheduler_equivalence_tests {
+    use super::*;
+
+    /// Runs `src` under both schedulers on identically-initialised
+    /// machines and checks the architectural counters are
+    /// bit-identical. Returns (event, reference) stats.
+    fn both(src: &str, cus: u32, launch: &Launch, seed: &[u32]) -> (RunStats, RunStats) {
+        let kernel = Kernel::from_asm("equiv", src).expect("valid");
+        let run = |reference: bool| {
+            let mut g = Gpu::new(SimtConfig::with_cus(cus), 1 << 16);
+            g.write_words(0x1000, seed).expect("in range");
+            let stats = if reference {
+                g.launch_reference(&kernel, launch).expect("runs")
+            } else {
+                g.launch(&kernel, launch).expect("runs")
+            };
+            (stats, g.read_words(0, 1 << 14).expect("in range"))
+        };
+        let (ev, ev_mem) = run(false);
+        let (re, re_mem) = run(true);
+        assert_eq!(ev_mem, re_mem, "schedulers must produce identical memory");
+        assert_eq!(ev, re, "architectural counters must be bit-identical");
+        (ev, re)
+    }
+
+    #[test]
+    fn compute_bound_kernel_matches_reference() {
+        let src = "
+            gid r1
+            addi r2, r0, 24
+            loop:
+            add r3, r3, r1
+            mul r4, r3, r1
+            addi r2, r2, -1
+            bne r2, r0, loop
+            ret
+        ";
+        let (ev, re) = both(src, 2, &Launch::new(512, 128, vec![]), &[]);
+        assert_eq!(ev.cycles, re.cycles);
+        assert!(ev.sched_iterations < re.sched_iterations);
+    }
+
+    #[test]
+    fn memory_bound_kernel_matches_and_skips_idle_cycles() {
+        // Strided loads: one cache line per lane, DRAM-latency bound.
+        let src = "
+            gid r1
+            param r2, 0
+            slli r3, r1, 6
+            add r3, r3, r2
+            lw r4, r3, 0
+            sw r3, r4, 4
+            ret
+        ";
+        let (ev, re) = both(src, 2, &Launch::new(512, 256, vec![0x1000]), &[7; 64]);
+        // Acceptance criterion: >= 5x fewer scheduler-loop iterations
+        // than the cycle stepper on memory-bound kernels.
+        assert!(
+            ev.sched_iterations * 5 <= re.sched_iterations,
+            "event-driven must skip idle cycles: {} vs {} passes",
+            ev.sched_iterations,
+            re.sched_iterations
+        );
+    }
+
+    #[test]
+    fn barrier_heavy_kernel_matches_and_skips_idle_cycles() {
+        // Repeated LRAM exchange across two wavefronts per group.
+        let src = "
+            lid   r1
+            slli  r2, r1, 2
+            addi  r5, r0, 8
+            round:
+            swl   r2, r1, 0
+            bar
+            lwl   r4, r2, 0
+            bar
+            addi  r5, r5, -1
+            bne   r5, r0, round
+            ret
+        ";
+        let (ev, re) = both(src, 2, &Launch::new(512, 128, vec![]), &[]);
+        assert!(
+            ev.sched_iterations * 5 <= re.sched_iterations,
+            "event-driven must skip barrier waits: {} vs {} passes",
+            ev.sched_iterations,
+            re.sched_iterations
+        );
+    }
+
+    #[test]
+    fn divergent_kernel_matches_reference() {
+        let src = "
+            gid  r1
+            andi r2, r1, 3
+            addi r3, r0, 12
+            beq  r2, r0, fast
+            slow:
+            addi r4, r4, 1
+            divu r5, r3, r2
+            blt  r4, r3, slow
+            ret
+            fast:
+            addi r4, r4, 2
+            ret
+        ";
+        both(src, 3, &Launch::new(448, 64, vec![]), &[]);
+    }
+
+    #[test]
+    fn partial_groups_and_multi_cu_match_reference() {
+        let src = "
+            gid   r1
+            param r2, 0
+            slli  r3, r1, 2
+            add   r3, r3, r2
+            lw    r4, r3, 0
+            addi  r4, r4, 5
+            sw    r3, r4, 0
+            ret
+        ";
+        for (n, wg, cus) in [(70, 64, 1), (300, 128, 2), (1000, 96, 4)] {
+            let seed: Vec<u32> = (0..1024).collect();
+            both(src, cus, &Launch::new(n, wg, vec![0x1000]), &seed);
+        }
+    }
+
+    #[test]
+    fn errors_match_reference() {
+        let kernel = Kernel::from_asm("oob", "lui r1, 0x7fff\nlw r2, r1, 0\nret").unwrap();
+        let launch = Launch::new(1, 1, vec![]);
+        let ev = Gpu::new(SimtConfig::with_cus(1), 1024).launch(&kernel, &launch);
+        let re = Gpu::new(SimtConfig::with_cus(1), 1024).launch_reference(&kernel, &launch);
+        assert_eq!(ev, re);
+        assert!(matches!(ev, Err(SimError::MemoryOutOfBounds { .. })));
+
+        let mut cfg = SimtConfig::with_cus(1);
+        cfg.max_cycles = 10_000;
+        let spin = Kernel::from_asm("spin", "forever: jmp forever").unwrap();
+        let launch = Launch::new(64, 64, vec![]);
+        let ev = Gpu::new(cfg, 1024).launch(&spin, &launch);
+        let re = Gpu::new(cfg, 1024).launch_reference(&spin, &launch);
+        assert_eq!(ev, re);
+        assert!(matches!(ev, Err(SimError::CycleLimit { limit: 10_000 })));
+    }
+
+    #[test]
+    fn wall_clock_and_throughput_are_recorded() {
+        let kernel = Kernel::from_asm("w", "gid r1\nmul r2, r1, r1\nret").unwrap();
+        let stats = Gpu::new(SimtConfig::with_cus(1), 4096)
+            .launch(&kernel, &Launch::new(256, 64, vec![]))
+            .unwrap();
+        assert!(stats.sim_wall > Duration::ZERO);
+        assert!(stats.simulated_cycles_per_second() > 0.0);
+        assert!(stats.sched_iterations > 0);
+    }
+}
+
+#[cfg(test)]
 mod occupancy_tests {
     use super::*;
 
@@ -909,9 +1305,13 @@ mod occupancy_tests {
         )
         .unwrap();
         let mut g1 = Gpu::new(SimtConfig::with_cus(1), 1 << 20);
-        let mem = g1.launch(&mem_kernel, &Launch::new(512, 512, vec![0])).unwrap();
+        let mem = g1
+            .launch(&mem_kernel, &Launch::new(512, 512, vec![0]))
+            .unwrap();
         let mut g2 = Gpu::new(SimtConfig::with_cus(1), 1 << 20);
-        let alu = g2.launch(&alu_kernel, &Launch::new(512, 512, vec![])).unwrap();
+        let alu = g2
+            .launch(&alu_kernel, &Launch::new(512, 512, vec![]))
+            .unwrap();
         assert!(
             mem.occupancy() < alu.occupancy(),
             "memory-bound occupancy {:.2} must be below compute-bound {:.2}",
@@ -960,7 +1360,9 @@ mod barrier_tests {
         let mut gpu = Gpu::new(SimtConfig::with_cus(2), 1 << 16);
         // 256 items in 128-item workgroups: two wavefronts per group,
         // so correctness requires the barrier to actually wait.
-        let stats = gpu.launch(&kernel, &Launch::new(256, 128, vec![0x400])).unwrap();
+        let stats = gpu
+            .launch(&kernel, &Launch::new(256, 128, vec![0x400]))
+            .unwrap();
         let out = gpu.read_words(0x400, 256).unwrap();
         for wg in 0..2u32 {
             for lid in 0..128u32 {
@@ -984,7 +1386,9 @@ mod barrier_tests {
         ";
         let kernel = Kernel::from_asm("divbar", src).unwrap();
         let mut gpu = Gpu::new(SimtConfig::with_cus(1), 1 << 12);
-        let err = gpu.launch(&kernel, &Launch::new(64, 64, vec![])).unwrap_err();
+        let err = gpu
+            .launch(&kernel, &Launch::new(64, 64, vec![]))
+            .unwrap_err();
         assert!(matches!(err, SimError::DivergentBarrier { .. }), "{err}");
     }
 

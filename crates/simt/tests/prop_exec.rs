@@ -3,33 +3,28 @@
 //! the machine's cycle accounting must respect basic monotonicity.
 
 use ggpu_isa::inst::AluOp;
+use ggpu_prop::cases;
 use ggpu_simt::{Gpu, Kernel, Launch, SimtConfig};
-use proptest::prelude::*;
 
-fn arb_op() -> impl Strategy<Value = (AluOp, &'static str)> {
-    prop_oneof![
-        Just((AluOp::Add, "add")),
-        Just((AluOp::Sub, "sub")),
-        Just((AluOp::Mul, "mul")),
-        Just((AluOp::And, "and")),
-        Just((AluOp::Or, "or")),
-        Just((AluOp::Xor, "xor")),
-        Just((AluOp::Sltu, "sltu")),
-    ]
-}
+const OPS: [(AluOp, &str); 7] = [
+    (AluOp::Add, "add"),
+    (AluOp::Sub, "sub"),
+    (AluOp::Mul, "mul"),
+    (AluOp::And, "and"),
+    (AluOp::Or, "or"),
+    (AluOp::Xor, "xor"),
+    (AluOp::Sltu, "sltu"),
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// out[i] = (i + c1) op (i * c2) evaluated per lane must match the
-    /// scalar computation for every work-item.
-    #[test]
-    fn vector_alu_matches_scalar_reference(
-        (op, mnemonic) in arb_op(),
-        c1 in 0i16..1000,
-        c2 in 0i16..1000,
-        n in 1u32..300,
-    ) {
+/// out[i] = (i + c1) op (i * c2) evaluated per lane must match the
+/// scalar computation for every work-item.
+#[test]
+fn vector_alu_matches_scalar_reference() {
+    cases(64, |rng| {
+        let (op, mnemonic) = rng.pick_copy(&OPS);
+        let c1 = rng.i32_in(0, 999) as i16;
+        let c2 = rng.i32_in(0, 999) as i16;
+        let n = rng.u32_in(1, 299);
         let src = format!(
             "
             gid   r1
@@ -46,23 +41,25 @@ proptest! {
         );
         let kernel = Kernel::from_asm("prop", &src).expect("valid");
         let mut gpu = Gpu::new(SimtConfig::with_cus(2), 1 << 16);
-        gpu.launch(&kernel, &Launch::new(n, 64, vec![0x100])).expect("runs");
+        gpu.launch(&kernel, &Launch::new(n, 64, vec![0x100]))
+            .expect("runs");
         let out = gpu.read_words(0x100, n as usize).expect("in range");
         for i in 0..n {
             let a = i.wrapping_add(c1 as u32);
             let b = i.wrapping_mul(c2 as u32);
-            prop_assert_eq!(out[i as usize], op.apply(a, b), "item {}", i);
+            assert_eq!(out[i as usize], op.apply(a, b), "item {i}");
         }
-    }
+    });
+}
 
-    /// Cycle counts grow with the grid and never go backwards when
-    /// work is added.
-    #[test]
-    fn cycles_monotonic_in_grid_size(n in 8u32..200) {
-        let kernel = Kernel::from_asm(
-            "work",
-            "gid r1\naddi r2, r1, 1\nmul r3, r2, r2\nret",
-        ).expect("valid");
+/// Cycle counts grow with the grid and never go backwards when
+/// work is added.
+#[test]
+fn cycles_monotonic_in_grid_size() {
+    cases(64, |rng| {
+        let n = rng.u32_in(8, 199);
+        let kernel =
+            Kernel::from_asm("work", "gid r1\naddi r2, r1, 1\nmul r3, r2, r2\nret").expect("valid");
         let run = |items: u32| {
             Gpu::new(SimtConfig::with_cus(1), 4096)
                 .launch(&kernel, &Launch::new(items, 64, vec![]))
@@ -70,25 +67,35 @@ proptest! {
         };
         let small = run(n);
         let large = run(n * 4);
-        prop_assert!(large.cycles >= small.cycles);
-        prop_assert!(large.lane_ops == small.lane_ops * 4);
-    }
+        assert!(large.cycles >= small.cycles);
+        assert!(large.lane_ops == small.lane_ops * 4);
+    });
+}
 
-    /// The same launch is bit-for-bit deterministic.
-    #[test]
-    fn launches_are_deterministic(n in 1u32..256, cus in 1u32..5) {
+/// The same launch is bit-for-bit deterministic.
+#[test]
+fn launches_are_deterministic() {
+    cases(64, |rng| {
+        let n = rng.u32_in(1, 255);
+        let cus = rng.u32_in(1, 4);
         let kernel = Kernel::from_asm(
             "det",
             "gid r1\nparam r2, 0\nslli r3, r1, 2\nadd r3, r3, r2\nsw r3, r1, 0\nret",
-        ).expect("valid");
+        )
+        .expect("valid");
         let run = || {
             let mut gpu = Gpu::new(SimtConfig::with_cus(cus), 1 << 14);
-            let stats = gpu.launch(&kernel, &Launch::new(n, 128, vec![0x200])).expect("runs");
-            (stats.cycles, gpu.read_words(0x200, n as usize).expect("in range"))
+            let stats = gpu
+                .launch(&kernel, &Launch::new(n, 128, vec![0x200]))
+                .expect("runs");
+            (
+                stats.cycles,
+                gpu.read_words(0x200, n as usize).expect("in range"),
+            )
         };
         let (c1, o1) = run();
         let (c2, o2) = run();
-        prop_assert_eq!(c1, c2);
-        prop_assert_eq!(o1, o2);
-    }
+        assert_eq!(c1, c2);
+        assert_eq!(o1, o2);
+    });
 }

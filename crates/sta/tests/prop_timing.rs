@@ -4,12 +4,12 @@
 use ggpu_netlist::module::{MacroInst, MemoryRole, Module};
 use ggpu_netlist::timing::{LogicStage, PathEndpoint, TimingPath};
 use ggpu_netlist::Design;
+use ggpu_prop::{cases, Rng};
 use ggpu_sta::{analyze, max_frequency};
 use ggpu_tech::sram::SramConfig;
 use ggpu_tech::stdcell::CellClass;
 use ggpu_tech::units::{Mhz, Ns};
 use ggpu_tech::Tech;
-use proptest::prelude::*;
 
 fn design_with_path(depth: usize, fanout: u32, words: u32) -> Design {
     let mut d = Design::new("t");
@@ -31,57 +31,86 @@ fn design_with_path(depth: usize, fanout: u32, words: u32) -> Design {
     d
 }
 
-proptest! {
-    /// More logic depth can only reduce fmax.
-    #[test]
-    fn fmax_monotonic_in_depth(depth in 1usize..30, fanout in 1u32..6, wp in 4u32..12) {
+fn arb_geometry(rng: &mut Rng) -> (usize, u32, u32) {
+    (rng.usize_in(1, 19), rng.u32_in(1, 5), rng.u32_in(4, 11))
+}
+
+/// More logic depth can only reduce fmax.
+#[test]
+fn fmax_monotonic_in_depth() {
+    cases(64, |rng| {
+        let depth = rng.usize_in(1, 29);
+        let fanout = rng.u32_in(1, 5);
+        let wp = rng.u32_in(4, 11);
         let tech = Tech::l65();
         let f1 = max_frequency(&design_with_path(depth, fanout, 1 << wp), &tech)
-            .unwrap().unwrap();
+            .unwrap()
+            .unwrap();
         let f2 = max_frequency(&design_with_path(depth + 1, fanout, 1 << wp), &tech)
-            .unwrap().unwrap();
-        prop_assert!(f2.value() < f1.value());
-    }
+            .unwrap()
+            .unwrap();
+        assert!(f2.value() < f1.value());
+    });
+}
 
-    /// Higher fanout can only reduce fmax.
-    #[test]
-    fn fmax_monotonic_in_fanout(depth in 1usize..20, fanout in 1u32..8, wp in 4u32..12) {
+/// Higher fanout can only reduce fmax.
+#[test]
+fn fmax_monotonic_in_fanout() {
+    cases(64, |rng| {
+        let (depth, fanout, wp) = arb_geometry(rng);
+        let fanout = fanout.min(7);
         let tech = Tech::l65();
         let f1 = max_frequency(&design_with_path(depth, fanout, 1 << wp), &tech)
-            .unwrap().unwrap();
+            .unwrap()
+            .unwrap();
         let f2 = max_frequency(&design_with_path(depth, fanout + 1, 1 << wp), &tech)
-            .unwrap().unwrap();
-        prop_assert!(f2.value() < f1.value());
-    }
+            .unwrap()
+            .unwrap();
+        assert!(f2.value() < f1.value());
+    });
+}
 
-    /// Slack at the zero-slack clock is zero, and shifting the clock
-    /// shifts slack by exactly the period delta.
-    #[test]
-    fn slack_tracks_period_exactly(depth in 1usize..20, wp in 4u32..12) {
+/// Slack at the zero-slack clock is zero, and shifting the clock
+/// shifts slack by exactly the period delta.
+#[test]
+fn slack_tracks_period_exactly() {
+    cases(64, |rng| {
+        let depth = rng.usize_in(1, 19);
+        let wp = rng.u32_in(4, 11);
         let tech = Tech::l65();
         let d = design_with_path(depth, 2, 1 << wp);
         let fmax = max_frequency(&d, &tech).unwrap().unwrap();
         let at_fmax = analyze(&d, &tech, fmax).unwrap();
-        prop_assert!(at_fmax.critical().unwrap().slack.abs() < Ns::new(1e-9));
+        assert!(at_fmax.critical().unwrap().slack.abs() < Ns::new(1e-9));
 
         let slower = Mhz::new(fmax.value() * 0.8);
         let at_slower = analyze(&d, &tech, slower).unwrap();
         let expected_gain = slower.period() - fmax.period();
         let gain = at_slower.critical().unwrap().slack - at_fmax.critical().unwrap().slack;
-        prop_assert!((gain - expected_gain).abs() < Ns::new(1e-9));
-    }
+        assert!((gain - expected_gain).abs() < Ns::new(1e-9));
+    });
+}
 
-    /// Route delay shifts arrival one-for-one.
-    #[test]
-    fn route_delay_adds_linearly(depth in 1usize..15, extra in 0.0f64..1.0) {
+/// Route delay shifts arrival one-for-one.
+#[test]
+fn route_delay_adds_linearly() {
+    cases(64, |rng| {
+        let depth = rng.usize_in(1, 14);
+        let extra = rng.f64_in(0.0, 1.0);
         let tech = Tech::l65();
         let mut d = design_with_path(depth, 2, 1024);
-        let base = analyze(&d, &tech, Mhz::new(400.0)).unwrap()
-            .critical().unwrap().arrival;
+        let base = analyze(&d, &tech, Mhz::new(400.0))
+            .unwrap()
+            .critical()
+            .unwrap()
+            .arrival;
         let top = d.top();
         d.module_mut(top).paths[0].route_delay = Ns::new(extra);
-        let with_route = analyze(&d, &tech, Mhz::new(400.0)).unwrap()
-            .critical().unwrap().arrival;
-        prop_assert!(((with_route - base) - Ns::new(extra)).abs() < Ns::new(1e-12));
-    }
+        let with_route = analyze(&d, &tech, Mhz::new(400.0))
+            .unwrap()
+            .critical()
+            .unwrap()
+            .arrival;
+        assert!(((with_route - base) - Ns::new(extra)).abs() < Ns::new(1e-12));
+    });
 }

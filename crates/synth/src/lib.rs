@@ -30,6 +30,5 @@ pub mod transform;
 pub use report::SynthesisReport;
 pub use synthesis::{synthesize, SynthesisError};
 pub use transform::{
-    divide_macro, insert_pipeline, DivideAxis, DivideOutcome, TransformError,
-    PIPELINE_WIDTH_BITS,
+    divide_macro, insert_pipeline, DivideAxis, DivideOutcome, TransformError, PIPELINE_WIDTH_BITS,
 };

@@ -1,7 +1,7 @@
 //! Synthesis report: one row of the paper's Table I.
 
 use ggpu_netlist::NetlistStats;
-use ggpu_tech::units::{MilliWatts, Mhz};
+use ggpu_tech::units::{Mhz, MilliWatts};
 use std::fmt;
 
 /// The result of logic synthesis of one design at one clock — exactly

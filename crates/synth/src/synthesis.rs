@@ -81,9 +81,12 @@ mod tests {
 
     fn trivial_design() -> Design {
         let mut d = Design::new("triv");
-        let id = d.add_module(
-            Module::new("m").with_group(CellGroup::new("r", CellClass::Dff, 100, 0.3)),
-        );
+        let id = d.add_module(Module::new("m").with_group(CellGroup::new(
+            "r",
+            CellClass::Dff,
+            100,
+            0.3,
+        )));
         d.set_top(id);
         d
     }

@@ -14,9 +14,9 @@
 use ggpu_netlist::module::{CellGroup, MacroInst};
 use ggpu_netlist::timing::{LogicStage, PathEndpoint};
 use ggpu_netlist::{Design, ModuleId};
-use ggpu_tech::sram::{CompileSramError, SramConfig};
 #[cfg(test)]
 use ggpu_tech::sram::PortKind;
+use ggpu_tech::sram::{CompileSramError, SramConfig};
 use ggpu_tech::stdcell::CellClass;
 use std::error::Error;
 use std::fmt;
@@ -212,7 +212,8 @@ pub fn divide_macro(
         }
         if matches!(&path.end, PathEndpoint::Macro(n) if n == macro_name) {
             path.end = PathEndpoint::Macro(first.clone());
-            path.stages.push(LogicStage::new(CellClass::Buf, parts.min(4)));
+            path.stages
+                .push(LogicStage::new(CellClass::Buf, parts.min(4)));
         }
     }
 

@@ -5,12 +5,12 @@
 use ggpu_netlist::module::{MacroInst, MemoryRole, Module};
 use ggpu_netlist::timing::{LogicStage, PathEndpoint, TimingPath};
 use ggpu_netlist::Design;
+use ggpu_prop::cases;
 use ggpu_sta::max_frequency;
 use ggpu_synth::{divide_macro, DivideAxis};
 use ggpu_tech::sram::SramConfig;
 use ggpu_tech::stdcell::CellClass;
 use ggpu_tech::Tech;
-use proptest::prelude::*;
 
 fn design_with(words: u32, bits: u32, depth: usize) -> (Design, ggpu_netlist::ModuleId) {
     let mut d = Design::new("t");
@@ -32,82 +32,107 @@ fn design_with(words: u32, bits: u32, depth: usize) -> (Design, ggpu_netlist::Mo
     (d, id)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// For large macros the access time saved always exceeds the MUX
+/// levels added, so division improves fmax. (For small macros the
+/// trade can go the other way — the diminishing-returns regime the
+/// DSE's progress check detects; the structural property below
+/// covers that range.)
+#[test]
+fn division_preserves_capacity_and_improves_fmax() {
+    cases(128, |rng| {
+        let wp = rng.u32_in(10, 14); // 1024..=16384 words
+        let bits = rng.u32_in(4, 128);
+        let factor_p = rng.u32_in(1, 3); // divide by 2, 4, 8
+        let depth = rng.usize_in(1, 11);
 
-    /// For large macros the access time saved always exceeds the MUX
-    /// levels added, so division improves fmax. (For small macros the
-    /// trade can go the other way — the diminishing-returns regime the
-    /// DSE's progress check detects; the structural property below
-    /// covers that range.)
-    #[test]
-    fn division_preserves_capacity_and_improves_fmax(
-        wp in 10u32..=14,         // 1024..=16384 words
-        bits in 4u32..=128,
-        factor_p in 1u32..=3,     // divide by 2, 4, 8
-        depth in 1usize..12,
-    ) {
-        let words = 1 << wp;
-        let factor = 1 << factor_p;
-        prop_assume!(words / factor >= 16);
+        let words = 1u32 << wp;
+        let factor = 1u32 << factor_p;
+        if words / factor < 16 {
+            return; // out of the compiler's word range; skip the case
+        }
         let tech = Tech::l65();
         let (mut d, id) = design_with(words, bits, depth);
         let before = max_frequency(&d, &tech).expect("times").expect("has paths");
-        let capacity_before: u64 = d.module(id).macros.iter()
-            .map(|m| m.config.capacity_bits()).sum();
+        let capacity_before: u64 = d
+            .module(id)
+            .macros
+            .iter()
+            .map(|m| m.config.capacity_bits())
+            .sum();
 
-        let out = divide_macro(&mut d, id, "ram", factor, DivideAxis::Words)
-            .expect("in-range division");
-        prop_assert!(d.validate().is_ok());
-        prop_assert_eq!(out.part_names.len(), factor as usize);
+        let out =
+            divide_macro(&mut d, id, "ram", factor, DivideAxis::Words).expect("in-range division");
+        assert!(d.validate().is_ok());
+        assert_eq!(out.part_names.len(), factor as usize);
 
-        let capacity_after: u64 = d.module(id).macros.iter()
-            .map(|m| m.config.capacity_bits()).sum();
-        prop_assert_eq!(capacity_before, capacity_after, "capacity preserved");
+        let capacity_after: u64 = d
+            .module(id)
+            .macros
+            .iter()
+            .map(|m| m.config.capacity_bits())
+            .sum();
+        assert_eq!(capacity_before, capacity_after, "capacity preserved");
 
         let after = max_frequency(&d, &tech).expect("times").expect("has paths");
-        prop_assert!(
+        assert!(
             after.value() >= before.value(),
-            "division must not slow the design: {} -> {}", before, after
+            "division must not slow the design: {before} -> {after}"
         );
-    }
+    });
+}
 
-    /// Division of *any* in-range macro — including small ones where
-    /// fmax may regress — always yields a structurally valid netlist
-    /// with preserved capacity and rewired paths.
-    #[test]
-    fn division_is_always_structurally_sound(
-        wp in 5u32..=14,
-        bits in 4u32..=128,
-        depth in 1usize..8,
-    ) {
-        let words = 1 << wp;
+/// Division of *any* in-range macro — including small ones where
+/// fmax may regress — always yields a structurally valid netlist
+/// with preserved capacity and rewired paths.
+#[test]
+fn division_is_always_structurally_sound() {
+    cases(128, |rng| {
+        let wp = rng.u32_in(5, 14);
+        let bits = rng.u32_in(4, 128);
+        let depth = rng.usize_in(1, 7);
+        let words = 1u32 << wp;
         let (mut d, id) = design_with(words, bits, depth);
         let out = divide_macro(&mut d, id, "ram", 2, DivideAxis::Words).expect("in range");
-        prop_assert!(d.validate().is_ok());
-        prop_assert!(d.module(id).find_macro("ram").is_none());
+        assert!(d.validate().is_ok());
+        assert!(d.module(id).find_macro("ram").is_none());
         for name in &out.part_names {
-            prop_assert!(d.module(id).find_macro(name).is_some());
+            assert!(d.module(id).find_macro(name).is_some());
         }
-        let read = d.module(id).paths.iter().find(|p| p.name == "read").expect("path kept");
-        prop_assert!(read.launches_from_macro(&out.part_names[0]));
-    }
+        let read = d
+            .module(id)
+            .paths
+            .iter()
+            .find(|p| p.name == "read")
+            .expect("path kept");
+        assert!(read.launches_from_macro(&out.part_names[0]));
+    });
+}
 
-    #[test]
-    fn bit_division_preserves_capacity(
-        wp in 4u32..=14,
-        halves in 1u32..=2,
-        depth in 1usize..8,
-    ) {
-        let words = 1 << wp;
+#[test]
+fn bit_division_preserves_capacity() {
+    cases(128, |rng| {
+        let wp = rng.u32_in(4, 14);
+        let halves = rng.u32_in(1, 2);
+        let depth = rng.usize_in(1, 7);
+        let words = 1u32 << wp;
         let bits = 64u32;
-        let factor = 1 << halves;
+        let factor = 1u32 << halves;
         let tech = Tech::l65();
         let (mut d, id) = design_with(words, bits, depth);
-        let cap_before: u64 = d.module(id).macros.iter().map(|m| m.config.capacity_bits()).sum();
+        let cap_before: u64 = d
+            .module(id)
+            .macros
+            .iter()
+            .map(|m| m.config.capacity_bits())
+            .sum();
         divide_macro(&mut d, id, "ram", factor, DivideAxis::Bits).expect("in range");
-        let cap_after: u64 = d.module(id).macros.iter().map(|m| m.config.capacity_bits()).sum();
-        prop_assert_eq!(cap_before, cap_after);
-        prop_assert!(max_frequency(&d, &tech).expect("times").is_some());
-    }
+        let cap_after: u64 = d
+            .module(id)
+            .macros
+            .iter()
+            .map(|m| m.config.capacity_bits())
+            .sum();
+        assert_eq!(cap_before, cap_after);
+        assert!(max_frequency(&d, &tech).expect("times").is_some());
+    });
 }

@@ -177,10 +177,16 @@ impl fmt::Display for CompileSramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileSramError::WordsOutOfRange(w) => {
-                write!(f, "word count {w} outside compiler range {MIN_WORDS}-{MAX_WORDS}")
+                write!(
+                    f,
+                    "word count {w} outside compiler range {MIN_WORDS}-{MAX_WORDS}"
+                )
             }
             CompileSramError::BitsOutOfRange(b) => {
-                write!(f, "word size {b} outside compiler range {MIN_BITS}-{MAX_BITS}")
+                write!(
+                    f,
+                    "word size {b} outside compiler range {MIN_BITS}-{MAX_BITS}"
+                )
             }
             CompileSramError::UnevenSplit { extent, parts } => {
                 write!(f, "cannot split extent {extent} into {parts} equal parts")
@@ -453,7 +459,10 @@ mod tests {
 
         assert!(matches!(
             cfg.split_words(3),
-            Err(CompileSramError::UnevenSplit { extent: 2048, parts: 3 })
+            Err(CompileSramError::UnevenSplit {
+                extent: 2048,
+                parts: 3
+            })
         ));
         // Splitting a 16-word macro would go below the range.
         assert!(SramConfig::dual(16, 32).split_words(2).is_err());
@@ -481,7 +490,11 @@ mod tests {
         // The bounding box should be within 2.5x of the reported area
         // (periphery and routing halo).
         let bbox = m.width.value() * m.height.value();
-        assert!(bbox < 2.5 * m.area.value(), "bbox {bbox} vs area {}", m.area);
+        assert!(
+            bbox < 2.5 * m.area.value(),
+            "bbox {bbox} vs area {}",
+            m.area
+        );
     }
 
     #[test]

@@ -315,9 +315,7 @@ mod tests {
 
     #[test]
     fn sum_of_quantities() {
-        let total: Ns = [Ns::new(0.1), Ns::new(0.2), Ns::new(0.3)]
-            .into_iter()
-            .sum();
+        let total: Ns = [Ns::new(0.1), Ns::new(0.2), Ns::new(0.3)].into_iter().sum();
         assert!((total.value() - 0.6).abs() < 1e-12);
     }
 

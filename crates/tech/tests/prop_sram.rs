@@ -2,78 +2,110 @@
 //! invariants GPUPlanner's exploration depends on must hold across
 //! the whole geometry space, not just the calibrated points.
 
+use ggpu_prop::{cases, Rng};
 use ggpu_tech::sram::{CompileSramError, MemoryCompiler, PortKind, SramConfig};
-use proptest::prelude::*;
 
-fn arb_words() -> impl Strategy<Value = u32> {
-    (4u32..=16).prop_map(|p| 1 << p) // 16..=65536, power of two
+fn arb_words(rng: &mut Rng) -> u32 {
+    1 << rng.u32_in(4, 16) // 16..=65536, power of two
 }
 
-fn arb_bits() -> impl Strategy<Value = u32> {
-    2u32..=144
+fn arb_bits(rng: &mut Rng) -> u32 {
+    rng.u32_in(2, 144)
 }
 
-fn arb_ports() -> impl Strategy<Value = PortKind> {
-    prop_oneof![Just(PortKind::Single), Just(PortKind::Dual)]
+fn arb_ports(rng: &mut Rng) -> PortKind {
+    rng.pick_copy(&[PortKind::Single, PortKind::Dual])
 }
 
-proptest! {
-    #[test]
-    fn every_in_range_geometry_compiles(words in arb_words(), bits in arb_bits(), ports in arb_ports()) {
+#[test]
+fn every_in_range_geometry_compiles() {
+    cases(256, |rng| {
+        let (words, bits, ports) = (arb_words(rng), arb_bits(rng), arb_ports(rng));
         let m = MemoryCompiler::l65lp()
             .compile(SramConfig { words, bits, ports })
             .expect("in-range geometry");
-        prop_assert!(m.area.value() > 0.0);
-        prop_assert!(m.access_time.value() > 0.0);
-        prop_assert!(m.cycle_time >= m.access_time);
-        prop_assert!(m.leakage.value() > 0.0);
-        prop_assert!(m.read_energy.value() > 0.0);
+        assert!(m.area.value() > 0.0);
+        assert!(m.access_time.value() > 0.0);
+        assert!(m.cycle_time >= m.access_time);
+        assert!(m.leakage.value() > 0.0);
+        assert!(m.read_energy.value() > 0.0);
         // Footprint is consistent with the reported area.
         let bbox = m.width.value() * m.height.value();
-        prop_assert!((bbox - m.area.value()).abs() / m.area.value() < 1e-6);
-    }
+        assert!((bbox - m.area.value()).abs() / m.area.value() < 1e-6);
+    });
+}
 
-    #[test]
-    fn more_words_is_bigger_and_slower(words in (4u32..=15).prop_map(|p| 1 << p), bits in arb_bits(), ports in arb_ports()) {
+#[test]
+fn more_words_is_bigger_and_slower() {
+    cases(256, |rng| {
+        let words = 1 << rng.u32_in(4, 15);
+        let (bits, ports) = (arb_bits(rng), arb_ports(rng));
         let c = MemoryCompiler::l65lp();
-        let small = c.compile(SramConfig { words, bits, ports }).expect("in range");
-        let big = c.compile(SramConfig { words: words * 2, bits, ports }).expect("in range");
-        prop_assert!(big.area > small.area);
-        prop_assert!(big.access_time > small.access_time);
-        prop_assert!(big.leakage > small.leakage);
-    }
+        let small = c
+            .compile(SramConfig { words, bits, ports })
+            .expect("in range");
+        let big = c
+            .compile(SramConfig {
+                words: words * 2,
+                bits,
+                ports,
+            })
+            .expect("in range");
+        assert!(big.area > small.area);
+        assert!(big.access_time > small.access_time);
+        assert!(big.leakage > small.leakage);
+    });
+}
 
-    #[test]
-    fn division_always_trades_area_for_speed(words in (5u32..=16).prop_map(|p| 1 << p), bits in arb_bits(), ports in arb_ports()) {
+#[test]
+fn division_always_trades_area_for_speed() {
+    cases(256, |rng| {
+        let words = 1 << rng.u32_in(5, 16);
+        let (bits, ports) = (arb_bits(rng), arb_ports(rng));
         let c = MemoryCompiler::l65lp();
         let cfg = SramConfig { words, bits, ports };
         let whole = c.compile(cfg).expect("in range");
         let parts = cfg.split_words(2).expect("even split stays in range");
         let part = c.compile(parts[0]).expect("in range");
-        prop_assert!(part.access_time < whole.access_time, "division must speed access");
-        prop_assert!(
+        assert!(
+            part.access_time < whole.access_time,
+            "division must speed access"
+        );
+        assert!(
             2.0 * part.area.value() > whole.area.value(),
             "division must cost area"
         );
         // Capacity is preserved.
         let cap: u64 = parts.iter().map(|p| p.capacity_bits()).sum();
-        prop_assert_eq!(cap, cfg.capacity_bits());
-    }
+        assert_eq!(cap, cfg.capacity_bits());
+    });
+}
 
-    #[test]
-    fn out_of_range_is_rejected_not_mischaracterized(words in prop_oneof![0u32..16, 65_537u32..200_000], bits in arb_bits()) {
+#[test]
+fn out_of_range_is_rejected_not_mischaracterized() {
+    cases(256, |rng| {
+        let words = if rng.chance(0.5) {
+            rng.u32_in(0, 15)
+        } else {
+            rng.u32_in(65_537, 199_999)
+        };
+        let bits = arb_bits(rng);
         let r = MemoryCompiler::l65lp().compile(SramConfig::dual(words, bits));
-        prop_assert_eq!(r.unwrap_err(), CompileSramError::WordsOutOfRange(words));
-    }
+        assert_eq!(r.unwrap_err(), CompileSramError::WordsOutOfRange(words));
+    });
+}
 
-    #[test]
-    fn bit_split_roundtrip(words in arb_words(), halves in 1u32..=3) {
+#[test]
+fn bit_split_roundtrip() {
+    cases(128, |rng| {
+        let words = arb_words(rng);
+        let halves = rng.u32_in(1, 3);
         let bits = 48u32;
         let n = 1 << halves; // 2, 4, 8
         let cfg = SramConfig::dual(words, bits);
         let parts = cfg.split_bits(n).expect("48 divides by 2,4,8");
-        prop_assert_eq!(parts.len(), n as usize);
+        assert_eq!(parts.len(), n as usize);
         let cap: u64 = parts.iter().map(|p| p.capacity_bits()).sum();
-        prop_assert_eq!(cap, cfg.capacity_bits());
-    }
+        assert_eq!(cap, cfg.capacity_bits());
+    });
 }

@@ -22,11 +22,15 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Area ratio from the same technology models used for synthesis.
     let tech = Tech::l65();
-    let riscv_area = design_stats(&generate_riscv(&RiscvConfig::default()), &tech)?
-        .total_area();
+    let riscv_area = design_stats(&generate_riscv(&RiscvConfig::default()), &tech)?.total_area();
     println!("workload size n = {n}\n");
-    println!("{:>14}  {:>10}  {:>9}  {:>9}  {:>10}", "kernel", "riscv cyc", "gpu 1cu", "speedup", "per-area");
+    println!(
+        "{:>14}  {:>10}  {:>9}  {:>9}  {:>10}  {:>10}  {:>11}",
+        "kernel", "riscv cyc", "gpu 1cu", "speedup", "per-area", "sim wall", "sim cyc/s"
+    );
 
+    let mut total_cycles: u64 = 0;
+    let mut total_wall = std::time::Duration::ZERO;
     for bench in all() {
         // Keep the heavy quadratic kernels at a laptop-friendly size.
         let n = match bench.name {
@@ -36,14 +40,30 @@ fn main() -> Result<(), Box<dyn Error>> {
         let rv = bench.run_riscv(n.min(2048))?;
         let gpu = bench.run_gpu(n, 1)?;
         let speedup = scaled_speedup(rv.cycles, n.min(2048), gpu.cycles, n);
-        let ggpu_area =
-            design_stats(&generate(&GgpuConfig::with_cus(1)?)?, &tech)?.total_area();
+        let ggpu_area = design_stats(&generate(&GgpuConfig::with_cus(1)?)?, &tech)?.total_area();
         let per_area = speedup / (ggpu_area / riscv_area);
+        total_cycles += gpu.cycles;
+        total_wall += gpu.sim_wall;
         println!(
-            "{:>14}  {:>10}  {:>9}  {:>8.1}x  {:>9.2}x",
-            bench.name, rv.cycles, gpu.cycles, speedup, per_area
+            "{:>14}  {:>10}  {:>9}  {:>8.1}x  {:>9.2}x  {:>8.1?}  {:>10.2e}",
+            bench.name,
+            rv.cycles,
+            gpu.cycles,
+            speedup,
+            per_area,
+            gpu.sim_wall,
+            gpu.simulated_cycles_per_second()
         );
     }
+    let total_rate = if total_wall.as_secs_f64() > 0.0 {
+        total_cycles as f64 / total_wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!(
+        "\nevent-driven simulator: {total_cycles} GPU cycles in {total_wall:.1?} \
+         ({total_rate:.2e} simulated cycles/s host throughput)."
+    );
     println!(
         "\nreading: >1x per-area means the accelerator outperforms simply \
          tiling the chip with RISC-V cores (paper Fig. 6)."

@@ -49,8 +49,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // The map also reports when a target is out of reach.
-    let too_fast =
-        g_gpu::planner::Specification::new(1, g_gpu::tech::units::Mhz::new(1200.0));
+    let too_fast = g_gpu::planner::Specification::new(1, g_gpu::tech::units::Mhz::new(1200.0));
     match planner.plan(&too_fast) {
         Err(e) => println!("\n1.2 GHz request: {e}"),
         Ok(_) => println!("\n1.2 GHz request unexpectedly succeeded"),

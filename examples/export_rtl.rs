@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for entry in fs::read_dir(&out_dir)? {
         let entry = entry?;
-        println!("{} ({} bytes)", entry.path().display(), entry.metadata()?.len());
+        println!(
+            "{} ({} bytes)",
+            entry.path().display(),
+            entry.metadata()?.len()
+        );
     }
     Ok(())
 }

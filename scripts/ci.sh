@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point. Fully offline: the workspace has no external
+# dependencies, so every step below runs without network access.
+#
+#   scripts/ci.sh          # the full gate
+#   GGPU_THREADS=1 scripts/ci.sh   # force single-threaded sweeps
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt (check) =="
+cargo fmt --all -- --check
+
+echo "== clippy (-D warnings, all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test (workspace) =="
+# NOTE: the root manifest is both the workspace and the `g-gpu` facade
+# package, so a bare `cargo test` would only run the facade's tests.
+cargo test --workspace -q
+
+echo "== smoke (event-driven simulator, ~2 s) =="
+cargo run --release --example accelerator_vs_cpu 512
+
+echo "== ci green =="

@@ -44,9 +44,10 @@ fn cycle_counts_are_deterministic() {
 
 #[test]
 fn gpu_cycle_counts_scale_down_with_cus_for_parallel_kernels() {
-    for bench in all().iter().filter(|b| {
-        matches!(b.name, "mat_mul" | "fir" | "parallel_sel")
-    }) {
+    for bench in all()
+        .iter()
+        .filter(|b| matches!(b.name, "mat_mul" | "fir" | "parallel_sel"))
+    {
         let c1 = bench.run_gpu(1024, 1).unwrap().cycles;
         let c4 = bench.run_gpu(1024, 4).unwrap().cycles;
         assert!(

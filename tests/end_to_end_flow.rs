@@ -45,10 +45,18 @@ fn the_four_physical_versions_behave_like_the_paper() {
 fn eight_cu_layout_has_more_wire_on_every_layer_than_one_cu() {
     let planner = GpuPlanner::new(Tech::l65());
     let one = planner
-        .implement(&planner.plan(&Specification::new(1, Mhz::new(500.0))).unwrap())
+        .implement(
+            &planner
+                .plan(&Specification::new(1, Mhz::new(500.0)))
+                .unwrap(),
+        )
         .unwrap();
     let eight = planner
-        .implement(&planner.plan(&Specification::new(8, Mhz::new(500.0))).unwrap())
+        .implement(
+            &planner
+                .plan(&Specification::new(8, Mhz::new(500.0)))
+                .unwrap(),
+        )
         .unwrap();
     for layer in ["M2", "M3", "M4", "M5", "M6", "M7"] {
         assert!(
@@ -81,8 +89,7 @@ fn rebuilt_design_synthesizes_identically() {
     let spec = Specification::new(2, Mhz::new(590.0));
     let planned = planner.plan(&spec).unwrap();
     let rebuilt = planner.rebuild(&spec, &planned.plan).unwrap();
-    let report =
-        g_gpu::synth::synthesize(&rebuilt, planner.tech(), spec.frequency).unwrap();
+    let report = g_gpu::synth::synthesize(&rebuilt, planner.tech(), spec.frequency).unwrap();
     assert_eq!(report.stats, planned.synthesis.stats);
     assert_eq!(report.meets_timing, planned.synthesis.meets_timing);
 }
@@ -108,7 +115,11 @@ fn replicating_the_memory_controller_rescues_8cu_at_667mhz() {
     // must close a higher clock than with one.
     let planner = GpuPlanner::new(Tech::l65());
     let single = planner
-        .implement(&planner.plan(&Specification::new(8, Mhz::new(667.0))).unwrap())
+        .implement(
+            &planner
+                .plan(&Specification::new(8, Mhz::new(667.0)))
+                .unwrap(),
+        )
         .unwrap();
     let spec2 = Specification::new(8, Mhz::new(667.0)).with_memory_controllers(2);
     let doubled = planner.implement(&planner.plan(&spec2).unwrap()).unwrap();

@@ -25,7 +25,9 @@ fn every_subsystem_is_reachable_through_the_facade() {
 
     // planner
     let planner = GpuPlanner::new(tech);
-    assert!(planner.estimate(&Specification::new(1, Mhz::new(500.0))).is_ok());
+    assert!(planner
+        .estimate(&Specification::new(1, Mhz::new(500.0)))
+        .is_ok());
 
     // isa + simt
     let kernel = Kernel {

@@ -64,10 +64,7 @@ fn map_divides_memories_before_pipelining() {
         .iter()
         .position(|t| t.starts_with("divide"))
         .expect("at least one division");
-    let first_pipeline = version
-        .trace
-        .iter()
-        .position(|t| t.starts_with("pipeline"));
+    let first_pipeline = version.trace.iter().position(|t| t.starts_with("pipeline"));
     if let Some(p) = first_pipeline {
         assert!(first_division < p, "trace: {:?}", version.trace);
     }
@@ -146,9 +143,17 @@ fn slow_corner_needs_a_bigger_recipe_for_the_same_target() {
     let spec = Specification::new(1, Mhz::new(590.0));
     let plan_tt = tt.plan(&spec).unwrap();
     let plan_ss = ss.plan(&spec).unwrap();
-    assert!(plan_ss.synthesis.meets_timing, "590 is still reachable at ss");
+    assert!(
+        plan_ss.synthesis.meets_timing,
+        "590 is still reachable at ss"
+    );
     let work = |p: &g_gpu::planner::PlannedVersion| {
-        p.plan.divisions.values().map(|f| *f as usize).sum::<usize>() + p.plan.pipelines.len()
+        p.plan
+            .divisions
+            .values()
+            .map(|f| *f as usize)
+            .sum::<usize>()
+            + p.plan.pipelines.len()
     };
     assert!(
         work(&plan_ss) > work(&plan_tt),
@@ -177,7 +182,9 @@ fn slow_corner_baseline_misses_500() {
     assert!(fmax.value() < 500.0, "ss baseline fmax {fmax}");
     // ...and the planner recovers it with divisions.
     let planner = GpuPlanner::new(ss);
-    let v = planner.plan(&Specification::new(1, Mhz::new(500.0))).unwrap();
+    let v = planner
+        .plan(&Specification::new(1, Mhz::new(500.0)))
+        .unwrap();
     assert!(v.synthesis.meets_timing);
     assert!(!v.plan.is_empty());
 }
