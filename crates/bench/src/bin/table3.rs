@@ -3,7 +3,7 @@
 //! verified against the golden reference before its cycles are
 //! reported.
 
-use ggpu_bench::{ascii_table, collect_table3};
+use ggpu_bench::{ascii_table, collect_table3, lint_preflight};
 
 /// Paper Table III k-cycle counts:
 /// (kernel, riscv, 1cu, 2cu, 4cu, 8cu).
@@ -18,6 +18,7 @@ const PAPER_KCYCLES: [(&str, u64, u64, u64, u64, u64); 7] = [
 ];
 
 fn main() {
+    lint_preflight();
     let data = collect_table3();
     let header: Vec<String> = [
         "kernel", "n(rv)", "n(gpu)", "rv kcyc", "1cu", "2cu", "4cu", "8cu", "| paper:", "rv",

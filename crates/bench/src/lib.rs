@@ -21,6 +21,34 @@ use std::fmt::Write as _;
 /// CU counts of the paper's benchmark comparison.
 pub const BENCH_CUS: [u32; 4] = [1, 2, 4, 8];
 
+/// Pre-flight static verification of every shipped kernel: the
+/// cycle-count harnesses run for minutes, so a kernel edit that would
+/// fault in the simulator should fail here, in milliseconds, with the
+/// lint report instead. Returns the one-line summary it also prints.
+///
+/// # Panics
+///
+/// Panics with the full report if any shipped kernel has a deny-level
+/// finding.
+pub fn lint_preflight() -> String {
+    let reports = ggpu_lint::verify_shipped(&ggpu_lint::LintConfig::new());
+    let denials: usize = reports.iter().map(ggpu_lint::Report::denial_count).sum();
+    for report in &reports {
+        assert_eq!(
+            report.denial_count(),
+            0,
+            "shipped kernel failed static verification:\n{report}"
+        );
+    }
+    let summary = format!(
+        "lint preflight: {} kernels, {} denials",
+        reports.len(),
+        denials
+    );
+    println!("{summary}");
+    summary
+}
+
 /// Renders an ASCII table: a header row plus data rows, columns
 /// right-aligned and sized to the widest cell.
 pub fn ascii_table(header: &[String], rows: &[Vec<String>]) -> String {

@@ -59,10 +59,9 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AssembleError> {
     let idx: u8 = rest
         .parse()
         .map_err(|_| err(line, format!("bad register `{tok}`")))?;
-    if idx >= Reg::COUNT {
-        return Err(err(line, format!("register {tok} out of range")));
-    }
-    Ok(Reg::new(idx))
+    // `try_new` (not `new`) so an out-of-range index can never panic
+    // the assembler, whatever the caller feeds it.
+    Reg::try_new(idx).ok_or_else(|| err(line, format!("register {tok} out of range")))
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<i16, AssembleError> {
@@ -171,7 +170,10 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AssembleError> {
         }
 
         let mut parts = text.split_whitespace();
-        let mnemonic = parts.next().expect("nonempty").to_ascii_lowercase();
+        // `text` is non-empty here, but stay panic-free on principle:
+        // the assembler must return `AssembleError`, never abort.
+        let Some(first) = parts.next() else { continue };
+        let mnemonic = first.to_ascii_lowercase();
         let ops: Vec<String> = parts
             .collect::<Vec<_>>()
             .join(" ")
@@ -390,6 +392,114 @@ mod tests {
     fn bad_register_reports_error() {
         assert!(assemble("add r1, r2, r99").is_err());
         assert!(assemble("add r1, r2, x3").is_err());
+    }
+
+    #[test]
+    fn register_32_is_the_exact_boundary() {
+        // r31 is the last architectural register; r32 must be a clean
+        // error (not a panic) in every operand position.
+        assert!(assemble("add r31, r31, r31").is_ok());
+        let e = assemble("add r1, r2, r32").unwrap_err();
+        assert!(e.message.contains("out of range"), "{}", e.message);
+        assert!(assemble("add r32, r0, r0").is_err());
+        assert!(assemble("lw r1, r32, 0").is_err());
+        assert!(assemble("gid r32").is_err());
+        // Huge index that overflows u8 parsing entirely.
+        assert!(assemble("add r1, r2, r300").is_err());
+    }
+
+    #[test]
+    fn oversized_immediates_rejected() {
+        assert!(assemble("addi r1, r0, 32767").is_ok());
+        assert!(assemble("addi r1, r0, -32768").is_ok());
+        let e = assemble("addi r1, r0, 32768").unwrap_err();
+        assert!(e.message.contains("16-bit"), "{}", e.message);
+        assert!(assemble("addi r1, r0, -32769").is_err());
+        assert!(assemble("lw r1, r2, 0x10000").is_err());
+        // lui takes the raw 16-bit field: 65535 ok, 65536 not.
+        assert!(assemble("lui r1, 65535").is_ok());
+        assert!(assemble("lui r1, 65536").is_err());
+        assert!(assemble("lui r1, -32769").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_error_cleanly() {
+        // A grab-bag of malformed input: every case must produce an
+        // `AssembleError`, never a panic.
+        for src in [
+            ":",
+            "a b: nop",
+            "addi r1, r0,",
+            "addi , ,",
+            "param r1, -1",
+            "param r1, banana",
+            "lui r1",
+            "jmp",
+            "ret r1",
+            "bar r0",
+            "\u{0}",
+            "add r1, r2, r3, r4",
+        ] {
+            assert!(assemble(src).is_err(), "accepted malformed `{src}`");
+        }
+    }
+
+    #[test]
+    fn assemble_never_panics_on_garbage() {
+        // Fuzz the assembler with random token soup; any outcome is
+        // fine as long as it is a `Result`, not an abort.
+        let tokens = [
+            "add",
+            "addi",
+            "lui",
+            "beq",
+            "jmp",
+            "ret",
+            "bar",
+            "nop",
+            "param",
+            "lw",
+            "swl",
+            "gid",
+            "r0",
+            "r1",
+            "r31",
+            "r32",
+            "r255",
+            "r999999999999",
+            "x7",
+            "0",
+            "-1",
+            "32768",
+            "-32769",
+            "0x",
+            "0xzz",
+            "65536",
+            ",",
+            ",,",
+            ":",
+            "::",
+            "loop:",
+            "loop",
+            ";",
+            "; comment",
+            "\t",
+        ];
+        ggpu_prop::cases(256, |rng| {
+            let lines = rng.usize_in(0, 6);
+            let mut src = String::new();
+            for _ in 0..lines {
+                let toks = rng.usize_in(0, 5);
+                for t in 0..toks {
+                    if t > 0 {
+                        src.push(if rng.chance(0.5) { ' ' } else { ',' });
+                    }
+                    src.push_str(rng.pick_copy(&tokens));
+                }
+                src.push('\n');
+            }
+            let _ = assemble(&src);
+        });
     }
 
     #[test]

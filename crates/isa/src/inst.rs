@@ -28,6 +28,17 @@ impl Reg {
         Self(index)
     }
 
+    /// Creates a register index, returning `None` if `index >= 32` —
+    /// the non-panicking form for untrusted input (the assembler and
+    /// the instruction decoder go through this).
+    pub const fn try_new(index: u8) -> Option<Self> {
+        if index < Self::COUNT {
+            Some(Self(index))
+        } else {
+            None
+        }
+    }
+
     /// The raw index.
     pub const fn index(self) -> usize {
         self.0 as usize

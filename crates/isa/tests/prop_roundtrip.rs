@@ -1,0 +1,150 @@
+//! Property tests for the text and binary round-trips:
+//!
+//! * `assemble(&disassemble(p)) == p` for random valid programs,
+//! * `decode(encode(i)) == i` for every instruction of those programs.
+//!
+//! The generator draws control-flow targets from `0..=len` (a target
+//! equal to the program length is legal — the disassembler emits a
+//! trailing label for it), so the round-trip covers that edge case too.
+
+use ggpu_isa::asm::assemble;
+use ggpu_isa::disasm::disassemble;
+use ggpu_isa::encode::{decode, encode};
+use ggpu_isa::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
+use ggpu_prop::Rng;
+
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+const CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+const ID_SOURCES: [IdSource; 5] = [
+    IdSource::GlobalId,
+    IdSource::LocalId,
+    IdSource::GroupId,
+    IdSource::GroupSize,
+    IdSource::GlobalSize,
+];
+
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.usize_in(0, Reg::COUNT as usize - 1) as u8)
+}
+
+/// One random instruction; control-flow targets are drawn from
+/// `0..=len` inclusive.
+fn any_inst(rng: &mut Rng, len: usize) -> Inst {
+    match rng.usize_in(0, 12) {
+        0 => Inst::Alu {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        1 => Inst::AluImm {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        2 => Inst::Lui {
+            rd: any_reg(rng),
+            imm: rng.any_u16(),
+        },
+        3 => Inst::ReadId {
+            rd: any_reg(rng),
+            src: rng.pick_copy(&ID_SOURCES),
+        },
+        4 => Inst::Param {
+            rd: any_reg(rng),
+            idx: rng.usize_in(0, 7) as u8,
+        },
+        5 => Inst::Lw {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        6 => Inst::Sw {
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        7 => Inst::Lwl {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        8 => Inst::Swl {
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        9 => Inst::Branch {
+            cond: rng.pick_copy(&CONDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            target: rng.usize_in(0, len) as u32,
+        },
+        10 => Inst::Jmp {
+            target: rng.usize_in(0, len) as u32,
+        },
+        11 => Inst::Bar,
+        _ => Inst::Ret,
+    }
+}
+
+fn any_program(rng: &mut Rng) -> Vec<Inst> {
+    let len = rng.usize_in(1, 24);
+    (0..len).map(|_| any_inst(rng, len)).collect()
+}
+
+#[test]
+fn asm_text_roundtrip() {
+    ggpu_prop::cases(256, |rng| {
+        let program = any_program(rng);
+        let text = disassemble(&program);
+        let back = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        assert_eq!(back, program, "text round-trip diverged:\n{text}");
+    });
+}
+
+#[test]
+fn binary_encoding_roundtrip() {
+    ggpu_prop::cases(256, |rng| {
+        let program = any_program(rng);
+        for inst in &program {
+            let word = encode(*inst);
+            let back = decode(word)
+                .unwrap_or_else(|e| panic!("decode failed for {inst:?} (0x{word:08x}): {e}"));
+            assert_eq!(back, *inst, "binary round-trip diverged at 0x{word:08x}");
+        }
+    });
+}
+
+#[test]
+fn trailing_label_target_survives_roundtrip() {
+    // A jump to `len` (one past the end) is representable in text via
+    // the trailing label; make sure it survives specifically.
+    let program = vec![Inst::Jmp { target: 2 }, Inst::Ret];
+    let text = disassemble(&program);
+    assert_eq!(assemble(&text).unwrap(), program);
+}

@@ -108,6 +108,8 @@ pub fn all() -> [Bench; 7] {
 pub enum BenchError {
     /// The SIMT kernel failed to assemble (a bug in the kernel text).
     GpuAsm(ggpu_isa::AssembleError),
+    /// The SIMT kernel failed the static pre-flight verifier.
+    GpuVerify(ggpu_simt::KernelVerifyError),
     /// The RISC-V program failed to assemble.
     RiscvAsm(AssembleRvError),
     /// The SIMT simulation faulted.
@@ -131,6 +133,7 @@ impl fmt::Display for BenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BenchError::GpuAsm(e) => write!(f, "gpu kernel assembly: {e}"),
+            BenchError::GpuVerify(e) => write!(f, "gpu kernel verification: {e}"),
             BenchError::RiscvAsm(e) => write!(f, "riscv assembly: {e}"),
             BenchError::Gpu(e) => write!(f, "gpu simulation: {e}"),
             BenchError::Riscv(e) => write!(f, "riscv simulation: {e}"),
@@ -284,7 +287,8 @@ impl Bench {
         if !b.is_empty() {
             gpu.write_words(GPU_B, &b).map_err(BenchError::Gpu)?;
         }
-        let kernel = Kernel::from_asm(self.name, self.gpu_asm()).map_err(BenchError::GpuAsm)?;
+        let kernel =
+            Kernel::from_asm_verified(self.name, self.gpu_asm()).map_err(BenchError::GpuVerify)?;
         let wg = n.min(256);
         let launch = Launch::new(n, wg, vec![n, GPU_A, GPU_B, GPU_OUT, self.extra(n)]);
         let stats = if reference {

@@ -1,0 +1,10 @@
+
+    gid   r1
+    param r2, 1
+    param r3, 3
+    slli  r4, r1, 2
+    add   r5, r4, r2
+    lw    r6, r5, 0
+    add   r7, r4, r3
+    sw    r7, r6, 0
+    ret

@@ -1,0 +1,14 @@
+
+    gid   r1
+    param r2, 1
+    param r3, 2
+    param r4, 3
+    slli  r5, r1, 2
+    add   r6, r5, r2
+    lw    r7, r6, 0
+    add   r8, r5, r3
+    lw    r9, r8, 0
+    divu  r10, r7, r9
+    add   r11, r5, r4
+    sw    r11, r10, 0
+    ret

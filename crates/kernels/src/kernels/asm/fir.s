@@ -1,0 +1,36 @@
+
+    gid   r1
+    param r2, 1
+    param r3, 2
+    param r4, 3
+    param r5, 4
+    slli  r6, r1, 2
+    add   r6, r6, r2     ; pA = &a[i]
+    addi  r7, r3, 0      ; pC
+    addi  r8, r0, 0      ; acc
+    addi  r9, r0, 0      ; j
+    loop:
+    lw    r10, r6, 0
+    lw    r11, r7, 0
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 4
+    lw    r11, r7, 4
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 8
+    lw    r11, r7, 8
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    lw    r10, r6, 12
+    lw    r11, r7, 12
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    addi  r6, r6, 16
+    addi  r7, r7, 16
+    addi  r9, r9, 4
+    blt   r9, r5, loop
+    slli  r13, r1, 2
+    add   r13, r13, r4
+    sw    r13, r8, 0
+    ret

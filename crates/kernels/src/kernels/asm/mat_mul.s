@@ -1,0 +1,41 @@
+
+    gid   r1
+    param r2, 1          ; a
+    param r3, 2          ; b
+    param r4, 3          ; out
+    param r5, 4          ; K
+    param r14, 0         ; n
+    slli  r14, r14, 2    ; column stride in bytes
+    slli  r6, r1, 2
+    add   r6, r6, r2     ; pA = &a[0*n + i]
+    addi  r7, r3, 0      ; pB
+    addi  r8, r0, 0      ; acc
+    addi  r9, r0, 0      ; k
+    loop:
+    lw    r10, r6, 0
+    lw    r11, r7, 0
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 4
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 8
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    lw    r10, r6, 0
+    lw    r11, r7, 12
+    mul   r12, r10, r11
+    add   r8, r8, r12
+    add   r6, r6, r14
+    addi  r7, r7, 16
+    addi  r9, r9, 4
+    blt   r9, r5, loop
+    slli  r13, r1, 2
+    add   r13, r13, r4
+    sw    r13, r8, 0
+    ret

@@ -1,0 +1,52 @@
+
+    gid   r1             ; lag
+    param r2, 1          ; a
+    param r3, 2          ; b
+    param r4, 3          ; out
+    param r5, 4          ; len
+    slli  r13, r5, 2     ; size in bytes
+    addi  r6, r2, 0      ; pA
+    add   r15, r2, r13   ; aEnd
+    slli  r10, r1, 2
+    add   r10, r10, r3   ; pB = &b[lag]
+    add   r11, r3, r13   ; bEnd
+    addi  r7, r0, 0      ; acc
+    loop:
+    lw    r8, r6, 0
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w0
+    sub   r10, r10, r13
+    w0:
+    lw    r8, r6, 4
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w1
+    sub   r10, r10, r13
+    w1:
+    lw    r8, r6, 8
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w2
+    sub   r10, r10, r13
+    w2:
+    lw    r8, r6, 12
+    lw    r9, r10, 0
+    mul   r12, r8, r9
+    add   r7, r7, r12
+    addi  r10, r10, 4
+    blt   r10, r11, w3
+    sub   r10, r10, r13
+    w3:
+    addi  r6, r6, 16
+    blt   r6, r15, loop
+    slli  r14, r1, 2
+    add   r14, r14, r4
+    sw    r14, r7, 0
+    ret

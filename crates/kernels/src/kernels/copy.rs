@@ -16,17 +16,7 @@ pub fn golden(_n: u32, a: &[u32], _b: &[u32]) -> Vec<u32> {
 }
 
 /// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
-pub const GPU_ASM: &str = "
-    gid   r1
-    param r2, 1
-    param r3, 3
-    slli  r4, r1, 2
-    add   r5, r4, r2
-    lw    r6, r5, 0
-    add   r7, r4, r3
-    sw    r7, r6, 0
-    ret
-";
+pub const GPU_ASM: &str = include_str!("asm/copy.s");
 
 /// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
 pub const RISCV_ASM: &str = "

@@ -19,58 +19,7 @@ pub const NAME: &str = "mat_mul_local";
 pub use super::mat_mul::{golden, inputs, K};
 
 /// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=K).
-pub const GPU_ASM: &str = "
-    gid   r1
-    param r2, 1          ; a
-    param r3, 2          ; b
-    param r4, 3          ; out
-    param r5, 4          ; K
-    param r14, 0         ; n
-    slli  r14, r14, 2    ; column stride in bytes
-
-    ; stage b into LRAM: lane (lid mod K) copies b[lane].
-    lid   r15
-    addi  r16, r5, -1
-    and   r15, r15, r16  ; lane = lid mod K (K is a power of two)
-    slli  r15, r15, 2
-    add   r16, r15, r3
-    lw    r17, r16, 0
-    swl   r15, r17, 0
-
-    slli  r6, r1, 2
-    add   r6, r6, r2     ; pA = &a[0*n + i]
-    addi  r7, r0, 0      ; local pB offset
-    addi  r8, r0, 0      ; acc
-    addi  r9, r0, 0      ; k
-    loop:
-    lw    r10, r6, 0
-    lwl   r11, r7, 0
-    mul   r12, r10, r11
-    add   r8, r8, r12
-    add   r6, r6, r14
-    lw    r10, r6, 0
-    lwl   r11, r7, 4
-    mul   r12, r10, r11
-    add   r8, r8, r12
-    add   r6, r6, r14
-    lw    r10, r6, 0
-    lwl   r11, r7, 8
-    mul   r12, r10, r11
-    add   r8, r8, r12
-    add   r6, r6, r14
-    lw    r10, r6, 0
-    lwl   r11, r7, 12
-    mul   r12, r10, r11
-    add   r8, r8, r12
-    add   r6, r6, r14
-    addi  r7, r7, 16
-    addi  r9, r9, 4
-    blt   r9, r5, loop
-    slli  r13, r1, 2
-    add   r13, r13, r4
-    sw    r13, r8, 0
-    ret
-";
+pub const GPU_ASM: &str = include_str!("asm/mat_mul_local.s");
 
 /// The RISC-V has no scratchpad; the baseline is the global variant.
 pub const RISCV_ASM: &str = mat_mul::RISCV_ASM;

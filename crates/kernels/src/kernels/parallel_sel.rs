@@ -30,33 +30,7 @@ pub fn golden(n: u32, a: &[u32], _b: &[u32]) -> Vec<u32> {
 }
 
 /// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
-pub const GPU_ASM: &str = "
-    gid   r1
-    param r2, 0          ; n
-    param r3, 1          ; a
-    param r4, 3          ; out
-    slli  r5, r1, 2
-    add   r5, r5, r3
-    lw    r6, r5, 0      ; v = a[i]
-    addi  r7, r0, 0      ; j
-    addi  r8, r0, 0      ; rank
-    loop:
-    slli  r9, r7, 2
-    add   r9, r9, r3
-    lw    r10, r9, 0     ; a[j]
-    bltu  r10, r6, inc
-    bne   r10, r6, next
-    bge   r7, r1, next
-    inc:
-    addi  r8, r8, 1
-    next:
-    addi  r7, r7, 1
-    blt   r7, r2, loop
-    slli  r11, r8, 2
-    add   r11, r11, r4
-    sw    r11, r6, 0
-    ret
-";
+pub const GPU_ASM: &str = include_str!("asm/parallel_sel.s");
 
 /// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
 pub const RISCV_ASM: &str = "

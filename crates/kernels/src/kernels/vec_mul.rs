@@ -16,21 +16,7 @@ pub fn golden(_n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 /// G-GPU kernel (params: 0=n, 1=&a, 2=&b, 3=&out, 4=extra).
-pub const GPU_ASM: &str = "
-    gid   r1
-    param r2, 1
-    param r3, 2
-    param r4, 3
-    slli  r5, r1, 2
-    add   r6, r5, r2
-    lw    r7, r6, 0
-    add   r8, r5, r3
-    lw    r9, r8, 0
-    mul   r10, r7, r9
-    add   r11, r5, r4
-    sw    r11, r10, 0
-    ret
-";
+pub const GPU_ASM: &str = include_str!("asm/vec_mul.s");
 
 /// RISC-V program (a0=n, a1=&a, a2=&b, a3=&out, a4=extra).
 pub const RISCV_ASM: &str = "

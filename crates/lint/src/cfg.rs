@@ -1,0 +1,282 @@
+//! Instruction-level control-flow graph over a SIMT program.
+//!
+//! Each instruction is a node; a virtual *exit* node `n` (one past the
+//! last instruction) represents clean termination via `ret`. Edges
+//! follow the simulator's fetch rules: straight-line instructions fall
+//! through, branches fork, jumps redirect, `ret` goes to the exit.
+//! Out-of-range targets and off-end fallthroughs get **no** edge —
+//! they are reported separately (K004/K005) and excluding them keeps
+//! every dataflow pass well-defined on the remaining graph.
+
+use ggpu_isa::inst::Inst;
+
+/// A small dense bitset over node/register indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub(crate) fn full(len: usize) -> Self {
+        let mut set = Self::new(len);
+        for i in 0..len {
+            set.insert(i);
+        }
+        set
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self &= other`; returns `true` if `self` changed.
+    pub(crate) fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w & *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    pub(crate) fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists, indexed by instruction; index `n` (the exit
+    /// node) has none.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor lists (transpose of `succs`).
+    pub preds: Vec<Vec<usize>>,
+    /// Number of real instructions (the exit node is index `len`).
+    pub len: usize,
+    /// Instruction indices whose execution would fall through the end
+    /// of the program (fetch at `pc == len` faults). K004 material.
+    pub off_end: Vec<usize>,
+    /// `(instruction, target)` pairs whose branch/jump target lies
+    /// outside the program. K005 material.
+    pub bad_targets: Vec<(usize, u32)>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `program`.
+    pub fn build(program: &[Inst]) -> Self {
+        let n = program.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut off_end = Vec::new();
+        let mut bad_targets = Vec::new();
+        for (i, inst) in program.iter().enumerate() {
+            match inst {
+                Inst::Ret => succs[i].push(n),
+                Inst::Jmp { target } => {
+                    let t = *target as usize;
+                    if t < n {
+                        succs[i].push(t);
+                    } else {
+                        bad_targets.push((i, *target));
+                    }
+                }
+                Inst::Branch { target, .. } => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    } else {
+                        off_end.push(i);
+                    }
+                    let t = *target as usize;
+                    if t < n {
+                        if !succs[i].contains(&t) {
+                            succs[i].push(t);
+                        }
+                    } else {
+                        bad_targets.push((i, *target));
+                    }
+                }
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    } else {
+                        off_end.push(i);
+                    }
+                }
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(i);
+            }
+        }
+        Self {
+            succs,
+            preds,
+            len: n,
+            off_end,
+            bad_targets,
+        }
+    }
+
+    /// Nodes reachable from the entry (instruction 0); the exit node
+    /// `len` is included when some `ret` is reachable.
+    pub(crate) fn reachable(&self) -> BitSet {
+        let mut seen = BitSet::new(self.len + 1);
+        if self.len == 0 {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen.insert(0);
+        while let Some(i) = stack.pop() {
+            for &s in &self.succs[i] {
+                if !seen.contains(s) {
+                    seen.insert(s);
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Post-dominator sets: `pdom[i]` contains `j` iff every path from
+    /// `i` to the exit passes through `j` (every node post-dominates
+    /// itself). Nodes that cannot reach the exit keep the full set.
+    pub(crate) fn post_dominators(&self) -> Vec<BitSet> {
+        let total = self.len + 1;
+        let mut pdom: Vec<BitSet> = (0..total).map(|_| BitSet::full(total)).collect();
+        let mut exit_only = BitSet::new(total);
+        exit_only.insert(self.len);
+        pdom[self.len] = exit_only;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..self.len).rev() {
+                let mut meet: Option<BitSet> = None;
+                for &s in &self.succs[i] {
+                    match &mut meet {
+                        None => meet = Some(pdom[s].clone()),
+                        Some(m) => {
+                            m.intersect_with(&pdom[s]);
+                        }
+                    }
+                }
+                let mut next = meet.unwrap_or_else(|| BitSet::full(total));
+                next.insert(i);
+                if next != pdom[i] {
+                    pdom[i] = next;
+                    changed = true;
+                }
+            }
+        }
+        pdom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let p = assemble("nop\nnop\nret").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs[0], vec![1]);
+        assert_eq!(cfg.succs[1], vec![2]);
+        assert_eq!(cfg.succs[2], vec![3], "ret edges to the exit node");
+        assert!(cfg.off_end.is_empty());
+        assert!(cfg.bad_targets.is_empty());
+    }
+
+    #[test]
+    fn branch_forks_and_jump_redirects() {
+        let p = assemble("beq r0, r0, skip\nnop\nskip: jmp end\nend: ret").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs[0], vec![1, 2]);
+        assert_eq!(cfg.succs[2], vec![3]);
+        assert_eq!(cfg.preds[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn off_end_and_bad_targets_are_collected() {
+        let p = assemble("nop\nnop").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.off_end, vec![1]);
+        // A trailing label resolves to index n: a jump there is a bad
+        // target, not an edge.
+        let p = assemble("jmp off\nret\noff:").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.bad_targets, vec![(0, 2)]);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn reachability_skips_dead_code() {
+        let p = assemble("jmp end\nnop\nend: ret").unwrap();
+        let cfg = Cfg::build(&p);
+        let reach = cfg.reachable();
+        assert!(reach.contains(0));
+        assert!(!reach.contains(1));
+        assert!(reach.contains(2));
+        assert!(reach.contains(3), "exit reachable through ret");
+    }
+
+    #[test]
+    fn post_dominators_of_a_diamond() {
+        // 0: branch -> (1 fallthrough, 2 target); 1: jmp 3; 2: nop; 3: ret
+        let p = assemble("beq r0, r0, b\njmp join\nb: nop\njoin: ret").unwrap();
+        let cfg = Cfg::build(&p);
+        let pdom = cfg.post_dominators();
+        // The join (3) post-dominates the branch (0); the arms do not.
+        assert!(pdom[0].contains(3));
+        assert!(!pdom[0].contains(1));
+        assert!(!pdom[0].contains(2));
+        assert!(pdom[0].contains(4), "exit post-dominates everything");
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::new(130);
+        a.insert(0);
+        a.insert(129);
+        let mut b = BitSet::new(130);
+        b.insert(129);
+        assert!(a.intersect_with(&b));
+        assert!(!a.contains(0));
+        assert!(a.contains(129));
+        a.remove(129);
+        assert!(!a.contains(129));
+        let full = BitSet::full(130);
+        let mut c = BitSet::new(130);
+        assert!(c.union_with(&full));
+        assert!(c.contains(64));
+    }
+}

@@ -1,0 +1,82 @@
+//! The 8 shipped paper kernels, shared with `ggpu-kernels`.
+//!
+//! The kernel sources live as `.s` files under
+//! `crates/kernels/src/kernels/asm/` and are `include_str!`-ed both by
+//! the `ggpu-kernels` benchmark crate and here — one source of truth,
+//! no dependency edge (`ggpu-kernels` depends on `ggpu-simt`, which
+//! depends on this crate; depending back on `ggpu-kernels` would be a
+//! cycle).
+
+use crate::diag::LintConfig;
+use crate::kernel::verify_asm;
+use crate::Report;
+
+/// `(name, assembler source)` of the paper's Table-II kernels.
+pub const SHIPPED_KERNELS: [(&str, &str); 8] = [
+    ("copy", include_str!("../../kernels/src/kernels/asm/copy.s")),
+    (
+        "vec_mul",
+        include_str!("../../kernels/src/kernels/asm/vec_mul.s"),
+    ),
+    (
+        "div_int",
+        include_str!("../../kernels/src/kernels/asm/div_int.s"),
+    ),
+    ("fir", include_str!("../../kernels/src/kernels/asm/fir.s")),
+    (
+        "mat_mul",
+        include_str!("../../kernels/src/kernels/asm/mat_mul.s"),
+    ),
+    (
+        "mat_mul_local",
+        include_str!("../../kernels/src/kernels/asm/mat_mul_local.s"),
+    ),
+    (
+        "parallel_sel",
+        include_str!("../../kernels/src/kernels/asm/parallel_sel.s"),
+    ),
+    (
+        "xcorr",
+        include_str!("../../kernels/src/kernels/asm/xcorr.s"),
+    ),
+];
+
+/// Verifies every shipped kernel under `config`, returning one report
+/// per kernel in table order.
+///
+/// # Panics
+///
+/// Panics if a shipped kernel no longer assembles — that is a build
+/// break, not a lint finding.
+pub fn verify_shipped(config: &LintConfig) -> Vec<Report> {
+    SHIPPED_KERNELS
+        .iter()
+        .map(|(name, src)| {
+            verify_asm(name, src, config)
+                .unwrap_or_else(|e| panic!("shipped kernel {name} must assemble: {e}"))
+                .1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_kernels_assemble() {
+        for (name, src) in SHIPPED_KERNELS {
+            assert!(
+                ggpu_isa::asm::assemble(src).is_ok(),
+                "kernel {name} must assemble"
+            );
+        }
+    }
+
+    #[test]
+    fn shipped_kernels_are_clean_even_under_strict_policy() {
+        for report in verify_shipped(&LintConfig::strict()) {
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+; Seeded bug: the loop's backward branch is the last instruction, so
+; the not-taken path falls off the end of the program.
+; Expect: K004
+top:
+    gid  r1
+    sw   r1, r1, 0
+    bne  r1, r0, top

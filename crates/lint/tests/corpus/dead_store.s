@@ -1,0 +1,7 @@
+; Seeded bug: r5 is computed and never read on any path.
+; Expect: K002
+    gid  r1
+    addi r5, r1, 1
+    slli r2, r1, 2
+    sw   r2, r1, 0
+    ret

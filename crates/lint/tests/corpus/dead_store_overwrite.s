@@ -1,0 +1,7 @@
+; Seeded bug: the first write to r2 is overwritten before any read.
+; Expect: K002
+    gid  r1
+    addi r2, r0, 1
+    addi r2, r1, 2
+    sw   r2, r1, 0
+    ret

@@ -1,0 +1,23 @@
+; Seeded smell: nine nested lane-varying branches, one over the
+; verifier's divergence-depth estimate limit of eight.
+; Expect: K006
+    gid r1
+    blt r1, r1, out0
+    blt r1, r1, out1
+    blt r1, r1, out2
+    blt r1, r1, out3
+    blt r1, r1, out4
+    blt r1, r1, out5
+    blt r1, r1, out6
+    blt r1, r1, out7
+    blt r1, r1, out8
+out0:
+out1:
+out2:
+out3:
+out4:
+out5:
+out6:
+out7:
+out8:
+    ret

@@ -1,0 +1,9 @@
+; Seeded bug: the barrier sits on one arm of a lane-varying branch,
+; so the lanes of a wavefront can arrive split (the simulator faults
+; with DivergentBarrier).
+; Expect: K008
+    lid  r1
+    beq  r1, r0, skip
+    bar
+skip:
+    ret

@@ -1,0 +1,3 @@
+; Seeded bug: comments only — the program assembles to zero
+; instructions and the very first fetch faults.
+; Expect: K009

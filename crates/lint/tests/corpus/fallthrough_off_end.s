@@ -1,0 +1,6 @@
+; Seeded bug: the kernel forgot its `ret`; execution falls off the
+; end of the program and the fetch faults.
+; Expect: K004
+    gid  r1
+    slli r2, r1, 2
+    sw   r2, r1, 0

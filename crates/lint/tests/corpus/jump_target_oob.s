@@ -1,0 +1,7 @@
+; Seeded bug: the jump targets a label placed after the last
+; instruction, i.e. one past the end of the program.
+; Expect: K005
+    gid  r1
+    sw   r1, r1, 0
+    jmp  past
+past:

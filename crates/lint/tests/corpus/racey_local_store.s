@@ -1,0 +1,8 @@
+; Seeded bug: every work-item of the wavefront stores its own
+; lane-varying value through the same lane-uniform local address —
+; an unordered race on one LRAM word.
+; Expect: K007
+    lid  r1
+    addi r2, r0, 64
+    swl  r2, r1, 0
+    ret

@@ -1,0 +1,6 @@
+; Seeded bug: r1 is read on every path before any instruction
+; assigns it.
+; Expect: K001
+    add r2, r1, r1
+    sw  r2, r2, 0
+    ret

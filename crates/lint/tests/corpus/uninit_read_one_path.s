@@ -1,0 +1,10 @@
+; Seeded bug: r2 is assigned only on the branch-not-taken path, so
+; the read after the join may see an uninitialized register.
+; Expect: K001
+    gid  r1
+    beq  r1, r0, skip
+    addi r2, r0, 7
+skip:
+    add  r3, r2, r1
+    sw   r1, r3, 0
+    ret

@@ -1,0 +1,7 @@
+; Seeded bug: the instruction after the unconditional jump can never
+; execute.
+; Expect: K003
+    jmp end
+    addi r1, r1, 1
+end:
+    ret

@@ -1,0 +1,128 @@
+//! Seeded-bug corpus: every kernel under `tests/corpus/` carries one
+//! planted defect and must be flagged with exactly the lint code the
+//! file header documents — no more, no less. This pins both the
+//! detection power (the bug is found) and the precision (nothing else
+//! fires) of the verifier.
+
+use ggpu_lint::{verify_asm, verify_shipped, Code, LintConfig, Severity};
+
+/// `(file, source, expected code)` for every corpus kernel.
+const CORPUS: [(&str, &str, Code); 12] = [
+    (
+        "uninit_read.s",
+        include_str!("corpus/uninit_read.s"),
+        Code::K001,
+    ),
+    (
+        "uninit_read_one_path.s",
+        include_str!("corpus/uninit_read_one_path.s"),
+        Code::K001,
+    ),
+    (
+        "dead_store.s",
+        include_str!("corpus/dead_store.s"),
+        Code::K002,
+    ),
+    (
+        "dead_store_overwrite.s",
+        include_str!("corpus/dead_store_overwrite.s"),
+        Code::K002,
+    ),
+    (
+        "unreachable_after_jmp.s",
+        include_str!("corpus/unreachable_after_jmp.s"),
+        Code::K003,
+    ),
+    (
+        "fallthrough_off_end.s",
+        include_str!("corpus/fallthrough_off_end.s"),
+        Code::K004,
+    ),
+    (
+        "branch_fallthrough_off_end.s",
+        include_str!("corpus/branch_fallthrough_off_end.s"),
+        Code::K004,
+    ),
+    (
+        "jump_target_oob.s",
+        include_str!("corpus/jump_target_oob.s"),
+        Code::K005,
+    ),
+    (
+        "deep_divergence.s",
+        include_str!("corpus/deep_divergence.s"),
+        Code::K006,
+    ),
+    (
+        "racey_local_store.s",
+        include_str!("corpus/racey_local_store.s"),
+        Code::K007,
+    ),
+    (
+        "divergent_barrier.s",
+        include_str!("corpus/divergent_barrier.s"),
+        Code::K008,
+    ),
+    ("empty.s", include_str!("corpus/empty.s"), Code::K009),
+];
+
+#[test]
+fn every_corpus_kernel_is_flagged_with_its_exact_code() {
+    for (file, source, expected) in CORPUS {
+        let (_, report) = verify_asm(file, source, &LintConfig::new())
+            .unwrap_or_else(|e| panic!("{file} must assemble: {e}"));
+        assert_eq!(
+            report.codes(),
+            vec![expected],
+            "{file}: expected exactly {expected:?}, got:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn corpus_denials_match_default_severities() {
+    // Deny-class bugs must gate at the default policy; warn-class
+    // smells must not (they gate only under `--deny warn`).
+    for (file, source, expected) in CORPUS {
+        let (_, report) = verify_asm(file, source, &LintConfig::new()).unwrap();
+        let expect_denial = expected.default_severity() == Severity::Deny;
+        assert_eq!(
+            report.denial_count() > 0,
+            expect_denial,
+            "{file}: denial gating disagrees with {expected:?}'s default severity"
+        );
+        // Under the strict policy every corpus kernel gates.
+        let (_, strict) = verify_asm(file, source, &LintConfig::strict()).unwrap();
+        assert!(strict.denial_count() > 0, "{file} must gate under strict");
+    }
+}
+
+#[test]
+fn corpus_covers_every_kernel_code() {
+    let covered: Vec<Code> = {
+        let mut v: Vec<Code> = CORPUS.iter().map(|(_, _, c)| *c).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let kernel_codes: Vec<Code> = Code::ALL
+        .into_iter()
+        .filter(|c| c.as_str().starts_with('K'))
+        .collect();
+    assert_eq!(covered, kernel_codes, "corpus must exercise every K-code");
+}
+
+#[test]
+fn shipped_kernels_stay_clean_at_default_severity() {
+    for report in verify_shipped(&LintConfig::new()) {
+        assert!(report.is_clean(), "shipped kernel not clean:\n{report}");
+    }
+}
+
+#[test]
+fn overriding_a_code_to_allow_suppresses_it() {
+    let config = LintConfig::new().with_override(Code::K002, Severity::Allow);
+    let (file, source, _) = CORPUS[2]; // dead_store.s
+    let (_, report) = verify_asm(file, source, &config).unwrap();
+    assert!(report.is_clean(), "{file} should be silenced:\n{report}");
+}

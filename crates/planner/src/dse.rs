@@ -3,6 +3,7 @@
 
 use crate::cache::StaCache;
 use crate::map::{advise_with, Advice};
+use ggpu_lint::{check_division, check_pipeline, FlowSnapshot, LintConfig, Report};
 use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
 use ggpu_synth::{divide_macro, insert_pipeline, DivideAxis, TransformError};
@@ -111,6 +112,10 @@ pub enum DseError {
     },
     /// A plan refers to a module missing from the design.
     UnknownModule(String),
+    /// A transform step broke a flow invariant (memory division must
+    /// preserve total macro bits, pipeline insertion must preserve
+    /// macro timing endpoints); the report carries every finding.
+    FlowInvariant(Report),
 }
 
 impl fmt::Display for DseError {
@@ -122,6 +127,9 @@ impl fmt::Display for DseError {
                 write!(f, "target {target:.0} unreachable; best {best:.0}")
             }
             DseError::UnknownModule(m) => write!(f, "plan references unknown module {m}"),
+            DseError::FlowInvariant(report) => {
+                write!(f, "flow invariant violated: {report}")
+            }
         }
     }
 }
@@ -183,6 +191,8 @@ fn bank_base(name: &str) -> &str {
 ///
 /// Returns [`DseError`] if a transform fails or a module is missing.
 pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseError> {
+    let lint_config = LintConfig::new();
+    let mut invariants = Report::new(base.name());
     let mut design = base.clone();
     for ((module, macro_name), factor) in &plan.divisions {
         let id = module_id(&design, module)?;
@@ -204,13 +214,37 @@ pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseE
             .filter(|m| bank_base(&m.name) == base_name && m.config == target.config)
             .map(|m| m.name.clone())
             .collect();
+        let before = FlowSnapshot::of(&design);
         for name in siblings {
             divide_macro(&mut design, id, &name, *factor, DivideAxis::Words)?;
+        }
+        let after = FlowSnapshot::of(&design);
+        check_division(
+            before,
+            after,
+            &format!("{module}/{macro_name} x{factor}"),
+            &lint_config,
+            &mut invariants,
+        );
+        if invariants.denial_count() > 0 {
+            return Err(DseError::FlowInvariant(invariants));
         }
     }
     for (module, path) in &plan.pipelines {
         let id = module_id(&design, module)?;
+        let before = FlowSnapshot::of(&design);
         insert_pipeline(&mut design, id, path)?;
+        let after = FlowSnapshot::of(&design);
+        check_pipeline(
+            before,
+            after,
+            &format!("{module}/{path}"),
+            &lint_config,
+            &mut invariants,
+        );
+        if invariants.denial_count() > 0 {
+            return Err(DseError::FlowInvariant(invariants));
+        }
     }
     Ok(design)
 }
@@ -382,6 +416,21 @@ mod tests {
         let opt = optimize_for(&b, &tech, Mhz::new(590.0)).unwrap();
         let replayed = apply_plan(&b, &opt.plan).unwrap();
         assert_eq!(replayed, opt.design);
+    }
+
+    #[test]
+    fn apply_plan_preserves_total_macro_bits() {
+        // Divisions re-bank memories but never change total storage;
+        // the per-step FlowSnapshot checks in apply_plan enforce this,
+        // and the end-to-end totals agree.
+        let tech = Tech::l65();
+        let b = base();
+        let opt = optimize_for(&b, &tech, Mhz::new(590.0)).unwrap();
+        assert!(!opt.plan.divisions.is_empty());
+        assert_eq!(
+            FlowSnapshot::of(&b).total_macro_bits,
+            FlowSnapshot::of(&opt.design).total_macro_bits
+        );
     }
 
     #[test]

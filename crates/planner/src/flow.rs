@@ -76,6 +76,9 @@ pub enum PlanError {
     Synthesis(SynthesisError),
     /// Physical synthesis failed.
     Pnr(PnrError),
+    /// The pre-flight design lint denied a netlist (generated baseline
+    /// or optimized result); the report carries every finding.
+    Lint(ggpu_lint::Report),
 }
 
 impl fmt::Display for PlanError {
@@ -85,6 +88,7 @@ impl fmt::Display for PlanError {
             PlanError::Dse(e) => write!(f, "exploration: {e}"),
             PlanError::Synthesis(e) => write!(f, "synthesis: {e}"),
             PlanError::Pnr(e) => write!(f, "physical synthesis: {e}"),
+            PlanError::Lint(report) => write!(f, "design lint: {report}"),
         }
     }
 }
@@ -96,6 +100,7 @@ impl Error for PlanError {
             PlanError::Dse(e) => Some(e),
             PlanError::Synthesis(e) => Some(e),
             PlanError::Pnr(e) => Some(e),
+            PlanError::Lint(_) => None,
         }
     }
 }
@@ -210,6 +215,17 @@ impl GpuPlanner {
         self
     }
 
+    /// Pre-flight static gate: rejects a netlist with deny-level
+    /// design-lint findings before spending synthesis effort on it
+    /// (and before trusting its sweep numbers).
+    fn lint_gate(design: &Design) -> Result<(), PlanError> {
+        let report = ggpu_lint::lint_design(design, &ggpu_lint::LintConfig::new());
+        if report.denial_count() > 0 {
+            return Err(PlanError::Lint(report));
+        }
+        Ok(())
+    }
+
     fn config_for(&self, spec: &Specification) -> Result<GgpuConfig, PlanError> {
         let cfg = GgpuConfig {
             compute_units: spec.compute_units,
@@ -259,6 +275,7 @@ impl GpuPlanner {
     pub fn plan(&self, spec: &Specification) -> Result<PlannedVersion, PlanError> {
         let config = self.config_for(spec)?;
         let base = generate(&config)?;
+        Self::lint_gate(&base)?;
         let optimized = optimize_for_with(&base, &self.tech, spec.frequency, &self.sta_cache)?;
         let mut design = optimized.design;
         design.set_name(format!(
@@ -266,6 +283,7 @@ impl GpuPlanner {
             spec.compute_units,
             spec.frequency.value()
         ));
+        Self::lint_gate(&design)?;
         let synthesis = synthesize(&design, &self.tech, spec.frequency)?;
         Ok(PlannedVersion {
             spec: *spec,
@@ -558,6 +576,27 @@ mod tests {
         let planned = p.plan(&spec).unwrap();
         let imp = p.implement(&planned).unwrap();
         assert!(!imp.within_spec, "0.5 mm2 ceiling must fail");
+    }
+
+    #[test]
+    fn lint_gate_rejects_broken_designs() {
+        let mut design = generate(&GgpuConfig::default()).unwrap();
+        // Sabotage: shrink some macro below the compiler's 16-word
+        // minimum. The pre-flight gate must refuse to plan on it.
+        let id = design
+            .module_ids()
+            .find(|&id| !design.module(id).macros.is_empty())
+            .expect("generated design has macros");
+        design.module_mut(id).macros[0].config.words = 8;
+        match GpuPlanner::lint_gate(&design) {
+            Err(PlanError::Lint(report)) => {
+                assert!(report.has(ggpu_lint::Code::N003), "{report}");
+            }
+            other => panic!("expected a lint denial, got {other:?}"),
+        }
+        // The untouched baseline passes the same gate.
+        let clean = generate(&GgpuConfig::default()).unwrap();
+        assert!(GpuPlanner::lint_gate(&clean).is_ok());
     }
 
     #[test]

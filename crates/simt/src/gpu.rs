@@ -43,6 +43,72 @@ impl Kernel {
             program: assemble(source)?,
         })
     }
+
+    /// Assembles a kernel and runs the static verifier as a pre-flight
+    /// gate: the kernel is rejected if any deny-level diagnostic is
+    /// found (out-of-range control flow, missing `ret`, local-memory
+    /// races, divergent barriers, …). Warnings are retained in the
+    /// returned report but do not reject.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelVerifyError::Asm`] on syntax errors and
+    /// [`KernelVerifyError::Lint`] (carrying the full report) when the
+    /// verifier denies the program.
+    pub fn from_asm_verified(
+        name: impl Into<String>,
+        source: &str,
+    ) -> Result<Self, KernelVerifyError> {
+        let name = name.into();
+        let config = ggpu_lint::LintConfig::new();
+        let (program, report) = ggpu_lint::verify_asm(&name, source, &config)?;
+        if report.denial_count() > 0 {
+            return Err(KernelVerifyError::Lint(report));
+        }
+        Ok(Self { name, program })
+    }
+
+    /// Runs the static verifier over the (already assembled) program
+    /// under the default policy.
+    pub fn lint(&self) -> ggpu_lint::Report {
+        ggpu_lint::verify_program(&self.name, &self.program, &ggpu_lint::LintConfig::new())
+    }
+}
+
+/// Why [`Kernel::from_asm_verified`] rejected a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelVerifyError {
+    /// The source failed to assemble.
+    Asm(AssembleError),
+    /// The verifier found deny-level diagnostics; the report carries
+    /// every finding.
+    Lint(ggpu_lint::Report),
+}
+
+impl fmt::Display for KernelVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelVerifyError::Asm(e) => write!(f, "assembly: {e}"),
+            KernelVerifyError::Lint(report) => {
+                write!(f, "static verification denied: {report}")
+            }
+        }
+    }
+}
+
+impl Error for KernelVerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelVerifyError::Asm(e) => Some(e),
+            KernelVerifyError::Lint(_) => None,
+        }
+    }
+}
+
+impl From<AssembleError> for KernelVerifyError {
+    fn from(e: AssembleError) -> Self {
+        KernelVerifyError::Asm(e)
+    }
 }
 
 /// Kernel launch geometry and arguments.

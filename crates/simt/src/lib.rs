@@ -31,5 +31,5 @@ pub mod gpu;
 pub mod memsys;
 
 pub use config::{CacheConfig, DramConfig, SimtConfig};
-pub use gpu::{Gpu, Kernel, Launch, RunStats, SimError};
+pub use gpu::{Gpu, Kernel, KernelVerifyError, Launch, RunStats, SimError};
 pub use memsys::MemStats;

@@ -1,0 +1,183 @@
+//! Soundness of the static verifier's control-flow claims against the
+//! simulator: a random program that the verifier does not flag with
+//! K004 (reachable fallthrough off the end), K005 (target out of
+//! bounds) or K009 (empty program) must never raise
+//! `SimError::PcOutOfRange` when executed.
+//!
+//! The generator emits only register/control instructions — no memory
+//! accesses, no barriers — so the only simulator faults possible at
+//! all are `PcOutOfRange` (what we claim never happens) and
+//! `CycleLimit` (random loops may genuinely not terminate; that is
+//! outside the verifier's claims and accepted).
+
+use ggpu_isa::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
+use ggpu_lint::{verify_program, Code, LintConfig};
+use ggpu_prop::Rng;
+use ggpu_simt::{Gpu, Kernel, Launch, SimError, SimtConfig};
+
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+const CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+const ID_SOURCES: [IdSource; 5] = [
+    IdSource::GlobalId,
+    IdSource::LocalId,
+    IdSource::GroupId,
+    IdSource::GroupSize,
+    IdSource::GlobalSize,
+];
+
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.usize_in(0, Reg::COUNT as usize - 1) as u8)
+}
+
+/// A random register/control instruction. Targets are drawn from
+/// `0..=len+1`, deliberately including the out-of-range value `len`
+/// and `len + 1` so the K005 detector is exercised, not just assumed.
+fn any_inst(rng: &mut Rng, len: usize) -> Inst {
+    match rng.usize_in(0, 9) {
+        0 | 1 => Inst::Alu {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        2 | 3 => Inst::AluImm {
+            op: rng.pick_copy(&ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.any_i16(),
+        },
+        4 => Inst::Lui {
+            rd: any_reg(rng),
+            imm: rng.any_u16(),
+        },
+        5 => Inst::ReadId {
+            rd: any_reg(rng),
+            src: rng.pick_copy(&ID_SOURCES),
+        },
+        6 => Inst::Param {
+            rd: any_reg(rng),
+            idx: rng.usize_in(0, 7) as u8,
+        },
+        7 => Inst::Branch {
+            cond: rng.pick_copy(&CONDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            target: rng.usize_in(0, len + 1) as u32,
+        },
+        8 => Inst::Jmp {
+            target: rng.usize_in(0, len + 1) as u32,
+        },
+        _ => Inst::Ret,
+    }
+}
+
+fn any_program(rng: &mut Rng) -> Vec<Inst> {
+    let len = rng.usize_in(1, 12);
+    let mut program: Vec<Inst> = (0..len).map(|_| any_inst(rng, len)).collect();
+    // Half the time, close the program with a `ret` so a healthy
+    // share of samples pass the verifier and actually get executed.
+    if rng.chance(0.5) {
+        *program.last_mut().unwrap() = Inst::Ret;
+    }
+    program
+}
+
+#[test]
+fn verifier_clean_programs_never_leave_the_program() {
+    let config = LintConfig::new();
+    // A tiny machine with a tight cycle ceiling: random loops are
+    // common and genuinely infinite, and we only care whether the
+    // abort reason is ever PcOutOfRange.
+    let mut sim_config = SimtConfig::with_cus(1);
+    sim_config.max_cycles = 20_000;
+    let mut executed = 0u32;
+    ggpu_prop::cases(384, |rng| {
+        let program = any_program(rng);
+        let report = verify_program("prop", &program, &config);
+        if report.has(Code::K004) || report.has(Code::K005) || report.has(Code::K009) {
+            return; // verifier rejected: nothing claimed about these
+        }
+        let mut gpu = Gpu::new(sim_config, 1 << 12);
+        let kernel = Kernel {
+            name: "prop".into(),
+            program: program.clone(),
+        };
+        let launch = Launch::new(16, 8, vec![0; 8]);
+        executed += 1;
+        match gpu.launch(&kernel, &launch) {
+            Ok(_) | Err(SimError::CycleLimit { .. }) => {}
+            Err(e @ SimError::PcOutOfRange { .. }) => {
+                panic!("verifier-clean program left the program: {e}\n{program:#?}")
+            }
+            Err(e) => panic!("impossible fault class for this generator: {e}\n{program:#?}"),
+        }
+    });
+    assert!(
+        executed >= 32,
+        "generator too dirty: only {executed} verifier-clean samples ran"
+    );
+}
+
+#[test]
+fn verifier_flags_exactly_the_programs_that_fault() {
+    // Converse direction on straight-line programs (no branches): the
+    // verifier reports K004 if and only if the simulator faults with
+    // PcOutOfRange.
+    let config = LintConfig::new();
+    let mut sim_config = SimtConfig::with_cus(1);
+    sim_config.max_cycles = 20_000;
+    ggpu_prop::cases(64, |rng| {
+        let len = rng.usize_in(1, 6);
+        let mut program: Vec<Inst> = (0..len)
+            .map(|_| Inst::AluImm {
+                op: AluOp::Add,
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: rng.any_i16(),
+            })
+            .collect();
+        let ends_with_ret = rng.chance(0.5);
+        if ends_with_ret {
+            *program.last_mut().unwrap() = Inst::Ret;
+        }
+        let report = verify_program("prop", &program, &config);
+        assert_eq!(report.has(Code::K004), !ends_with_ret);
+        let mut gpu = Gpu::new(sim_config, 1 << 12);
+        let kernel = Kernel {
+            name: "prop".into(),
+            program,
+        };
+        let result = gpu.launch(&kernel, &Launch::new(8, 8, vec![0; 8]));
+        match result {
+            Ok(_) => assert!(ends_with_ret),
+            Err(SimError::PcOutOfRange { pc }) => {
+                assert!(!ends_with_ret);
+                assert_eq!(pc as usize, len);
+            }
+            Err(e) => panic!("unexpected fault: {e}"),
+        }
+    });
+}

@@ -13,6 +13,12 @@ cargo fmt --all -- --check
 echo "== clippy (-D warnings, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== lint (static kernel verifier, warnings are denials) =="
+# Gates on the shipped kernels AND the generated 1/8-CU netlists; the
+# command fails (non-zero exit) on any deny-level finding and prints a
+# one-line summary ("N programs, M denials") as its last line.
+cargo run -q -p ggpu-lint -- --all-kernels --design 1 --design 8 --deny warn
+
 echo "== build (release) =="
 cargo build --workspace --release
 

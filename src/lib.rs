@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the whole G-GPU / GPUPlanner reproduction.
 pub use ggpu_isa as isa;
 pub use ggpu_kernels as kernels;
+pub use ggpu_lint as lint;
 pub use ggpu_netlist as netlist;
 pub use ggpu_pnr as pnr;
 pub use ggpu_riscv as riscv;
