@@ -1,0 +1,288 @@
+//! Tracked performance baseline for the incremental STA engine.
+//!
+//! Times the design-space-exploration entry points twice per scenario:
+//!
+//! * **baseline** — `StaCache::legacy()`: the pre-incremental engine
+//!   reproduced exactly (Debug-string fingerprints over the whole
+//!   design, full recompute on every miss), with the process-wide
+//!   SRAM-compile memo disabled.
+//! * **incremental** — `StaCache::new()` (design-level memo over
+//!   cached structural fingerprints, backed by the module-level
+//!   `IncrementalSta` engine) with the SRAM memo enabled: the
+//!   shipping flow.
+//!
+//! Both paths are property-tested to produce bit-identical plans and
+//! reports (`crates/planner/tests/prop_incremental_equiv.rs`), so this
+//! binary asserts equality as it measures. Results go to
+//! `BENCH_sta.json` (override with `--out PATH`); `--smoke` runs the
+//! 1-CU scenarios only, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin sta_bench
+//! cargo run --release -p ggpu-bench --bin sta_bench -- --smoke --out target/BENCH_sta_smoke.json
+//! ```
+
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::sram::{raw_compile_count, CompiledSramCache};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::{optimize_for_with, GpuPlanner, StaCache};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One side (baseline or incremental) of a measured scenario.
+#[derive(Debug, Clone)]
+struct Side {
+    wall_ms: f64,
+    /// STA queries issued (design-level `max_frequency` + `analyze`).
+    sta_queries: u64,
+    /// STA queries actually computed (not answered from a memo).
+    sta_computed: u64,
+    /// Raw (non-memoized) SRAM compiler runs during the scenario.
+    sram_raw_compiles: u64,
+    /// Module-level engine hit rate (0 for the baseline, which has no
+    /// module cache).
+    module_hit_rate: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    name: String,
+    baseline: Side,
+    incremental: Side,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        if self.incremental.wall_ms > 0.0 {
+            self.baseline.wall_ms / self.incremental.wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn sram_reduction(&self) -> f64 {
+        if self.incremental.sram_raw_compiles > 0 {
+            self.baseline.sram_raw_compiles as f64 / self.incremental.sram_raw_compiles as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs `work` `iters` times, each on a fresh cache from `mk_cache`
+/// (cold-start measurement, the conservative comparison), and records
+/// the best wall-clock; the query/compile counters come from the final
+/// iteration. DSE is deterministic, so every iteration does identical
+/// work.
+fn measure(
+    iters: u32,
+    sram_memo: bool,
+    mk_cache: impl Fn() -> StaCache,
+    mut work: impl FnMut(Arc<StaCache>),
+) -> Side {
+    CompiledSramCache::global().set_enabled(sram_memo);
+    let mut best_ms = f64::MAX;
+    // SRAM compiles are counted on the first iteration only — the
+    // process-global memo means later iterations are warm, which is
+    // the production behaviour but not the interesting number.
+    let mut first_sram = None;
+    let mut side = None;
+    for _ in 0..iters.max(1) {
+        let cache = Arc::new(mk_cache());
+        let sram0 = raw_compile_count();
+        let t0 = Instant::now();
+        work(Arc::clone(&cache));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(wall_ms);
+        first_sram.get_or_insert(raw_compile_count() - sram0);
+        let stats = cache.engine_stats();
+        side = Some(Side {
+            wall_ms: best_ms,
+            sta_queries: cache.hits() + cache.misses(),
+            sta_computed: cache.misses(),
+            sram_raw_compiles: first_sram.unwrap_or(0),
+            module_hit_rate: stats.hit_rate(),
+        });
+    }
+    CompiledSramCache::global().set_enabled(true);
+    let mut side = side.expect("at least one iteration");
+    side.wall_ms = best_ms;
+    side
+}
+
+/// One `optimize_for` scenario: DSE toward `mhz` on a `cus`-CU design.
+fn dse_scenario(cus: u32, mhz: f64, iters: u32, tech: &Tech) -> Scenario {
+    let base = generate(&GgpuConfig::with_cus(cus).expect("valid CU count")).expect("generates");
+    let target = Mhz::new(mhz);
+
+    // Baseline first: with the SRAM memo disabled it cannot poison the
+    // incremental side, and the incremental side's warm-up mirrors
+    // production (one process, one global memo).
+    let mut plan_base = None;
+    let baseline = measure(iters, false, StaCache::legacy, |cache| {
+        plan_base = Some(optimize_for_with(&base, tech, target, &cache).expect("reachable"));
+    });
+
+    let mut plan_inc = None;
+    let incremental = measure(iters, true, StaCache::new, |cache| {
+        plan_inc = Some(optimize_for_with(&base, tech, target, &cache).expect("reachable"));
+    });
+
+    let (b, i) = (plan_base.unwrap(), plan_inc.unwrap());
+    assert_eq!(b.plan, i.plan, "engines must agree on the plan");
+    assert_eq!(
+        b.fmax.value().to_bits(),
+        i.fmax.value().to_bits(),
+        "engines must agree on fmax"
+    );
+
+    Scenario {
+        name: format!("optimize_for/{cus}cu@{mhz:.0}"),
+        baseline,
+        incremental,
+    }
+}
+
+/// The full `best_within` sweep (24 design points) under both engines.
+fn sweep_scenario(iters: u32, tech: &Tech) -> Scenario {
+    const MAX_AREA_MM2: f64 = 200.0;
+    const MAX_POWER_W: f64 = 50.0;
+
+    let mut best_base = None;
+    let baseline = measure(iters, false, StaCache::legacy, |cache| {
+        // A fresh planner sharing the measured cache, as production
+        // constructs one per sweep.
+        let planner = GpuPlanner::new(tech.clone()).with_sta_cache(cache);
+        best_base = Some(
+            planner
+                .best_within(MAX_AREA_MM2, MAX_POWER_W)
+                .expect("sweep runs"),
+        );
+    });
+
+    let mut best_inc = None;
+    let incremental = measure(iters, true, StaCache::new, |cache| {
+        let planner = GpuPlanner::new(tech.clone()).with_sta_cache(cache);
+        best_inc = Some(
+            planner
+                .best_within(MAX_AREA_MM2, MAX_POWER_W)
+                .expect("sweep runs"),
+        );
+    });
+
+    let (b, i) = (best_base.unwrap(), best_inc.unwrap());
+    match (&b, &i) {
+        (Some(b), Some(i)) => {
+            assert_eq!(b.spec, i.spec, "engines must pick the same winner");
+            assert_eq!(b.plan, i.plan, "engines must agree on the winning plan");
+        }
+        (b, i) => assert_eq!(b.is_some(), i.is_some()),
+    }
+
+    Scenario {
+        name: "best_within/24pt_sweep".into(),
+        baseline,
+        incremental,
+    }
+}
+
+fn json_side(s: &Side) -> String {
+    format!(
+        "{{\"wall_ms\": {:.3}, \"sta_queries\": {}, \"sta_computed\": {}, \
+         \"sram_raw_compiles\": {}, \"module_hit_rate\": {:.4}}}",
+        s.wall_ms, s.sta_queries, s.sta_computed, s.sram_raw_compiles, s.module_hit_rate
+    )
+}
+
+fn render_json(scenarios: &[Scenario], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sta\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},",
+        std::env::var("GGPU_THREADS").unwrap_or_else(|_| "0".into())
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (idx, s) in scenarios.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"baseline\": {}, \"incremental\": {}, \
+             \"wall_speedup\": {:.2}, \"sram_compile_reduction\": {}}}",
+            s.name,
+            json_side(&s.baseline),
+            json_side(&s.incremental),
+            s.speedup(),
+            if s.sram_reduction().is_finite() {
+                format!("{:.1}", s.sram_reduction())
+            } else {
+                format!("\"inf ({}:0)\"", s.baseline.sram_raw_compiles)
+            }
+        );
+        out.push_str(if idx + 1 < scenarios.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sta.json".into());
+
+    let tech = Tech::l65();
+    let mut scenarios = Vec::new();
+    let iters: u32 = std::env::var("GGPU_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 25 });
+
+    let points: &[(u32, f64)] = if smoke {
+        &[(1, 590.0), (1, 667.0)]
+    } else {
+        &[(1, 590.0), (1, 667.0), (8, 590.0), (8, 667.0)]
+    };
+    for &(cus, mhz) in points {
+        eprintln!("running optimize_for/{cus}cu@{mhz:.0} ...");
+        let s = dse_scenario(cus, mhz, iters, &tech);
+        eprintln!(
+            "  wall {:.1} ms -> {:.1} ms ({:.2}x), sram compiles {} -> {}",
+            s.baseline.wall_ms,
+            s.incremental.wall_ms,
+            s.speedup(),
+            s.baseline.sram_raw_compiles,
+            s.incremental.sram_raw_compiles
+        );
+        scenarios.push(s);
+    }
+
+    if !smoke {
+        eprintln!("running best_within/24pt_sweep ...");
+        let s = sweep_scenario(iters.min(5), &tech);
+        eprintln!(
+            "  wall {:.1} ms -> {:.1} ms ({:.2}x), sram compiles {} -> {}",
+            s.baseline.wall_ms,
+            s.incremental.wall_ms,
+            s.speedup(),
+            s.baseline.sram_raw_compiles,
+            s.incremental.sram_raw_compiles
+        );
+        scenarios.push(s);
+    }
+
+    let json = render_json(&scenarios, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -2,9 +2,12 @@
 
 use crate::ids::ModuleId;
 use crate::module::{MacroInst, Module};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// A complete design: an arena of modules forming a DAG under
 /// instantiation, with one top module.
@@ -24,11 +27,54 @@ use std::fmt;
 /// design.set_top(top);
 /// assert!(design.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Design {
     name: String,
     modules: Vec<Module>,
     top: Option<ModuleId>,
+    /// Lazily computed structural fingerprint per module, parallel to
+    /// `modules`. A slot is filled on first demand
+    /// ([`Design::module_fingerprint`]) and invalidated whenever the
+    /// module is borrowed mutably ([`Design::module_mut`]). Cloning a
+    /// design clones the filled slots — a fingerprint is a pure
+    /// function of module content, which cloning preserves — so a DSE
+    /// variant derived by clone-then-mutate re-hashes only the modules
+    /// it actually touched. Excluded from `PartialEq`/`Debug`/`Hash`:
+    /// it is a cache, not part of the design's identity.
+    fp_cache: Vec<OnceLock<u64>>,
+}
+
+/// Equality is structural: name, modules and top. The fingerprint
+/// cache never participates — two designs with identical contents are
+/// equal regardless of which fingerprints happen to be computed.
+impl PartialEq for Design {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.modules == other.modules && self.top == other.top
+    }
+}
+
+impl fmt::Debug for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Design")
+            .field("name", &self.name)
+            .field("modules", &self.modules)
+            .field("top", &self.top)
+            .finish()
+    }
+}
+
+/// Structural hash consistent with `PartialEq` (name, modules, top);
+/// module contents are folded in via their cached fingerprints, so
+/// hashing a warm design is O(module count), not O(design size).
+impl Hash for Design {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        state.write_usize(self.modules.len());
+        for id in self.module_ids() {
+            state.write_u64(self.module_fingerprint(id));
+        }
+        self.top.hash(state);
+    }
 }
 
 /// Structural problems detected by [`Design::validate`].
@@ -98,6 +144,7 @@ impl Design {
             name: name.into(),
             modules: Vec::new(),
             top: None,
+            fp_cache: Vec::new(),
         }
     }
 
@@ -115,6 +162,7 @@ impl Design {
     pub fn add_module(&mut self, module: Module) -> ModuleId {
         let id = ModuleId::from_index(self.modules.len());
         self.modules.push(module);
+        self.fp_cache.push(OnceLock::new());
         id
     }
 
@@ -140,8 +188,55 @@ impl Design {
     }
 
     /// Mutably borrows a module.
+    ///
+    /// Conservatively invalidates the module's cached fingerprint:
+    /// any mutable access is assumed to change content (re-hashing an
+    /// unchanged module is cheap; serving a stale fingerprint would
+    /// poison every downstream content-addressed cache).
     pub fn module_mut(&mut self, id: ModuleId) -> &mut Module {
+        self.fp_cache[id.index()] = OnceLock::new();
         &mut self.modules[id.index()]
+    }
+
+    /// The structural fingerprint of one module: a 64-bit hash of its
+    /// full contents (name, cell groups, macros, children, timing
+    /// paths — floats by bit pattern). Computed lazily and cached;
+    /// repeated calls on an unmutated module are a single atomic load.
+    ///
+    /// Deterministic across processes and designs: two modules with
+    /// bit-identical contents fingerprint equal wherever they live,
+    /// which is what lets the incremental STA engine share timed
+    /// results between the 24 sweep points of a design-space search.
+    pub fn module_fingerprint(&self, id: ModuleId) -> u64 {
+        *self.fp_cache[id.index()].get_or_init(|| {
+            let mut h = DefaultHasher::new();
+            self.modules[id.index()].hash(&mut h);
+            h.finish()
+        })
+    }
+
+    /// The structural fingerprint of the whole design: module count,
+    /// every per-module fingerprint in arena order, and the top id.
+    ///
+    /// The design *name* is deliberately excluded — timing, synthesis
+    /// and power are pure functions of structure, and the flow renames
+    /// designs (`ggpu_1cu_590mhz`, …) after optimization; including
+    /// the name would only split cache entries that must agree.
+    ///
+    /// Replaces the old `Debug`-string hashing, which formatted the
+    /// entire design (O(design size)) on every cache probe; on a warm
+    /// fingerprint cache this is O(module count).
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        h.write_usize(self.modules.len());
+        for id in self.module_ids() {
+            h.write_u64(self.module_fingerprint(id));
+        }
+        match self.top {
+            Some(t) => h.write_u64(t.index() as u64 + 1),
+            None => h.write_u64(0),
+        }
+        h.finish()
     }
 
     /// Finds a module by type name.
@@ -426,6 +521,61 @@ mod tests {
         let macros = d.all_macros();
         assert_eq!(macros.len(), 6);
         assert!(macros.iter().any(|(p, _)| p == "m2/l1/ram"));
+    }
+
+    #[test]
+    fn fingerprints_are_cached_and_invalidated_on_mutation() {
+        let mut d = two_level();
+        let leaf = d.module_by_name("leaf").unwrap();
+        let fp1 = d.module_fingerprint(leaf);
+        assert_eq!(fp1, d.module_fingerprint(leaf), "stable while unmutated");
+        let whole1 = d.structural_fingerprint();
+        assert_eq!(whole1, d.structural_fingerprint());
+
+        // Mutating one module changes its fingerprint and the design's.
+        d.module_mut(leaf).name = "leaf2".into();
+        assert_ne!(d.module_fingerprint(leaf), fp1);
+        assert_ne!(d.structural_fingerprint(), whole1);
+
+        // An untouched sibling keeps its fingerprint.
+        let mid = d.module_by_name("mid").unwrap();
+        let mid_fp = d.module_fingerprint(mid);
+        d.module_mut(leaf).name = "leaf".into();
+        assert_eq!(d.module_fingerprint(mid), mid_fp);
+        assert_eq!(d.module_fingerprint(leaf), fp1, "content round-trip");
+        assert_eq!(d.structural_fingerprint(), whole1);
+    }
+
+    #[test]
+    fn clone_preserves_fingerprints_and_equality_ignores_cache() {
+        let d = two_level();
+        let fp = d.structural_fingerprint(); // warm the cache
+        let cold = two_level(); // nothing computed
+        assert_eq!(d, cold, "cache state must not affect equality");
+        let cloned = d.clone();
+        assert_eq!(cloned.structural_fingerprint(), fp);
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_design_name() {
+        let mut a = two_level();
+        let b = two_level();
+        a.set_name("renamed_variant");
+        assert_ne!(a, b, "names differ so designs differ");
+        assert_eq!(
+            a.structural_fingerprint(),
+            b.structural_fingerprint(),
+            "structure is identical"
+        );
+    }
+
+    #[test]
+    fn identical_module_content_fingerprints_equal_across_designs() {
+        let a = two_level();
+        let b = two_level();
+        let la = a.module_by_name("leaf").unwrap();
+        let lb = b.module_by_name("leaf").unwrap();
+        assert_eq!(a.module_fingerprint(la), b.module_fingerprint(lb));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::timing::TimingPath;
 use ggpu_tech::sram::SramConfig;
 use ggpu_tech::stdcell::CellClass;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A population of identical standard cells inside a module.
 ///
@@ -24,6 +25,17 @@ pub struct CellGroup {
     pub count: u64,
     /// Average switching activity (0.0–1.0) per cycle.
     pub activity: f64,
+}
+
+/// Structural hash; the switching activity participates via its
+/// IEEE-754 bit pattern (see the [`crate::timing::TimingPath`] note).
+impl Hash for CellGroup {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.class.hash(state);
+        self.count.hash(state);
+        state.write_u64(self.activity.to_bits());
+    }
 }
 
 impl CellGroup {
@@ -104,6 +116,17 @@ pub struct MacroInst {
     pub access_activity: f64,
 }
 
+/// Structural hash; the access activity participates via its IEEE-754
+/// bit pattern (see the [`crate::timing::TimingPath`] note).
+impl Hash for MacroInst {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.config.hash(state);
+        self.role.hash(state);
+        state.write_u64(self.access_activity.to_bits());
+    }
+}
+
 impl MacroInst {
     /// Creates a macro instance, validating the activity range.
     ///
@@ -130,7 +153,7 @@ impl MacroInst {
 }
 
 /// A child-module instantiation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instance {
     /// Instance name within the parent (e.g. `"cu0"`).
     pub name: String,
@@ -140,7 +163,13 @@ pub struct Instance {
 
 /// A hardware module: populations of cells, memory macros, child
 /// instances and representative timing paths.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Hash` covers every field, so a module's hash is a structural
+/// fingerprint of its full contents; [`crate::Design`] caches one
+/// fingerprint per module and invalidates it on mutable access, which
+/// is what makes design-level fingerprinting (and the incremental STA
+/// engine built on it) O(dirty modules) instead of O(whole design).
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Module {
     /// Module (type) name, unique within a design.
     pub name: String,

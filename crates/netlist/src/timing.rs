@@ -67,7 +67,12 @@ impl LogicStage {
 
 /// A representative register-to-register (or macro-to-register, etc.)
 /// timing path.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Hash` is structural: every field participates (the route delay via
+/// its IEEE-754 bit pattern), so the incremental STA engine's
+/// content-addressed cache treats any mutation — endpoint rewiring,
+/// stage edits, route annotation — as a new timing problem.
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct TimingPath {
     /// Descriptive name, unique within the owning module.
     pub name: String,

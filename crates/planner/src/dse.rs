@@ -2,14 +2,14 @@
 //! advice until the target frequency is met.
 
 use crate::cache::StaCache;
-use crate::map::{advise_with, Advice};
+use crate::map::{advise_delta, advise_with, Advice};
 use ggpu_lint::{check_division, check_pipeline, FlowSnapshot, LintConfig, Report};
 use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
 use ggpu_synth::{divide_macro, insert_pipeline, DivideAxis, TransformError};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -191,11 +191,31 @@ fn bank_base(name: &str) -> &str {
 ///
 /// Returns [`DseError`] if a transform fails or a module is missing.
 pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseError> {
+    Ok(apply_plan_dirty(base, plan)?.0)
+}
+
+/// [`apply_plan`], additionally reporting which modules the plan
+/// mutated (in ascending id order, deduplicated).
+///
+/// Module ids are arena indices and stable across [`Design::clone`],
+/// so the returned set is valid against both `base` and the returned
+/// design — it is exactly the advisory dirty set the incremental STA
+/// entry points ([`crate::StaCache::analyze_delta`]) expect.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if a transform fails or a module is missing.
+pub fn apply_plan_dirty(
+    base: &Design,
+    plan: &OptimizationPlan,
+) -> Result<(Design, Vec<ModuleId>), DseError> {
     let lint_config = LintConfig::new();
     let mut invariants = Report::new(base.name());
     let mut design = base.clone();
+    let mut dirty = BTreeSet::new();
     for ((module, macro_name), factor) in &plan.divisions {
         let id = module_id(&design, module)?;
+        dirty.insert(id);
         let target = design
             .module(id)
             .find_macro(macro_name)
@@ -232,6 +252,7 @@ pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseE
     }
     for (module, path) in &plan.pipelines {
         let id = module_id(&design, module)?;
+        dirty.insert(id);
         let before = FlowSnapshot::of(&design);
         insert_pipeline(&mut design, id, path)?;
         let after = FlowSnapshot::of(&design);
@@ -246,7 +267,7 @@ pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseE
             return Err(DseError::FlowInvariant(invariants));
         }
     }
-    Ok(design)
+    Ok((design, dirty.into_iter().collect()))
 }
 
 /// The result of a successful exploration.
@@ -298,9 +319,20 @@ pub fn optimize_for_with(
     let mut current = base.clone();
     let mut trace = Vec::new();
     let mut best = Mhz::new(0.0);
+    // Modules mutated by the accumulated plan relative to `base`.
+    // Empty until the first transform lands; thereafter every iteration
+    // analyzes a design that differs from already-timed content only in
+    // these modules, so advice flows through the incremental
+    // `analyze_delta` path.
+    let mut dirty: Option<Vec<ModuleId>> = None;
 
     for _ in 0..MAX_ITERS {
-        let advice = advise_with(&current, tech, target, cache)?;
+        let advice = match &dirty {
+            // First iteration: the baseline is (possibly) cold, so no
+            // dirty-set audit applies.
+            None => advise_with(&current, tech, target, cache)?,
+            Some(d) => advise_delta(&current, tech, target, cache, d)?,
+        };
         trace.push(advice.to_string());
         match advice {
             Advice::Met { fmax } => {
@@ -322,7 +354,9 @@ pub fn optimize_for_with(
                 best = fmax;
                 let key = (module, original_macro_name(&macro_name).to_string());
                 *plan.divisions.entry(key).or_insert(1) *= 2;
-                current = apply_plan(base, &plan)?;
+                let (next, touched) = apply_plan_dirty(base, &plan)?;
+                current = next;
+                dirty = Some(touched);
             }
             Advice::InsertPipeline { module, path, fmax } => {
                 if fmax.value() <= best.value() + 0.1 {
@@ -330,7 +364,9 @@ pub fn optimize_for_with(
                 }
                 best = fmax;
                 plan.pipelines.push((module, path));
-                current = apply_plan(base, &plan)?;
+                let (next, touched) = apply_plan_dirty(base, &plan)?;
+                current = next;
+                dirty = Some(touched);
             }
             Advice::Stuck { fmax, .. } => {
                 return Err(DseError::Unreachable {

@@ -215,6 +215,15 @@ impl GpuPlanner {
         self
     }
 
+    /// Replaces the planner's STA memo table — e.g. with
+    /// [`StaCache::passthrough`] to reproduce the uncached reference
+    /// flow for benchmarking, or with a table shared with other
+    /// planners.
+    pub fn with_sta_cache(mut self, cache: Arc<StaCache>) -> Self {
+        self.sta_cache = cache;
+        self
+    }
+
     /// Pre-flight static gate: rejects a netlist with deny-level
     /// design-lint findings before spending synthesis effort on it
     /// (and before trusting its sweep numbers).

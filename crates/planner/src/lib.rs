@@ -38,12 +38,13 @@ pub mod versions;
 pub use cache::{fingerprint, StaCache};
 pub use datasheet::datasheet;
 pub use dse::{
-    apply_plan, optimize_for, optimize_for_with, Action, DseError, OptimizationPlan, Optimized,
+    apply_plan, apply_plan_dirty, optimize_for, optimize_for_with, Action, DseError,
+    OptimizationPlan, Optimized,
 };
 pub use flow::{
     worker_threads, GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate,
 };
-pub use map::{advise, advise_with, Advice};
+pub use map::{advise, advise_delta, advise_with, Advice};
 pub use spec::Specification;
 pub use spreadsheet::{frequency_map, map_to_csv, render_map, MapRow};
 pub use versions::{paper_versions, physical_versions};

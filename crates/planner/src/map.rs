@@ -8,7 +8,7 @@
 //! returns the next recommended action for a frequency target.
 
 use crate::cache::StaCache;
-use ggpu_netlist::Design;
+use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
 use ggpu_tech::sram::MIN_WORDS;
 use ggpu_tech::units::Mhz;
@@ -99,6 +99,37 @@ pub fn advise_with(
     target: Mhz,
     cache: &StaCache,
 ) -> Result<Advice, StaError> {
+    advise_inner(design, tech, target, cache, None)
+}
+
+/// [`advise_with`] for a design derived from one the cache has already
+/// timed: `dirty` names the modules mutated since. The full report
+/// behind the advice is produced by
+/// [`StaCache::analyze_delta`](crate::StaCache::analyze_delta), which
+/// re-times only content the module-level engine has not seen — the
+/// dirty set itself is advisory and audited, never trusted for
+/// correctness.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if timing analysis fails.
+pub fn advise_delta(
+    design: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+    dirty: &[ModuleId],
+) -> Result<Advice, StaError> {
+    advise_inner(design, tech, target, cache, Some(dirty))
+}
+
+fn advise_inner(
+    design: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+    dirty: Option<&[ModuleId]>,
+) -> Result<Advice, StaError> {
     let fmax = match cache.max_frequency(design, tech)? {
         Some(f) => f,
         None => {
@@ -109,7 +140,10 @@ pub fn advise_with(
     if fmax.value() >= target.value() {
         return Ok(Advice::Met { fmax });
     }
-    let report = cache.analyze(design, tech, target)?;
+    let report = match dirty {
+        Some(dirty) => cache.analyze_delta(design, tech, target, dirty)?,
+        None => cache.analyze(design, tech, target)?,
+    };
     let crit = report
         .paths()
         .first()

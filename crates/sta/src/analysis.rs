@@ -66,6 +66,9 @@ impl From<CompileSramError> for StaError {
     }
 }
 
+/// Resolves a macro's (access time, setup) pair, compiling its
+/// geometry through the process-wide memoized memory-compiler
+/// front-end ([`ggpu_tech::sram::CompiledSramCache`]).
 fn macro_access_time(
     design: &Design,
     module: ModuleId,
@@ -81,8 +84,137 @@ fn macro_access_time(
             path: path_name.to_string(),
             macro_name: macro_name.to_string(),
         })?;
-    let compiled = tech.memory_compiler.compile(m.config)?;
+    let compiled = tech.memory_compiler.compile_cached(m.config)?;
     Ok((compiled.access_time, compiled.setup))
+}
+
+/// Clock-independent timing of one path: every component of a
+/// [`PathTiming`] except the slack, which is a function of the clock
+/// period alone. Caching at this granularity makes *any* clock a
+/// cache hit — the incremental engine re-derives slack per query with
+/// the exact arithmetic [`analyze`] uses, so results stay
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UnclockedPath {
+    pub(crate) module: String,
+    pub(crate) path: String,
+    pub(crate) start: PathEndpoint,
+    pub(crate) end: PathEndpoint,
+    pub(crate) launch: Ns,
+    pub(crate) logic: Ns,
+    pub(crate) route: Ns,
+    pub(crate) setup: Ns,
+    pub(crate) arrival: Ns,
+}
+
+impl UnclockedPath {
+    /// Instantiates the path at a clock `period`, computing slack with
+    /// the same expression (and therefore the same floating-point
+    /// rounding) as the full analysis.
+    pub(crate) fn at_period(&self, period: Ns) -> PathTiming {
+        let slack = period - CLOCK_UNCERTAINTY - self.setup - self.arrival;
+        PathTiming {
+            module: self.module.clone(),
+            path: self.path.clone(),
+            start: self.start.clone(),
+            end: self.end.clone(),
+            launch: self.launch,
+            logic: self.logic,
+            route: self.route,
+            setup: self.setup,
+            arrival: self.arrival,
+            slack,
+        }
+    }
+}
+
+/// Ascending-slack ordering used everywhere a report is sorted or a
+/// critical path is selected. `total_cmp` instead of
+/// `partial_cmp(..).expect(..)`: a NaN delay (e.g. a corrupt route
+/// annotation) sorts to the report's tail deterministically instead of
+/// panicking the planner mid-sweep.
+pub(crate) fn slack_order(a: &PathTiming, b: &PathTiming) -> std::cmp::Ordering {
+    a.slack.value().total_cmp(&b.slack.value())
+}
+
+/// Times every representative path of module `id`, producing
+/// clock-independent results in the module's declaration order.
+///
+/// Each macro endpoint is compiled at most once per path — a
+/// macro-to-macro path through one memory no longer characterizes the
+/// same geometry twice — and compilation itself is memoized
+/// process-wide, so repeated geometries (banks cloned per PE/CU) cost
+/// one table lookup.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if a path references a missing macro or a
+/// macro geometry is outside the compiler range.
+pub(crate) fn time_module(
+    design: &Design,
+    id: ModuleId,
+    tech: &Tech,
+) -> Result<Vec<UnclockedPath>, StaError> {
+    let dff = tech.library.cell(CellClass::Dff);
+    let module = design.module(id);
+    let mut out = Vec::with_capacity(module.paths.len());
+    for path in &module.paths {
+        // Launch component. Remember a launching macro's timing so a
+        // same-macro capture below reuses it instead of recompiling.
+        let mut launch_macro: Option<(&str, (Ns, Ns))> = None;
+        let launch = match &path.start {
+            PathEndpoint::Register => dff.intrinsic_delay,
+            PathEndpoint::Macro(name) => {
+                let times = macro_access_time(design, id, &path.name, name, tech)?;
+                launch_macro = Some((name.as_str(), times));
+                times.0
+            }
+            PathEndpoint::Input => INPUT_DELAY_BUDGET,
+            PathEndpoint::Output => Ns::ZERO,
+        };
+
+        // Logic component: each stage drives the next stage's input
+        // capacitance plus estimated wire load.
+        let mut logic = Ns::ZERO;
+        for (i, stage) in path.stages.iter().enumerate() {
+            let spec = tech.library.cell(stage.class);
+            let sink_cap: FemtoFarads = match path.stages.get(i + 1) {
+                Some(next) => tech.library.cell(next.class).input_cap,
+                None => match &path.end {
+                    PathEndpoint::Register => dff.input_cap,
+                    PathEndpoint::Macro(_) => FemtoFarads::new(6.0),
+                    _ => FemtoFarads::new(4.0),
+                },
+            };
+            let load =
+                tech.wire_load.net_cap(stage.fanout) + sink_cap * f64::from(stage.fanout.max(1));
+            logic += spec.delay(load);
+        }
+
+        // Capture requirement.
+        let setup = match &path.end {
+            PathEndpoint::Register => dff.setup,
+            PathEndpoint::Macro(name) => match launch_macro {
+                Some((launch_name, times)) if launch_name == name => times.1,
+                _ => macro_access_time(design, id, &path.name, name, tech)?.1,
+            },
+            PathEndpoint::Input | PathEndpoint::Output => Ns::ZERO,
+        };
+
+        let arrival = launch + logic + path.route_delay;
+        out.push(UnclockedPath {
+            module: module.name.clone(),
+            path: path.name.clone(),
+            start: path.start.clone(),
+            end: path.end.clone(),
+            launch,
+            logic,
+            route: path.route_delay,
+            setup,
+            arrival,
+        });
+    }
+    Ok(out)
 }
 
 /// Times every representative path of every module in `design` against
@@ -92,6 +224,10 @@ fn macro_access_time(
 /// flow likewise places one CU partition and clones it), so each
 /// module is analyzed once regardless of its multiplicity.
 ///
+/// This is the full-recompute reference engine; the incremental engine
+/// in [`crate::engine`] is property-tested to return byte-identical
+/// reports.
+///
 /// # Errors
 ///
 /// Returns [`StaError`] if a path references a missing macro or a
@@ -99,89 +235,72 @@ fn macro_access_time(
 pub fn analyze(design: &Design, tech: &Tech, clock: Mhz) -> Result<TimingReport, StaError> {
     let period = clock.period();
     let mut paths = Vec::new();
-    let dff = tech.library.cell(CellClass::Dff);
-
     for id in design.module_ids() {
-        let module = design.module(id);
-        for path in &module.paths {
-            // Launch component.
-            let launch = match &path.start {
-                PathEndpoint::Register => dff.intrinsic_delay,
-                PathEndpoint::Macro(name) => {
-                    macro_access_time(design, id, &path.name, name, tech)?.0
-                }
-                PathEndpoint::Input => INPUT_DELAY_BUDGET,
-                PathEndpoint::Output => Ns::ZERO,
-            };
-
-            // Logic component: each stage drives the next stage's input
-            // capacitance plus estimated wire load.
-            let mut logic = Ns::ZERO;
-            for (i, stage) in path.stages.iter().enumerate() {
-                let spec = tech.library.cell(stage.class);
-                let sink_cap: FemtoFarads = match path.stages.get(i + 1) {
-                    Some(next) => tech.library.cell(next.class).input_cap,
-                    None => match &path.end {
-                        PathEndpoint::Register => dff.input_cap,
-                        PathEndpoint::Macro(_) => FemtoFarads::new(6.0),
-                        _ => FemtoFarads::new(4.0),
-                    },
-                };
-                let load = tech.wire_load.net_cap(stage.fanout)
-                    + sink_cap * f64::from(stage.fanout.max(1));
-                logic += spec.delay(load);
-            }
-
-            // Capture requirement.
-            let setup = match &path.end {
-                PathEndpoint::Register => dff.setup,
-                PathEndpoint::Macro(name) => {
-                    macro_access_time(design, id, &path.name, name, tech)?.1
-                }
-                PathEndpoint::Input | PathEndpoint::Output => Ns::ZERO,
-            };
-
-            let arrival = launch + logic + path.route_delay;
-            let slack = period - CLOCK_UNCERTAINTY - setup - arrival;
-            paths.push(PathTiming {
-                module: module.name.clone(),
-                path: path.name.clone(),
-                start: path.start.clone(),
-                end: path.end.clone(),
-                launch,
-                logic,
-                route: path.route_delay,
-                setup,
-                arrival,
-                slack,
-            });
+        for up in time_module(design, id, tech)? {
+            paths.push(up.at_period(period));
         }
     }
-
-    paths.sort_by(|a, b| {
-        a.slack
-            .value()
-            .partial_cmp(&b.slack.value())
-            .expect("slacks are finite")
-    });
+    paths.sort_by(slack_order);
     Ok(TimingReport::new(clock, paths))
+}
+
+/// Clock used for the single clock-independent probe analysis behind
+/// [`max_frequency`]: path delay does not depend on the clock, so one
+/// analysis at any frequency yields the critical delay.
+pub(crate) const FMAX_PROBE: Mhz = Mhz::new(100.0);
+
+/// Selects the critical (worst-slack) path from an iterator of timed
+/// paths with the exact comparison the report sort uses, keeping the
+/// first among ties — i.e. it returns precisely
+/// `sorted(paths)[0]` without the O(P log P) sort.
+pub(crate) fn select_critical(paths: impl Iterator<Item = PathTiming>) -> Option<PathTiming> {
+    let mut crit: Option<PathTiming> = None;
+    for p in paths {
+        let better = match &crit {
+            None => true,
+            Some(c) => slack_order(&p, c).is_lt(),
+        };
+        if better {
+            crit = Some(p);
+        }
+    }
+    crit
+}
+
+/// Frequency at which `crit` (the critical path of some design) has
+/// exactly zero slack.
+pub(crate) fn fmax_of_critical(crit: &PathTiming) -> Mhz {
+    let min_period = crit.arrival + crit.setup + CLOCK_UNCERTAINTY;
+    min_period.frequency()
 }
 
 /// Computes the maximum clock frequency the design supports: the
 /// frequency at which the worst path has exactly zero slack.
+///
+/// The critical path is found by a single top-1 scan — no report is
+/// materialized and no O(P log P) sort runs; ties resolve exactly as
+/// the stable report sort would (first declared wins).
 ///
 /// # Errors
 ///
 /// Same conditions as [`analyze`]. Returns `None` inside `Ok` if the
 /// design declares no timing paths.
 pub fn max_frequency(design: &Design, tech: &Tech) -> Result<Option<Mhz>, StaError> {
-    // Path delay does not depend on the clock, so one analysis at any
-    // frequency yields the critical delay.
-    let report = analyze(design, tech, Mhz::new(100.0))?;
-    Ok(report.critical().map(|crit| {
-        let min_period = crit.arrival + crit.setup + CLOCK_UNCERTAINTY;
-        min_period.frequency()
-    }))
+    let period = FMAX_PROBE.period();
+    let mut crit: Option<PathTiming> = None;
+    for id in design.module_ids() {
+        for up in time_module(design, id, tech)? {
+            let p = up.at_period(period);
+            let better = match &crit {
+                None => true,
+                Some(c) => slack_order(&p, c).is_lt(),
+            };
+            if better {
+                crit = Some(p);
+            }
+        }
+    }
+    Ok(crit.as_ref().map(fmax_of_critical))
 }
 
 #[cfg(test)]

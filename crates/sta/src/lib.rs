@@ -40,7 +40,9 @@
 //! ```
 
 pub mod analysis;
+pub mod engine;
 pub mod report;
 
 pub use analysis::{analyze, max_frequency, StaError, CLOCK_UNCERTAINTY, INPUT_DELAY_BUDGET};
+pub use engine::{EngineStats, IncrementalSta};
 pub use report::{PathTiming, TimingReport};

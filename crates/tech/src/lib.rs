@@ -39,7 +39,7 @@ use stdcell::StdCellLibrary;
 use wireload::WireLoadModel;
 
 /// Bundle of all technology views needed by the flow.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Tech {
     /// The standard-cell library.
     pub library: StdCellLibrary,
@@ -61,6 +61,20 @@ impl Tech {
             metal_stack: MetalStack::l65(),
             wire_load: WireLoadModel::l65(),
         }
+    }
+
+    /// A 64-bit structural fingerprint of the full technology bundle.
+    ///
+    /// Two technologies fingerprint equal iff every model constant's
+    /// bit pattern agrees. Deterministic across processes (the hasher
+    /// is keyed with fixed constants), so fingerprints are safe to use
+    /// as content-addressed cache keys and to persist in benchmark
+    /// artifacts.
+    pub fn structural_fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
     }
 }
 

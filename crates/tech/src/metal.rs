@@ -30,7 +30,7 @@ impl Direction {
 }
 
 /// One metal layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct MetalLayer {
     /// Layer name, e.g. `"M2"`.
     pub name: String,
@@ -65,7 +65,7 @@ impl fmt::Display for MetalLayer {
 }
 
 /// A full metal stack.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct MetalStack {
     layers: Vec<MetalLayer>,
 }

@@ -28,8 +28,24 @@
 //! ```
 
 use crate::units::{FemtoFarads, Ns, PicoJoules, Um, Um2};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Process-wide count of raw [`MemoryCompiler::compile`] invocations —
+/// the number of times the characterization model actually ran, cache
+/// hits excluded. Monotone; benchmark harnesses read it before/after a
+/// phase and report the delta.
+static RAW_COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide raw-compile counter (see [`RAW_COMPILES`]).
+pub fn raw_compile_count() -> u64 {
+    RAW_COMPILES.load(Ordering::Relaxed)
+}
 
 /// Number of read/write ports of a macro.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -266,6 +282,33 @@ pub struct SramParams {
     pub e_bit_word: f64,
 }
 
+/// Structural hash over the bit patterns of every model constant, so
+/// two compilers key the same [`CompiledSramCache`] entries iff their
+/// technology constants are bit-identical.
+impl Hash for SramParams {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in [
+            self.bitcell_area_1p,
+            self.bitcell_area_2p,
+            self.periphery_area,
+            self.periphery_frac,
+            self.periphery_per_bit,
+            self.periphery_per_word,
+            self.t_fixed,
+            self.t_word,
+            self.t_word_exp,
+            self.t_bit,
+            self.t_dual_penalty,
+            self.leak_fixed,
+            self.leak_per_kbit,
+            self.e_fixed,
+            self.e_bit_word,
+        ] {
+            state.write_u64(v.to_bits());
+        }
+    }
+}
+
 impl SramParams {
     /// Constants for the synthetic 65 nm low-power compiler.
     pub fn l65lp() -> Self {
@@ -290,15 +333,24 @@ impl SramParams {
 }
 
 /// The memory compiler: turns geometries into characterized macros.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct MemoryCompiler {
     params: SramParams,
+    /// Structural fingerprint of `params`, precomputed once so that
+    /// every [`CompiledSramCache`] probe keys on a single `u64` instead
+    /// of re-hashing fifteen model constants.
+    params_key: u64,
 }
 
 impl MemoryCompiler {
     /// Compiler with explicit technology constants.
     pub fn new(params: SramParams) -> Self {
-        Self { params }
+        let mut h = DefaultHasher::new();
+        params.hash(&mut h);
+        Self {
+            params,
+            params_key: h.finish(),
+        }
     }
 
     /// The synthetic 65 nm low-power compiler used throughout the
@@ -319,6 +371,7 @@ impl MemoryCompiler {
     /// Returns [`CompileSramError`] if the geometry is outside the
     /// compiler range (16–65536 words, 2–144 bits).
     pub fn compile(&self, config: SramConfig) -> Result<SramMacro, CompileSramError> {
+        RAW_COMPILES.fetch_add(1, Ordering::Relaxed);
         config.validate()?;
         let p = &self.params;
         let words = f64::from(config.words);
@@ -371,11 +424,123 @@ impl MemoryCompiler {
             input_cap: FemtoFarads::new(6.0),
         })
     }
+
+    /// Memoized [`MemoryCompiler::compile`] through the process-wide
+    /// [`CompiledSramCache`].
+    ///
+    /// Identical geometries are the common case in a G-GPU netlist —
+    /// register-file banks are cloned per PE, CRAM banks per CU — so
+    /// each distinct `(technology constants, geometry)` pair is
+    /// characterized once per process and every further request is a
+    /// table lookup. Results (including deterministic range errors)
+    /// are bit-identical to the raw path: the cache stores exactly
+    /// what [`MemoryCompiler::compile`] returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileSramError`] under the same conditions as
+    /// [`MemoryCompiler::compile`] (errors are memoized too — the
+    /// compiler is a pure function of its constants and the geometry).
+    pub fn compile_cached(&self, config: SramConfig) -> Result<SramMacro, CompileSramError> {
+        CompiledSramCache::global().get_or_compile(self, config)
+    }
 }
 
 impl Default for MemoryCompiler {
     fn default() -> Self {
         Self::l65lp()
+    }
+}
+
+/// Process-wide memo table for compiled SRAM macros, keyed by
+/// `(technology-constants fingerprint, geometry)`.
+///
+/// The STA inner loop compiles the launching/capturing macro of every
+/// memory path on every analysis; before memoization a single
+/// `optimize_for` run re-characterized the same handful of geometries
+/// thousands of times. The table is shared by all threads (reads take
+/// a shared `RwLock` guard) and lives for the process, matching the
+/// lifetime a real memory compiler's on-disk characterization database
+/// would have.
+#[derive(Debug)]
+pub struct CompiledSramCache {
+    table: RwLock<HashMap<(u64, SramConfig), Result<SramMacro, CompileSramError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl CompiledSramCache {
+    fn new() -> Self {
+        Self {
+            table: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The process-wide instance used by
+    /// [`MemoryCompiler::compile_cached`].
+    pub fn global() -> &'static CompiledSramCache {
+        static GLOBAL: OnceLock<CompiledSramCache> = OnceLock::new();
+        GLOBAL.get_or_init(CompiledSramCache::new)
+    }
+
+    /// Looks up `(compiler, config)`, compiling and memoizing on miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`CompileSramError`] from the
+    /// underlying compile.
+    pub fn get_or_compile(
+        &self,
+        compiler: &MemoryCompiler,
+        config: SramConfig,
+    ) -> Result<SramMacro, CompileSramError> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return compiler.compile(config);
+        }
+        let key = (compiler.params_key, config);
+        if let Some(r) = self.table.read().expect("sram cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *r;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = compiler.compile(config);
+        self.table
+            .write()
+            .expect("sram cache poisoned")
+            .insert(key, r);
+        r
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the characterization model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized geometries.
+    pub fn entries(&self) -> usize {
+        self.table.read().expect("sram cache poisoned").len()
+    }
+
+    /// Enables or disables memoization (process-wide). Intended for
+    /// benchmark harnesses that need to measure the unmemoized
+    /// baseline; leave enabled everywhere else. Disabling does not
+    /// drop existing entries — re-enabling resumes hitting them.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// `true` if memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
     }
 }
 
@@ -495,6 +660,60 @@ mod tests {
             "bbox {bbox} vs area {}",
             m.area
         );
+    }
+
+    #[test]
+    fn cached_compile_is_bit_identical_to_raw() {
+        let c = compiler();
+        // A geometry unique to this test, so the first cached call is
+        // a guaranteed miss even though the table is process-global.
+        let cfg = SramConfig::dual(8192, 72);
+        let raw = c.compile(cfg).unwrap();
+        let hits0 = CompiledSramCache::global().hits();
+        let raws0 = raw_compile_count();
+        let first = c.compile_cached(cfg).unwrap();
+        let second = c.compile_cached(cfg).unwrap();
+        assert_eq!(first, raw);
+        assert_eq!(second, raw);
+        // The second lookup (at latest) is answered from the table and
+        // at most one raw compile ran for the two probes.
+        assert!(CompiledSramCache::global().hits() > hits0);
+        assert!(raw_compile_count() - raws0 <= 1);
+    }
+
+    #[test]
+    fn cached_compile_memoizes_errors() {
+        let c = compiler();
+        let bad = SramConfig::dual(7, 3); // unique out-of-range key
+        assert_eq!(
+            c.compile_cached(bad).unwrap_err(),
+            CompileSramError::WordsOutOfRange(7)
+        );
+        assert_eq!(
+            c.compile_cached(bad).unwrap_err(),
+            CompileSramError::WordsOutOfRange(7)
+        );
+    }
+
+    #[test]
+    fn different_params_key_different_cache_entries() {
+        let a = MemoryCompiler::l65lp();
+        let mut params = SramParams::l65lp();
+        params.t_fixed = 0.5;
+        let b = MemoryCompiler::new(params);
+        let cfg = SramConfig::single(4096, 130); // unique to this test
+        let ma = a.compile_cached(cfg).unwrap();
+        let mb = b.compile_cached(cfg).unwrap();
+        assert!(mb.access_time > ma.access_time, "t_fixed raise must show");
+        assert_eq!(ma, a.compile(cfg).unwrap());
+        assert_eq!(mb, b.compile(cfg).unwrap());
+    }
+
+    #[test]
+    fn raw_compile_counter_is_monotone() {
+        let before = raw_compile_count();
+        let _ = compiler().compile(SramConfig::dual(64, 8));
+        assert!(raw_compile_count() > before);
     }
 
     #[test]

@@ -134,6 +134,22 @@ macro_rules! quantity {
                 }
             }
         }
+
+        /// Structural hash over the IEEE-754 bit pattern.
+        ///
+        /// Used by the flow's content-addressed caches (design
+        /// fingerprints, memoized STA). Two values hash equal iff their
+        /// bit patterns agree, which is *stricter* than `PartialEq`
+        /// (`0.0 == -0.0` but they hash differently; `NaN != NaN` but
+        /// equal-bit NaNs hash equally). Cache keys only ever compare
+        /// fingerprints for bit-identity, so the stricter relation is
+        /// safe: it can at worst miss a cache hit, never alias two
+        /// distinct values.
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                state.write_u64(self.0.to_bits());
+            }
+        }
     };
 }
 

@@ -11,7 +11,7 @@ use crate::metal::MetalLayer;
 use crate::units::{FemtoFarads, Ns, Um};
 
 /// Fanout-based pre-layout parasitic estimate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Hash)]
 pub struct WireLoadModel {
     /// Capacitance added per fanout pin.
     pub cap_per_fanout: FemtoFarads,

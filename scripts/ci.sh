@@ -30,4 +30,11 @@ cargo test --workspace -q
 echo "== smoke (event-driven simulator, ~2 s) =="
 cargo run --release --example accelerator_vs_cpu 512
 
+echo "== smoke (STA perf baseline, 1-CU scenarios) =="
+# Asserts that the incremental engine and the legacy engine produce
+# bit-identical plans/fmax while it measures; deterministic and offline.
+# Wall-clock numbers are informational in CI — the tracked baseline is
+# the checked-in BENCH_sta.json regenerated via the full (non-smoke) run.
+cargo run --release -p ggpu-bench --bin sta_bench -- --smoke --out target/BENCH_sta_smoke.json
+
 echo "== ci green =="
