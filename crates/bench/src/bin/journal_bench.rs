@@ -1,0 +1,381 @@
+//! Tracked performance baseline for the transactional transform
+//! engine (`TransformJournal`, copy-on-write netlists).
+//!
+//! Three scenario families, each asserting bit-identity while it
+//! measures (the property suite in
+//! `crates/planner/tests/prop_journal_equiv.rs` owns the randomized
+//! version of the same claims):
+//!
+//! * **replay** — applying a full Table-I optimization plan through
+//!   the journal (`apply_plan_dirty`: one CoW clone, per-action
+//!   transactions) versus the retained pre-refactor path
+//!   (`apply_plan_clone_dirty`: whole-design deep clone + replay).
+//! * **revert_walk** — apply every action of the plan as a journal
+//!   transaction, then revert all of them; the walk must restore the
+//!   base design bit-identically (snapshot restores are O(1) Arc
+//!   swaps, so the revert side is expected to be far cheaper than the
+//!   apply side).
+//! * **beam** — the DSE under `DseConfig::with_beam_width(w)`: width 1
+//!   must be bit-identical to greedy, wider beams must still meet the
+//!   target in no more transform steps.
+//!
+//! Results go to `BENCH_journal.json` (override with `--out PATH`);
+//! `--smoke` runs the 1-CU scenarios only, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin journal_bench
+//! cargo run --release -p ggpu-bench --bin journal_bench -- --smoke --out target/BENCH_journal_smoke.json
+//! ```
+
+use ggpu_netlist::{design_clone_count, module_copy_count, Design};
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::{
+    apply_plan_clone_dirty, apply_plan_dirty, optimize_for_with, optimize_with_config, DseConfig,
+    OptimizationPlan, StaCache, TransformJournal,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best wall-clock (ms) of `iters` runs of `work`.
+fn best_ms(iters: u32, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        work();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[derive(Debug)]
+struct ReplayScenario {
+    name: String,
+    actions: usize,
+    clone_ms: f64,
+    journal_ms: f64,
+    /// `Design::clone` calls for one journal replay (expected 1: the
+    /// journal's own CoW working copy).
+    journal_design_clones: u64,
+    /// Module materializations for one journal replay — exactly one
+    /// CoW copy per transaction (the pre-transaction snapshot keeps
+    /// the old `Arc` alive, so the first mutation of the transaction
+    /// copies; later mutations in the same transaction hit the now
+    /// unique module) — vs. one deep-clone replay (every module).
+    journal_module_copies: u64,
+    clone_module_copies: u64,
+}
+
+impl ReplayScenario {
+    fn speedup(&self) -> f64 {
+        if self.journal_ms > 0.0 {
+            self.clone_ms / self.journal_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A Table-I plan for `cus` CUs at `mhz`, via the shipping DSE.
+fn plan_for(base: &Design, tech: &Tech, mhz: f64) -> OptimizationPlan {
+    optimize_for_with(base, tech, Mhz::new(mhz), &StaCache::new())
+        .expect("Table-I target reachable")
+        .plan
+}
+
+fn replay_scenario(
+    cus: u32,
+    mhz: f64,
+    iters: u32,
+    base: &Design,
+    plan: &OptimizationPlan,
+) -> ReplayScenario {
+    // Bit-identity first, then timing.
+    let (d_journal, dirty_j) = apply_plan_dirty(base, plan).expect("journal replay");
+    let (d_clone, dirty_c) = apply_plan_clone_dirty(base, plan).expect("clone replay");
+    assert_eq!(d_journal, d_clone, "replay paths diverge");
+    assert_eq!(dirty_j, dirty_c, "dirty sets diverge");
+
+    let clones0 = design_clone_count();
+    let copies0 = module_copy_count();
+    let (d, _) = apply_plan_dirty(base, plan).expect("journal replay");
+    let journal_design_clones = design_clone_count() - clones0;
+    let journal_module_copies = module_copy_count() - copies0;
+    drop(d);
+
+    let copies1 = module_copy_count();
+    let (d, _) = apply_plan_clone_dirty(base, plan).expect("clone replay");
+    let clone_module_copies = module_copy_count() - copies1;
+    drop(d);
+
+    assert_eq!(
+        journal_design_clones, 1,
+        "one journal replay must clone exactly once (the CoW working copy)"
+    );
+    assert_eq!(
+        journal_module_copies,
+        plan.actions().len() as u64,
+        "one journal replay must materialize exactly one module copy per transaction"
+    );
+    assert_eq!(
+        clone_module_copies,
+        base.module_count() as u64,
+        "one deep-clone replay must copy every module"
+    );
+
+    let journal_ms = best_ms(iters, || {
+        let _ = apply_plan_dirty(base, plan).expect("journal replay");
+    });
+    let clone_ms = best_ms(iters, || {
+        let _ = apply_plan_clone_dirty(base, plan).expect("clone replay");
+    });
+
+    ReplayScenario {
+        name: format!("replay/{cus}cu@{mhz:.0}"),
+        actions: plan.actions().len(),
+        clone_ms,
+        journal_ms,
+        journal_design_clones,
+        journal_module_copies,
+        clone_module_copies,
+    }
+}
+
+#[derive(Debug)]
+struct RevertScenario {
+    name: String,
+    actions: usize,
+    apply_ms: f64,
+    revert_ms: f64,
+    restored_bit_identical: bool,
+}
+
+fn revert_scenario(
+    cus: u32,
+    mhz: f64,
+    iters: u32,
+    base: &Design,
+    plan: &OptimizationPlan,
+) -> RevertScenario {
+    let actions = plan.actions();
+
+    // Correctness once: apply* -> revert* restores the base design
+    // bit-identically, exported Verilog included.
+    let mut journal = TransformJournal::new(base);
+    for action in &actions {
+        journal.apply(action).expect("action applies");
+    }
+    while journal.revert_last().is_some() {}
+    let restored_bit_identical = journal.design() == base
+        && journal.design().structural_fingerprint() == base.structural_fingerprint()
+        && ggpu_netlist::to_structural_verilog(journal.design())
+            == ggpu_netlist::to_structural_verilog(base);
+    assert!(restored_bit_identical, "revert walk failed to restore base");
+
+    // Timing: the apply side does real transform work; the revert side
+    // is snapshot restores only, timed directly on a freshly applied
+    // journal each iteration.
+    let apply_ms = best_ms(iters, || {
+        let mut journal = TransformJournal::new(base);
+        for action in &actions {
+            journal.apply(action).expect("action applies");
+        }
+    });
+    let mut revert_ms = f64::MAX;
+    for _ in 0..iters.max(1) {
+        let mut journal = TransformJournal::new(base);
+        for action in &actions {
+            journal.apply(action).expect("action applies");
+        }
+        let t0 = Instant::now();
+        while journal.revert_last().is_some() {}
+        revert_ms = revert_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    RevertScenario {
+        name: format!("revert_walk/{cus}cu@{mhz:.0}"),
+        actions: actions.len(),
+        apply_ms,
+        revert_ms,
+        restored_bit_identical,
+    }
+}
+
+#[derive(Debug)]
+struct BeamScenario {
+    name: String,
+    width: usize,
+    wall_ms: f64,
+    steps: usize,
+    fmax_mhz: f64,
+    met: bool,
+}
+
+fn beam_scenarios(
+    cus: u32,
+    mhz: f64,
+    iters: u32,
+    tech: &Tech,
+    base: &Design,
+    widths: &[usize],
+) -> Vec<BeamScenario> {
+    let target = Mhz::new(mhz);
+    let greedy = optimize_for_with(base, tech, target, &StaCache::new()).expect("reachable");
+    let mut out = Vec::new();
+    for &width in widths {
+        let config = DseConfig::with_beam_width(width);
+        let result =
+            optimize_with_config(base, tech, target, &StaCache::new(), &config).expect("reachable");
+        if width <= 1 {
+            // Width 1 IS greedy, bit for bit.
+            assert_eq!(
+                result.plan, greedy.plan,
+                "width-1 plan diverges from greedy"
+            );
+            assert_eq!(
+                result.fmax.value().to_bits(),
+                greedy.fmax.value().to_bits(),
+                "width-1 fmax diverges from greedy"
+            );
+        } else {
+            // Wider beams are never worse: target met, no more steps.
+            assert!(result.fmax.value() >= target.value(), "beam missed target");
+            assert!(
+                result.trace.len() <= greedy.trace.len(),
+                "beam used more steps than greedy"
+            );
+        }
+        let wall_ms = best_ms(iters, || {
+            let _ = optimize_with_config(base, tech, target, &StaCache::new(), &config)
+                .expect("reachable");
+        });
+        out.push(BeamScenario {
+            name: format!("beam/{cus}cu@{mhz:.0}/w{width}"),
+            width,
+            wall_ms,
+            steps: result.trace.len(),
+            fmax_mhz: result.fmax.value(),
+            met: result.fmax.value() >= target.value(),
+        });
+    }
+    out
+}
+
+fn render_json(
+    replays: &[ReplayScenario],
+    reverts: &[RevertScenario],
+    beams: &[BeamScenario],
+    smoke: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"journal\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"replay\": [\n");
+    for (idx, s) in replays.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"actions\": {}, \"clone_ms\": {:.3}, \
+             \"journal_ms\": {:.3}, \"speedup\": {:.2}, \"journal_design_clones\": {}, \
+             \"journal_module_copies\": {}, \"clone_module_copies\": {}}}",
+            s.name,
+            s.actions,
+            s.clone_ms,
+            s.journal_ms,
+            s.speedup(),
+            s.journal_design_clones,
+            s.journal_module_copies,
+            s.clone_module_copies,
+        );
+        out.push_str(if idx + 1 < replays.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"revert_walk\": [\n");
+    for (idx, s) in reverts.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"actions\": {}, \"apply_ms\": {:.3}, \
+             \"revert_ms\": {:.3}, \"restored_bit_identical\": {}}}",
+            s.name, s.actions, s.apply_ms, s.revert_ms, s.restored_bit_identical,
+        );
+        out.push_str(if idx + 1 < reverts.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"beam\": [\n");
+    for (idx, s) in beams.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"width\": {}, \"wall_ms\": {:.3}, \"steps\": {}, \
+             \"fmax_mhz\": {:.2}, \"met\": {}}}",
+            s.name, s.width, s.wall_ms, s.steps, s.fmax_mhz, s.met,
+        );
+        out.push_str(if idx + 1 < beams.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_journal.json".into());
+
+    let tech = Tech::l65();
+    let iters: u32 = std::env::var("GGPU_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 25 });
+
+    let points: &[(u32, f64)] = if smoke {
+        &[(1, 667.0)]
+    } else {
+        &[(1, 667.0), (8, 667.0)]
+    };
+    let widths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let mut replays = Vec::new();
+    let mut reverts = Vec::new();
+    let mut beams = Vec::new();
+    for &(cus, mhz) in points {
+        let base =
+            generate(&GgpuConfig::with_cus(cus).expect("valid CU count")).expect("generates");
+        let plan = plan_for(&base, &tech, mhz);
+
+        eprintln!("running replay/{cus}cu@{mhz:.0} ...");
+        let r = replay_scenario(cus, mhz, iters, &base, &plan);
+        eprintln!(
+            "  clone {:.2} ms -> journal {:.2} ms ({:.2}x), module copies {} -> {}",
+            r.clone_ms,
+            r.journal_ms,
+            r.speedup(),
+            r.clone_module_copies,
+            r.journal_module_copies
+        );
+        replays.push(r);
+
+        eprintln!("running revert_walk/{cus}cu@{mhz:.0} ...");
+        let r = revert_scenario(cus, mhz, iters, &base, &plan);
+        eprintln!(
+            "  apply {:.2} ms, revert {:.2} ms, restored bit-identically: {}",
+            r.apply_ms, r.revert_ms, r.restored_bit_identical
+        );
+        reverts.push(r);
+
+        eprintln!("running beam/{cus}cu@{mhz:.0} (widths {widths:?}) ...");
+        for b in beam_scenarios(cus, mhz, iters, &tech, &base, widths) {
+            eprintln!(
+                "  width {} -> {:.1} ms, {} steps, fmax {:.1} MHz",
+                b.width, b.wall_ms, b.steps, b.fmax_mhz
+            );
+            beams.push(b);
+        }
+    }
+
+    let json = render_json(&replays, &reverts, &beams, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

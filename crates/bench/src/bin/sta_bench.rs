@@ -17,16 +17,34 @@
 //! `BENCH_sta.json` (override with `--out PATH`); `--smoke` runs the
 //! 1-CU scenarios only, sized for CI.
 //!
+//! Since the transactional-transform refactor the binary also runs a
+//! three-way *transform engine* comparison per DSE point (all three on
+//! the incremental STA engine, so only the candidate mechanics
+//! differ):
+//!
+//! * **clone** — `optimize_for_clone`: the pre-refactor loop, one
+//!   whole-design deep clone per candidate.
+//! * **cow** — `optimize_for_cow`: copy-on-write clones, but still a
+//!   full plan replay per candidate.
+//! * **journal** — `optimize_for_with`: the shipping
+//!   `TransformJournal` rebase; zero clones on the candidate hot path,
+//!   which the binary *asserts* via the netlist crate's clone
+//!   counters (exact counts are meaningful here because the
+//!   comparison runs single-threaded).
+//!
 //! ```text
 //! cargo run --release -p ggpu-bench --bin sta_bench
 //! cargo run --release -p ggpu-bench --bin sta_bench -- --smoke --out target/BENCH_sta_smoke.json
 //! ```
 
+use ggpu_netlist::{design_clone_count, module_copy_count};
 use ggpu_rtl::{generate, GgpuConfig};
 use ggpu_tech::sram::{raw_compile_count, CompiledSramCache};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
-use gpuplanner::{optimize_for_with, GpuPlanner, StaCache};
+use gpuplanner::{
+    optimize_for_clone, optimize_for_cow, optimize_for_with, GpuPlanner, Optimized, StaCache,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,6 +163,134 @@ fn dse_scenario(cus: u32, mhz: f64, iters: u32, tech: &Tech) -> Scenario {
     }
 }
 
+/// One transform-engine leg of the clone-vs-CoW-vs-journal comparison.
+#[derive(Debug, Clone)]
+struct EngineLeg {
+    wall_ms: f64,
+    /// `Design::clone` calls during one DSE run (CoW clones included;
+    /// a deep clone also counts one).
+    design_clones: u64,
+    /// Module materializations during one DSE run (CoW copy-outs plus
+    /// the per-module copies of every deep clone).
+    module_copies: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EngineScenario {
+    name: String,
+    /// Transform candidates the greedy loop measured (trace length
+    /// minus the final "met" advice) — identical across legs.
+    candidates: u64,
+    clone: EngineLeg,
+    cow: EngineLeg,
+    journal: EngineLeg,
+}
+
+impl EngineScenario {
+    fn speedup_vs_clone(leg: &EngineLeg, clone: &EngineLeg) -> f64 {
+        if leg.wall_ms > 0.0 {
+            clone.wall_ms / leg.wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measures one engine leg: best wall over `iters` runs, clone
+/// counters from the final run (the DSE is deterministic, so every run
+/// performs identical work and the counters are stable).
+fn measure_engine(iters: u32, mut work: impl FnMut() -> Optimized) -> (EngineLeg, Optimized) {
+    let mut best_ms = f64::MAX;
+    let mut leg = None;
+    let mut result = None;
+    for _ in 0..iters.max(1) {
+        let clones0 = design_clone_count();
+        let copies0 = module_copy_count();
+        let t0 = Instant::now();
+        let opt = work();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(wall_ms);
+        leg = Some(EngineLeg {
+            wall_ms: best_ms,
+            design_clones: design_clone_count() - clones0,
+            module_copies: module_copy_count() - copies0,
+        });
+        result = Some(opt);
+    }
+    let mut leg = leg.expect("at least one iteration");
+    leg.wall_ms = best_ms;
+    (leg, result.expect("at least one iteration"))
+}
+
+/// The clone-vs-CoW-vs-journal DSE comparison on one Table-I point.
+/// All three legs run the incremental STA engine on a fresh cache, so
+/// the only variable is the transform-candidate mechanics.
+fn engines_scenario(cus: u32, mhz: f64, iters: u32, tech: &Tech) -> EngineScenario {
+    let base = generate(&GgpuConfig::with_cus(cus).expect("valid CU count")).expect("generates");
+    let target = Mhz::new(mhz);
+    let module_count = base.module_count() as u64;
+
+    let (clone, r_clone) = measure_engine(iters, || {
+        optimize_for_clone(&base, tech, target, &StaCache::new()).expect("reachable")
+    });
+    let (cow, r_cow) = measure_engine(iters, || {
+        optimize_for_cow(&base, tech, target, &StaCache::new()).expect("reachable")
+    });
+    let (journal, r_journal) = measure_engine(iters, || {
+        optimize_for_with(&base, tech, target, &StaCache::new()).expect("reachable")
+    });
+
+    // The three engines are property-tested bit-identical; assert it
+    // again on the measured runs.
+    for (name, r) in [("cow", &r_cow), ("clone", &r_clone)] {
+        assert_eq!(r_journal.plan, r.plan, "{name} plan diverges");
+        assert_eq!(r_journal.trace, r.trace, "{name} trace diverges");
+        assert_eq!(
+            r_journal.fmax.value().to_bits(),
+            r.fmax.value().to_bits(),
+            "{name} fmax diverges"
+        );
+    }
+    let candidates = (r_journal.trace.len() - 1) as u64;
+
+    // The refactor's headline accounting claim: the journal performs
+    // exactly ONE copy-on-write clone per DSE run (creating the
+    // journal's working design) and ZERO clones of any kind per
+    // candidate. The clone reference deep-copies the whole design once
+    // per candidate plus once up front. Exact equality is meaningful
+    // because this comparison runs single-threaded.
+    assert_eq!(
+        journal.design_clones, 1,
+        "journal path must clone exactly once per run (0 per candidate)"
+    );
+    assert_eq!(
+        clone.design_clones,
+        candidates + 1,
+        "clone path deep-clones once per candidate plus the initial copy"
+    );
+    assert!(
+        clone.module_copies >= (candidates + 1) * module_count,
+        "deep clones must copy every module"
+    );
+    assert_eq!(
+        cow.design_clones,
+        candidates + 1,
+        "CoW path clones (cheaply) once per candidate plus the initial copy"
+    );
+    assert!(
+        journal.module_copies <= cow.module_copies,
+        "the journal must materialize no more modules than CoW replay"
+    );
+
+    EngineScenario {
+        name: format!("dse_engines/{cus}cu@{mhz:.0}"),
+        candidates,
+        clone,
+        cow,
+        journal,
+    }
+}
+
 /// The full `best_within` sweep (24 design points) under both engines.
 fn sweep_scenario(iters: u32, tech: &Tech) -> Scenario {
     const MAX_AREA_MM2: f64 = 200.0;
@@ -196,7 +342,14 @@ fn json_side(s: &Side) -> String {
     )
 }
 
-fn render_json(scenarios: &[Scenario], smoke: bool) -> String {
+fn json_engine_leg(l: &EngineLeg) -> String {
+    format!(
+        "{{\"wall_ms\": {:.3}, \"design_clones\": {}, \"module_copies\": {}}}",
+        l.wall_ms, l.design_clones, l.module_copies
+    )
+}
+
+fn render_json(scenarios: &[Scenario], engines: &[EngineScenario], smoke: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"sta\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
@@ -226,6 +379,24 @@ fn render_json(scenarios: &[Scenario], smoke: bool) -> String {
         } else {
             "\n"
         });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"engine_comparison\": [\n");
+    for (idx, e) in engines.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"clone\": {}, \"cow\": {}, \
+             \"journal\": {}, \"journal_speedup_vs_clone\": {:.2}, \
+             \"cow_speedup_vs_clone\": {:.2}}}",
+            e.name,
+            e.candidates,
+            json_engine_leg(&e.clone),
+            json_engine_leg(&e.cow),
+            json_engine_leg(&e.journal),
+            EngineScenario::speedup_vs_clone(&e.journal, &e.clone),
+            EngineScenario::speedup_vs_clone(&e.cow, &e.clone),
+        );
+        out.push_str(if idx + 1 < engines.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -267,6 +438,22 @@ fn main() {
         scenarios.push(s);
     }
 
+    let mut engines = Vec::new();
+    for &(cus, mhz) in points {
+        eprintln!("running dse_engines/{cus}cu@{mhz:.0} (clone vs cow vs journal) ...");
+        let e = engines_scenario(cus, mhz, iters, &tech);
+        eprintln!(
+            "  clone {:.1} ms -> cow {:.1} ms -> journal {:.1} ms \
+             ({:.2}x vs clone); clones/candidate: clone {}, journal 0",
+            e.clone.wall_ms,
+            e.cow.wall_ms,
+            e.journal.wall_ms,
+            EngineScenario::speedup_vs_clone(&e.journal, &e.clone),
+            if e.candidates > 0 { 1 } else { 0 },
+        );
+        engines.push(e);
+    }
+
     if !smoke {
         eprintln!("running best_within/24pt_sweep ...");
         let s = sweep_scenario(iters.min(5), &tech);
@@ -281,7 +468,7 @@ fn main() {
         scenarios.push(s);
     }
 
-    let json = render_json(&scenarios, smoke);
+    let json = render_json(&scenarios, &engines, smoke);
     std::fs::write(&out_path, &json).expect("write results");
     println!("{json}");
     println!("wrote {out_path}");

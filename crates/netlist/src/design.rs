@@ -7,10 +7,47 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of [`Design::clone`] / [`Design::deep_clone`]
+/// invocations. Test/bench instrumentation only — see
+/// [`design_clone_count`].
+static DESIGN_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of per-module deep copies: copy-on-write breaks
+/// in [`Design::module_mut`] plus the forced copies of
+/// [`Design::deep_clone`]. See [`module_copy_count`].
+static MODULE_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative number of design clones (`clone` and `deep_clone`) in
+/// this process. Monotone; meant for *relative* measurements in
+/// single-threaded harnesses (the DSE benches assert the journal path
+/// performs zero clones per candidate). Parallel test runners share
+/// the counter, so tests should only assert deltas `>=` an expected
+/// floor, never exact values.
+pub fn design_clone_count() -> u64 {
+    DESIGN_CLONES.load(Ordering::Relaxed)
+}
+
+/// Cumulative number of module deep copies in this process: every time
+/// copy-on-write actually copied a shared module ([`Design::module_mut`]
+/// on a module shared with another design) or [`Design::deep_clone`]
+/// forced copies. The same caveats as [`design_clone_count`] apply.
+pub fn module_copy_count() -> u64 {
+    MODULE_COPIES.load(Ordering::Relaxed)
+}
 
 /// A complete design: an arena of modules forming a DAG under
 /// instantiation, with one top module.
+///
+/// Modules are stored behind [`Arc`] with **copy-on-write** semantics:
+/// [`Design::clone`] is O(module count) pointer bumps, and a cloned
+/// design shares every module (and its cached fingerprint) with its
+/// origin until [`Design::module_mut`] breaks the sharing for exactly
+/// the module being mutated. This is what makes design-space
+/// exploration variants cheap: a variant that touched one module deep
+/// copies one module.
 ///
 /// ```
 /// use ggpu_netlist::design::Design;
@@ -27,10 +64,9 @@ use std::sync::OnceLock;
 /// design.set_top(top);
 /// assert!(design.validate().is_ok());
 /// ```
-#[derive(Clone)]
 pub struct Design {
     name: String,
-    modules: Vec<Module>,
+    modules: Vec<Arc<Module>>,
     top: Option<ModuleId>,
     /// Lazily computed structural fingerprint per module, parallel to
     /// `modules`. A slot is filled on first demand
@@ -44,6 +80,21 @@ pub struct Design {
     fp_cache: Vec<OnceLock<u64>>,
 }
 
+impl Clone for Design {
+    /// Copy-on-write clone: O(module count) `Arc` bumps, no module
+    /// content is copied. Bumps the process-wide
+    /// [`design_clone_count`].
+    fn clone(&self) -> Self {
+        DESIGN_CLONES.fetch_add(1, Ordering::Relaxed);
+        Self {
+            name: self.name.clone(),
+            modules: self.modules.clone(),
+            top: self.top,
+            fp_cache: self.fp_cache.clone(),
+        }
+    }
+}
+
 /// Equality is structural: name, modules and top. The fingerprint
 /// cache never participates — two designs with identical contents are
 /// equal regardless of which fingerprints happen to be computed.
@@ -55,6 +106,9 @@ impl PartialEq for Design {
 
 impl fmt::Debug for Design {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `Arc<Module>` renders exactly like `Module`, so this output
+        // (and the legacy Debug-string fingerprint derived from it) is
+        // byte-identical to the pre-CoW representation.
         f.debug_struct("Design")
             .field("name", &self.name)
             .field("modules", &self.modules)
@@ -137,6 +191,28 @@ impl fmt::Display for ValidateDesignError {
 
 impl Error for ValidateDesignError {}
 
+/// The saved state of one module slot: the module's shared content
+/// plus its fingerprint-cache slot, captured by
+/// [`Design::snapshot_module`]. Restoring a snapshot
+/// ([`Design::restore_module`]) is O(1) — it reinstates the original
+/// `Arc` (and the fingerprint that was cached for it), so a
+/// snapshot/mutate/restore round-trip is *bit-identical*, shared
+/// pointers and all. This is the primitive the transactional transform
+/// journal builds `revert` on.
+#[derive(Debug, Clone)]
+pub struct ModuleSnapshot {
+    id: ModuleId,
+    module: Arc<Module>,
+    fp: OnceLock<u64>,
+}
+
+impl ModuleSnapshot {
+    /// The module slot this snapshot belongs to.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+}
+
 impl Design {
     /// Creates an empty design.
     pub fn new(name: impl Into<String>) -> Self {
@@ -161,7 +237,7 @@ impl Design {
     /// Adds a module to the arena and returns its id.
     pub fn add_module(&mut self, module: Module) -> ModuleId {
         let id = ModuleId::from_index(self.modules.len());
-        self.modules.push(module);
+        self.modules.push(Arc::new(module));
         self.fp_cache.push(OnceLock::new());
         id
     }
@@ -189,13 +265,79 @@ impl Design {
 
     /// Mutably borrows a module.
     ///
-    /// Conservatively invalidates the module's cached fingerprint:
-    /// any mutable access is assumed to change content (re-hashing an
-    /// unchanged module is cheap; serving a stale fingerprint would
-    /// poison every downstream content-addressed cache).
+    /// Copy-on-write: if the module is shared with another design (or
+    /// snapshot), its content is deep copied first — exactly one
+    /// module, never the whole design. Conservatively invalidates the
+    /// module's cached fingerprint: any mutable access is assumed to
+    /// change content (re-hashing an unchanged module is cheap;
+    /// serving a stale fingerprint would poison every downstream
+    /// content-addressed cache).
     pub fn module_mut(&mut self, id: ModuleId) -> &mut Module {
+        let slot = &mut self.modules[id.index()];
+        if Arc::strong_count(slot) > 1 {
+            MODULE_COPIES.fetch_add(1, Ordering::Relaxed);
+        }
         self.fp_cache[id.index()] = OnceLock::new();
-        &mut self.modules[id.index()]
+        Arc::make_mut(slot)
+    }
+
+    /// A clone that forces a deep copy of every module, reproducing
+    /// the pre-copy-on-write clone cost (O(design size)). The content
+    /// is identical to [`Design::clone`]; only the sharing differs.
+    /// Retained as the tracked benchmark baseline for the transform
+    /// journal — production code should never need it.
+    pub fn deep_clone(&self) -> Self {
+        DESIGN_CLONES.fetch_add(1, Ordering::Relaxed);
+        MODULE_COPIES.fetch_add(self.modules.len() as u64, Ordering::Relaxed);
+        Self {
+            name: self.name.clone(),
+            modules: self
+                .modules
+                .iter()
+                .map(|m| Arc::new(Module::clone(m)))
+                .collect(),
+            top: self.top,
+            fp_cache: self.fp_cache.clone(),
+        }
+    }
+
+    /// Number of module slots whose content is *shared* (same `Arc`)
+    /// with `other`, compared slot-by-slot. Diagnostic for
+    /// copy-on-write effectiveness: a fresh clone shares everything; a
+    /// clone that mutated one module shares `module_count() - 1`.
+    pub fn shared_modules_with(&self, other: &Design) -> usize {
+        self.modules
+            .iter()
+            .zip(&other.modules)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Captures the current state of one module slot (content +
+    /// cached fingerprint) as an O(1) [`ModuleSnapshot`]. Restoring it
+    /// with [`Design::restore_module`] reinstates this exact state
+    /// bit-for-bit.
+    pub fn snapshot_module(&self, id: ModuleId) -> ModuleSnapshot {
+        ModuleSnapshot {
+            id,
+            module: Arc::clone(&self.modules[id.index()]),
+            fp: self.fp_cache[id.index()].clone(),
+        }
+    }
+
+    /// Restores a module slot from a snapshot taken on this design (or
+    /// a design sharing the same arena layout, e.g. a clone). O(1):
+    /// the original `Arc` and fingerprint slot are put back, so
+    /// sharing relationships and cached fingerprints round-trip
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's id is out of range for this arena.
+    pub fn restore_module(&mut self, snapshot: ModuleSnapshot) {
+        let idx = snapshot.id.index();
+        self.modules[idx] = snapshot.module;
+        self.fp_cache[idx] = snapshot.fp;
     }
 
     /// The structural fingerprint of one module: a 64-bit hash of its
@@ -299,37 +441,47 @@ impl Design {
                 }
             }
         }
-        // Cycle check: DFS with colouring.
+        // Cycle check: iterative DFS with colouring and an explicit
+        // frame stack (`(module, next child)`), so arbitrarily deep
+        // hierarchies cannot overflow the call stack. The traversal
+        // order matches the recursive formulation exactly: descend
+        // fully into a child before considering its next sibling.
         #[derive(Clone, Copy, PartialEq)]
         enum Colour {
             White,
             Grey,
             Black,
         }
-        fn dfs(
-            design: &Design,
-            id: ModuleId,
-            colour: &mut [Colour],
-        ) -> Result<(), ValidateDesignError> {
-            match colour[id.index()] {
-                Colour::Black => return Ok(()),
-                Colour::Grey => {
-                    return Err(ValidateDesignError::InstantiationCycle(
-                        design.module(id).name.clone(),
-                    ))
-                }
-                Colour::White => {}
-            }
-            colour[id.index()] = Colour::Grey;
-            for child in &design.module(id).children {
-                dfs(design, child.module, colour)?;
-            }
-            colour[id.index()] = Colour::Black;
-            Ok(())
-        }
         let mut colour = vec![Colour::White; self.modules.len()];
-        for id in self.module_ids() {
-            dfs(self, id, &mut colour)?;
+        let mut stack: Vec<(ModuleId, usize)> = Vec::new();
+        for root in self.module_ids() {
+            if colour[root.index()] != Colour::White {
+                continue;
+            }
+            colour[root.index()] = Colour::Grey;
+            stack.push((root, 0));
+            while let Some(&(id, next_child)) = stack.last() {
+                let children = &self.module(id).children;
+                if next_child < children.len() {
+                    stack.last_mut().expect("frame exists").1 += 1;
+                    let child = children[next_child].module;
+                    match colour[child.index()] {
+                        Colour::Black => {}
+                        Colour::Grey => {
+                            return Err(ValidateDesignError::InstantiationCycle(
+                                self.module(child).name.clone(),
+                            ));
+                        }
+                        Colour::White => {
+                            colour[child.index()] = Colour::Grey;
+                            stack.push((child, 0));
+                        }
+                    }
+                } else {
+                    colour[id.index()] = Colour::Black;
+                    stack.pop();
+                }
+            }
         }
         Ok(())
     }
@@ -337,58 +489,137 @@ impl Design {
     /// Visits every instance in the hierarchy under the top module,
     /// depth-first, yielding `(hierarchical_path, module_id)` pairs.
     /// The top module itself is visited with an empty path.
+    ///
+    /// Iterative (explicit frame stack), so designs with extremely
+    /// deep hierarchies — e.g. `allow_extended_cus` configurations —
+    /// cannot overflow the call stack.
     pub fn visit_instances<F: FnMut(&str, ModuleId)>(&self, mut f: F) {
-        fn walk<F: FnMut(&str, ModuleId)>(
-            design: &Design,
-            id: ModuleId,
-            path: &mut String,
-            f: &mut F,
-        ) {
-            f(path, id);
-            let len = path.len();
-            for child in &design.module(id).children {
+        // Frame: (module, next child to descend into, path length up
+        // to and including this module's own instance name).
+        let mut path = String::new();
+        let top = self.top();
+        f(&path, top);
+        let mut stack: Vec<(ModuleId, usize, usize)> = vec![(top, 0, 0)];
+        while let Some(&(id, next_child, path_len)) = stack.last() {
+            let children = &self.module(id).children;
+            if next_child < children.len() {
+                stack.last_mut().expect("frame exists").1 += 1;
+                let child = &children[next_child];
+                path.truncate(path_len);
                 if !path.is_empty() {
                     path.push('/');
                 }
                 path.push_str(&child.name);
-                walk(design, child.module, path, f);
-                path.truncate(len);
+                f(&path, child.module);
+                stack.push((child.module, 0, path.len()));
+            } else {
+                stack.pop();
             }
         }
-        let mut path = String::new();
-        walk(self, self.top(), &mut path, &mut f);
     }
 
-    /// Lists every macro instance under the top module with its full
-    /// hierarchical path (`"cu0/pe3/rf_bank2"`).
-    pub fn all_macros(&self) -> Vec<(String, MacroInst)> {
-        let mut out = Vec::new();
-        self.visit_instances(|path, id| {
-            for m in &self.module(id).macros {
-                let full = if path.is_empty() {
-                    m.name.clone()
-                } else {
-                    format!("{path}/{}", m.name)
-                };
-                out.push((full, m.clone()));
-            }
-        });
-        out
+    /// Iterates every macro instance under the top module with its
+    /// full hierarchical path (`"cu0/pe3/rf_bank2"`), pre-order:
+    /// a module's own macros before its children's.
+    ///
+    /// Lazy and allocation-light: the macro itself is *borrowed* (the
+    /// seed's `all_macros` cloned every `MacroInst` into a fresh `Vec`
+    /// on each call — an allocation storm when probed per DSE
+    /// candidate); only the hierarchical path `String` is built per
+    /// item. The traversal uses an explicit stack, so hierarchy depth
+    /// is bounded by memory, not the call stack.
+    pub fn all_macros(&self) -> MacroIter<'_> {
+        let top = self.top();
+        MacroIter {
+            design: self,
+            path: String::new(),
+            stack: vec![MacroFrame {
+                id: top,
+                next_macro: 0,
+                next_child: 0,
+                path_len: 0,
+            }],
+        }
     }
 
     /// Counts how many times each module is instantiated under the top
     /// (the top itself counts once). Modules unreachable from the top
     /// have multiplicity zero.
+    ///
+    /// Iterative (explicit work stack): hierarchy depth cannot
+    /// overflow the call stack.
     pub fn multiplicities(&self) -> Vec<u64> {
         let mut mult = vec![0u64; self.modules.len()];
-        fn walk(design: &Design, id: ModuleId, mult: &mut [u64]) {
+        let mut stack = vec![self.top()];
+        while let Some(id) = stack.pop() {
             mult[id.index()] += 1;
-            for child in &design.module(id).children {
-                walk(design, child.module, mult);
+            for child in &self.module(id).children {
+                stack.push(child.module);
             }
         }
-        walk(self, self.top(), &mut mult);
         mult
+    }
+}
+
+/// One frame of [`MacroIter`]'s explicit traversal stack.
+#[derive(Clone, Copy)]
+struct MacroFrame {
+    id: ModuleId,
+    next_macro: usize,
+    next_child: usize,
+    path_len: usize,
+}
+
+/// Iterator over every macro instantiation under a design's top, with
+/// hierarchical paths. Produced by [`Design::all_macros`].
+pub struct MacroIter<'a> {
+    design: &'a Design,
+    path: String,
+    stack: Vec<MacroFrame>,
+}
+
+impl<'a> Iterator for MacroIter<'a> {
+    type Item = (String, &'a MacroInst);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(&MacroFrame {
+            id,
+            next_macro,
+            next_child,
+            path_len,
+        }) = self.stack.last()
+        {
+            let module = self.design.module(id);
+            if next_macro < module.macros.len() {
+                self.stack.last_mut().expect("frame exists").next_macro += 1;
+                let mac = &module.macros[next_macro];
+                self.path.truncate(path_len);
+                let full = if self.path.is_empty() {
+                    mac.name.clone()
+                } else {
+                    format!("{}/{}", self.path, mac.name)
+                };
+                return Some((full, mac));
+            }
+            if next_child < module.children.len() {
+                self.stack.last_mut().expect("frame exists").next_child += 1;
+                let child = &module.children[next_child];
+                self.path.truncate(path_len);
+                if !self.path.is_empty() {
+                    self.path.push('/');
+                }
+                self.path.push_str(&child.name);
+                self.stack.push(MacroFrame {
+                    id: child.module,
+                    next_macro: 0,
+                    next_child: 0,
+                    path_len: self.path.len(),
+                });
+            } else {
+                self.stack.pop();
+            }
+        }
+        None
     }
 }
 
@@ -454,6 +685,21 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_self_cycle() {
+        let mut d = Design::new("x");
+        let a = d.add_module(Module::new("a"));
+        d.module_mut(a).children.push(Instance {
+            name: "u".into(),
+            module: a,
+        });
+        d.set_top(a);
+        assert_eq!(
+            d.validate(),
+            Err(ValidateDesignError::InstantiationCycle("a".into()))
+        );
+    }
+
+    #[test]
     fn validate_rejects_duplicate_module_names() {
         let mut d = Design::new("x");
         let a = d.add_module(Module::new("a"));
@@ -504,6 +750,61 @@ mod tests {
         assert!(paths.contains(&"".to_string()));
         assert!(paths.contains(&"m1/l0".to_string()));
         assert_eq!(paths.len(), 1 + 3 + 6);
+        // Pre-order: a parent instance is visited before its children.
+        let pos = |s: &str| paths.iter().position(|p| p == s).unwrap();
+        assert!(pos("m1") < pos("m1/l0"));
+        assert!(pos("m1/l0") < pos("m1/l1"));
+        assert!(pos("m0") < pos("m1"));
+    }
+
+    /// A linear chain deep enough that recursive walks would overflow
+    /// the call stack. All hierarchy traversals must be iterative.
+    fn deep_chain(levels: usize) -> Design {
+        use crate::module::{MacroInst, MemoryRole};
+        use ggpu_tech::sram::SramConfig;
+        let mut d = Design::new("deep");
+        let mut leaf = Module::new("m0");
+        leaf.macros.push(MacroInst::new(
+            "ram",
+            SramConfig::dual(64, 8),
+            MemoryRole::Other,
+            0.5,
+        ));
+        let mut prev = d.add_module(leaf);
+        for i in 1..levels {
+            let mut m = Module::new(format!("m{i}"));
+            m.children.push(Instance {
+                name: "c".into(),
+                module: prev,
+            });
+            prev = d.add_module(m);
+        }
+        d.set_top(prev);
+        d
+    }
+
+    #[test]
+    fn deep_hierarchy_walks_do_not_overflow_the_stack() {
+        // >= 10k levels per the extended-CU requirement; 50k to leave
+        // no doubt a recursive walk (~100+ bytes/frame) would have
+        // blown the 2 MiB test-thread stack.
+        const LEVELS: usize = 50_000;
+        let d = deep_chain(LEVELS);
+        assert!(d.validate().is_ok());
+        let mult = d.multiplicities();
+        assert!(mult.iter().all(|&m| m == 1));
+        let mut visited = 0usize;
+        let mut deepest = 0usize;
+        d.visit_instances(|p, _| {
+            visited += 1;
+            deepest = deepest.max(p.len());
+        });
+        assert_eq!(visited, LEVELS);
+        // The deepest path is LEVELS-1 segments of "c" + separators.
+        assert_eq!(deepest, 2 * (LEVELS - 1) - 1);
+        let macros: Vec<_> = d.all_macros().collect();
+        assert_eq!(macros.len(), 1);
+        assert!(macros[0].0.ends_with("/ram"));
     }
 
     #[test]
@@ -518,9 +819,43 @@ mod tests {
             MemoryRole::Other,
             0.5,
         ));
-        let macros = d.all_macros();
+        let macros: Vec<(String, &MacroInst)> = d.all_macros().collect();
         assert_eq!(macros.len(), 6);
         assert!(macros.iter().any(|(p, _)| p == "m2/l1/ram"));
+        // Order matches visit_instances (pre-order by instance).
+        assert_eq!(macros[0].0, "m0/l0/ram");
+        // The iterator borrows: no MacroInst is cloned.
+        assert!(std::ptr::eq(
+            macros[0].1,
+            d.module(leaf).find_macro("ram").unwrap()
+        ));
+    }
+
+    #[test]
+    fn all_macros_order_interleaves_own_macros_before_children() {
+        use crate::module::{MacroInst, MemoryRole};
+        use ggpu_tech::sram::SramConfig;
+        let mut d = Design::new("t");
+        let leaf = d.add_module(Module::new("leaf").with_macro(MacroInst::new(
+            "l_ram",
+            SramConfig::dual(64, 8),
+            MemoryRole::Other,
+            0.5,
+        )));
+        let mut top = Module::new("top").with_macro(MacroInst::new(
+            "t_ram",
+            SramConfig::dual(64, 8),
+            MemoryRole::Other,
+            0.5,
+        ));
+        top.children.push(Instance {
+            name: "u0".into(),
+            module: leaf,
+        });
+        let top = d.add_module(top);
+        d.set_top(top);
+        let names: Vec<String> = d.all_macros().map(|(p, _)| p).collect();
+        assert_eq!(names, vec!["t_ram".to_string(), "u0/l_ram".to_string()]);
     }
 
     #[test]
@@ -554,6 +889,87 @@ mod tests {
         assert_eq!(d, cold, "cache state must not affect equality");
         let cloned = d.clone();
         assert_eq!(cloned.structural_fingerprint(), fp);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let d = two_level();
+        let mut variant = d.clone();
+        // A fresh clone shares every module with its origin.
+        assert_eq!(variant.shared_modules_with(&d), d.module_count());
+        // Mutating one module breaks sharing for exactly that module.
+        let leaf = variant.module_by_name("leaf").unwrap();
+        variant.module_mut(leaf).name = "leaf_x".into();
+        assert_eq!(variant.shared_modules_with(&d), d.module_count() - 1);
+        // The origin is untouched.
+        assert!(d.module_by_name("leaf").is_some());
+        assert!(d.module_by_name("leaf_x").is_none());
+        // Deep clone shares nothing but is content-equal.
+        let deep = d.deep_clone();
+        assert_eq!(deep.shared_modules_with(&d), 0);
+        assert_eq!(deep, d);
+    }
+
+    #[test]
+    fn clone_counters_are_monotone() {
+        let before_clones = design_clone_count();
+        let before_copies = module_copy_count();
+        let d = two_level();
+        let mut v = d.clone();
+        let _ = d.deep_clone();
+        let leaf = v.module_by_name("leaf").unwrap();
+        v.module_mut(leaf).name = "leaf2".into();
+        // Parallel tests share the process-wide counters, so only a
+        // floor can be asserted: >= 2 design clones (clone +
+        // deep_clone), >= module_count + 1 module copies (deep clone
+        // forces all, the CoW break adds one).
+        assert!(design_clone_count() >= before_clones + 2);
+        assert!(module_copy_count() > before_copies + d.module_count() as u64);
+    }
+
+    #[test]
+    fn unshared_module_mut_does_not_count_a_copy() {
+        let mut d = two_level();
+        let leaf = d.module_by_name("leaf").unwrap();
+        // Warm: touch once so any lazy state settles.
+        d.module_mut(leaf).name = "leaf".into();
+        // A design that shares nothing pays no copy for mutation; we
+        // can't assert the global counter exactly (parallel tests),
+        // but we can assert sharing stays local.
+        let observer = d.clone();
+        d.module_mut(leaf).name = "leaf_b".into();
+        assert_eq!(d.shared_modules_with(&observer), d.module_count() - 1);
+        d.module_mut(leaf).name = "leaf_c".into();
+        // Second mutation of the now-unshared module keeps sharing.
+        assert_eq!(d.shared_modules_with(&observer), d.module_count() - 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically() {
+        let mut d = two_level();
+        let leaf = d.module_by_name("leaf").unwrap();
+        let fp_before = d.structural_fingerprint(); // warm every slot
+        let leaf_fp = d.module_fingerprint(leaf);
+        let snap = d.snapshot_module(leaf);
+        assert_eq!(snap.id(), leaf);
+
+        d.module_mut(leaf).name = "mutant".into();
+        d.module_mut(leaf)
+            .groups
+            .push(crate::module::CellGroup::new(
+                "junk",
+                ggpu_tech::stdcell::CellClass::Inv,
+                7,
+                0.1,
+            ));
+        assert_ne!(d.structural_fingerprint(), fp_before);
+
+        d.restore_module(snap);
+        assert_eq!(d.structural_fingerprint(), fp_before);
+        // The restored fingerprint slot is still *warm* (it was
+        // captured filled), so no re-hash is needed.
+        assert_eq!(d.module_fingerprint(leaf), leaf_fp);
+        assert_eq!(d, two_level());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod module;
 pub mod stats;
 pub mod timing;
 
-pub use design::Design;
+pub use design::{design_clone_count, module_copy_count, Design, MacroIter, ModuleSnapshot};
 pub use export::to_structural_verilog;
 pub use ids::ModuleId;
 pub use module::{CellGroup, Instance, MacroInst, MemoryRole, Module};

@@ -1,12 +1,23 @@
 //! The design-space-exploration loop: iterate the frequency map's
 //! advice until the target frequency is met.
+//!
+//! Since the transactional refactor, a DSE candidate is a
+//! *transaction* on a [`crate::TransformJournal`], not a clone: the
+//! greedy loop keeps one copy-on-write working design and moves it
+//! between candidate plans by reverting/re-applying only the actions
+//! that differ. The pre-journal clone-and-replay path is retained
+//! verbatim ([`apply_plan_clone_dirty`], [`optimize_for_clone`]) as
+//! the reference the equivalence property suite and `sta_bench`
+//! compare against — the two paths are bit-identical in plans,
+//! designs, traces and fmax bit patterns.
 
 use crate::cache::StaCache;
+use crate::journal::TransformJournal;
 use crate::map::{advise_delta, advise_with, Advice};
 use ggpu_lint::{check_division, check_pipeline, FlowSnapshot, LintConfig, Report};
 use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
-use ggpu_synth::{divide_macro, insert_pipeline, DivideAxis, TransformError};
+use ggpu_synth::{bank_base, divide_macro, insert_pipeline, DivideAxis, TransformError};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
 use std::collections::{BTreeMap, BTreeSet};
@@ -71,7 +82,9 @@ impl OptimizationPlan {
         self.divisions.is_empty() && self.pipelines.is_empty()
     }
 
-    /// All actions of the plan in application order.
+    /// All actions of the plan in canonical application order:
+    /// divisions in `BTreeMap` key order, then pipelines in insertion
+    /// order. The journal's rebase diffs exactly this list.
     pub fn actions(&self) -> Vec<Action> {
         let mut out: Vec<Action> = self
             .divisions
@@ -158,7 +171,7 @@ impl From<StaError> for DseError {
 
 /// Strips one `_d<digits>` division suffix, recovering the original
 /// macro name a plan keys on.
-fn original_macro_name(name: &str) -> &str {
+pub(crate) fn original_macro_name(name: &str) -> &str {
     if let Some(pos) = name.rfind("_d") {
         if name[pos + 2..].chars().all(|c| c.is_ascii_digit()) && !name[pos + 2..].is_empty() {
             return &name[..pos];
@@ -171,12 +184,6 @@ fn module_id(design: &Design, name: &str) -> Result<ModuleId, DseError> {
     design
         .module_by_name(name)
         .ok_or_else(|| DseError::UnknownModule(name.to_string()))
-}
-
-/// Strips a trailing bank index (`"cram0"` → `"cram"`), grouping the
-/// identically-sized banks of one memory structure.
-fn bank_base(name: &str) -> &str {
-    name.trim_end_matches(|c: char| c.is_ascii_digit())
 }
 
 /// Applies `plan` to a fresh copy of `base`.
@@ -202,6 +209,11 @@ pub fn apply_plan(base: &Design, plan: &OptimizationPlan) -> Result<Design, DseE
 /// design — it is exactly the advisory dirty set the incremental STA
 /// entry points ([`crate::StaCache::analyze_delta`]) expect.
 ///
+/// Implemented as a one-shot [`crate::TransformJournal`]: every action
+/// is a lint-gated transaction, and the returned design shares every
+/// untouched module (and its cached fingerprint) with `base` via
+/// copy-on-write.
+///
 /// # Errors
 ///
 /// Returns [`DseError`] if a transform fails or a module is missing.
@@ -209,9 +221,27 @@ pub fn apply_plan_dirty(
     base: &Design,
     plan: &OptimizationPlan,
 ) -> Result<(Design, Vec<ModuleId>), DseError> {
+    let mut journal = TransformJournal::new(base);
+    let dirty = journal.rebase(plan)?;
+    Ok((journal.into_design(), dirty))
+}
+
+/// The pre-journal [`apply_plan_dirty`], retained verbatim: deep-clone
+/// the base, then replay the plan step by step with the flow lints
+/// checked per step. The equivalence property suite and `sta_bench`
+/// replay plans through this path and through the journal and assert
+/// the results are bit-identical.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if a transform fails or a module is missing.
+pub fn apply_plan_clone_dirty(
+    base: &Design,
+    plan: &OptimizationPlan,
+) -> Result<(Design, Vec<ModuleId>), DseError> {
     let lint_config = LintConfig::new();
     let mut invariants = Report::new(base.name());
-    let mut design = base.clone();
+    let mut design = base.deep_clone();
     let mut dirty = BTreeSet::new();
     for ((module, macro_name), factor) in &plan.divisions {
         let id = module_id(&design, module)?;
@@ -283,6 +313,41 @@ pub struct Optimized {
     pub trace: Vec<String>,
 }
 
+/// Search configuration for the DSE loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DseConfig {
+    /// Number of candidate plans kept alive per iteration.
+    ///
+    /// `1` (the default) is the paper's greedy loop — follow the
+    /// frequency map's single advice — and is bit-identical to the
+    /// pre-refactor path. Widths above 1 run a beam search over the
+    /// journal: each iteration expands every surviving plan with the
+    /// remedies for its worst paths and keeps the best `beam_width`,
+    /// always including the protected greedy chain, so the result is
+    /// never worse than greedy.
+    pub beam_width: usize,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self { beam_width: 1 }
+    }
+}
+
+impl DseConfig {
+    /// The default greedy configuration (`beam_width == 1`).
+    pub fn greedy() -> Self {
+        Self::default()
+    }
+
+    /// A beam of `width` candidate plans (`0` is clamped to `1`).
+    pub fn with_beam_width(width: usize) -> Self {
+        Self {
+            beam_width: width.max(1),
+        }
+    }
+}
+
 /// Iterates the frequency map until `base` (plus accumulated
 /// transforms) meets `target`.
 ///
@@ -314,22 +379,137 @@ pub fn optimize_for_with(
     target: Mhz,
     cache: &StaCache,
 ) -> Result<Optimized, DseError> {
-    const MAX_ITERS: usize = 64;
+    optimize_with_config(base, tech, target, cache, &DseConfig::default())
+}
+
+/// [`optimize_for_with`] under an explicit [`DseConfig`].
+///
+/// `beam_width == 1` runs the journal-backed greedy loop
+/// (bit-identical to [`optimize_for_clone`]); wider beams run
+/// [`crate::beam`]'s search, which is never worse than greedy (the
+/// greedy chain is kept alive in the beam).
+///
+/// # Errors
+///
+/// Returns [`DseError::Unreachable`] if no surviving candidate meets
+/// the target.
+pub fn optimize_with_config(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+    config: &DseConfig,
+) -> Result<Optimized, DseError> {
+    if config.beam_width <= 1 {
+        optimize_greedy_journal(base, tech, target, cache)
+    } else {
+        crate::beam::optimize_beam(base, tech, target, cache, config.beam_width)
+    }
+}
+
+/// Maximum DSE iterations before declaring the target unreachable.
+pub(crate) const MAX_ITERS: usize = 64;
+
+/// Minimum fmax improvement (MHz) an iteration must deliver for the
+/// loop to count it as progress.
+pub(crate) const MIN_PROGRESS_MHZ: f64 = 0.1;
+
+/// The greedy loop over a [`TransformJournal`]: one working design,
+/// candidates reached by rebase (revert + re-apply of the differing
+/// suffix), zero clones on the candidate hot path.
+fn optimize_greedy_journal(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+) -> Result<Optimized, DseError> {
     let mut plan = OptimizationPlan::default();
-    let mut current = base.clone();
+    let mut journal = TransformJournal::new(base);
     let mut trace = Vec::new();
     let mut best = Mhz::new(0.0);
-    // Modules mutated by the accumulated plan relative to `base`.
-    // Empty until the first transform lands; thereafter every iteration
-    // analyzes a design that differs from already-timed content only in
-    // these modules, so advice flows through the incremental
-    // `analyze_delta` path.
+    // Modules mutated by the latest rebase. Empty until the first
+    // transform lands; thereafter every iteration analyzes a design
+    // that differs from already-timed content only in these modules,
+    // so advice flows through the incremental `analyze_delta` path.
     let mut dirty: Option<Vec<ModuleId>> = None;
 
     for _ in 0..MAX_ITERS {
         let advice = match &dirty {
             // First iteration: the baseline is (possibly) cold, so no
             // dirty-set audit applies.
+            None => advise_with(journal.design(), tech, target, cache)?,
+            Some(d) => advise_delta(journal.design(), tech, target, cache, d)?,
+        };
+        trace.push(advice.to_string());
+        match advice {
+            Advice::Met { fmax } => {
+                return Ok(Optimized {
+                    design: journal.into_design(),
+                    plan,
+                    fmax,
+                    trace,
+                });
+            }
+            Advice::DivideMemory {
+                module,
+                macro_name,
+                fmax,
+            } => {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
+                    return Err(DseError::Unreachable { target, best });
+                }
+                best = fmax;
+                let key = (module, original_macro_name(&macro_name).to_string());
+                *plan.divisions.entry(key).or_insert(1) *= 2;
+                dirty = Some(journal.rebase(&plan)?);
+            }
+            Advice::InsertPipeline { module, path, fmax } => {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
+                    return Err(DseError::Unreachable { target, best });
+                }
+                best = fmax;
+                plan.pipelines.push((module, path));
+                dirty = Some(journal.rebase(&plan)?);
+            }
+            Advice::Stuck { fmax, .. } => {
+                return Err(DseError::Unreachable {
+                    target,
+                    best: fmax.max(best),
+                });
+            }
+        }
+    }
+    Err(DseError::Unreachable { target, best })
+}
+
+/// The greedy loop over copy-on-write replays: every iteration
+/// replays the whole accumulated plan from the base through
+/// [`apply_plan_dirty`] (a CoW clone plus a one-shot journal), but
+/// never keeps a journal alive across iterations.
+///
+/// This is the *middle* leg of `sta_bench`'s clone-vs-CoW-vs-journal
+/// comparison: it isolates how much of the speedup comes from CoW
+/// clones alone (cheap copies, full replays) versus the journal's
+/// rebase (no replays at all). Bit-identical to both neighbours.
+///
+/// # Errors
+///
+/// Returns [`DseError::Unreachable`] if the advice runs out or stops
+/// making progress before the target is met.
+pub fn optimize_for_cow(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+) -> Result<Optimized, DseError> {
+    let mut plan = OptimizationPlan::default();
+    let mut current = base.clone();
+    let mut trace = Vec::new();
+    let mut best = Mhz::new(0.0);
+    let mut dirty: Option<Vec<ModuleId>> = None;
+
+    for _ in 0..MAX_ITERS {
+        let advice = match &dirty {
             None => advise_with(&current, tech, target, cache)?,
             Some(d) => advise_delta(&current, tech, target, cache, d)?,
         };
@@ -348,7 +528,7 @@ pub fn optimize_for_with(
                 macro_name,
                 fmax,
             } => {
-                if fmax.value() <= best.value() + 0.1 {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
                     return Err(DseError::Unreachable { target, best });
                 }
                 best = fmax;
@@ -359,12 +539,87 @@ pub fn optimize_for_with(
                 dirty = Some(touched);
             }
             Advice::InsertPipeline { module, path, fmax } => {
-                if fmax.value() <= best.value() + 0.1 {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
                     return Err(DseError::Unreachable { target, best });
                 }
                 best = fmax;
                 plan.pipelines.push((module, path));
                 let (next, touched) = apply_plan_dirty(base, &plan)?;
+                current = next;
+                dirty = Some(touched);
+            }
+            Advice::Stuck { fmax, .. } => {
+                return Err(DseError::Unreachable {
+                    target,
+                    best: fmax.max(best),
+                });
+            }
+        }
+    }
+    Err(DseError::Unreachable { target, best })
+}
+
+/// The pre-journal greedy loop, retained verbatim as the reference:
+/// every iteration deep-clones the base and replays the whole
+/// accumulated plan through [`apply_plan_clone_dirty`].
+///
+/// Exists so the equivalence suite and `sta_bench` can assert the
+/// journal path is bit-identical (plans, designs, traces, fmax bit
+/// patterns) while measuring what the clone tax used to cost.
+///
+/// # Errors
+///
+/// Returns [`DseError::Unreachable`] if the advice runs out or stops
+/// making progress before the target is met.
+pub fn optimize_for_clone(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    cache: &StaCache,
+) -> Result<Optimized, DseError> {
+    let mut plan = OptimizationPlan::default();
+    let mut current = base.deep_clone();
+    let mut trace = Vec::new();
+    let mut best = Mhz::new(0.0);
+    let mut dirty: Option<Vec<ModuleId>> = None;
+
+    for _ in 0..MAX_ITERS {
+        let advice = match &dirty {
+            None => advise_with(&current, tech, target, cache)?,
+            Some(d) => advise_delta(&current, tech, target, cache, d)?,
+        };
+        trace.push(advice.to_string());
+        match advice {
+            Advice::Met { fmax } => {
+                return Ok(Optimized {
+                    design: current,
+                    plan,
+                    fmax,
+                    trace,
+                });
+            }
+            Advice::DivideMemory {
+                module,
+                macro_name,
+                fmax,
+            } => {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
+                    return Err(DseError::Unreachable { target, best });
+                }
+                best = fmax;
+                let key = (module, original_macro_name(&macro_name).to_string());
+                *plan.divisions.entry(key).or_insert(1) *= 2;
+                let (next, touched) = apply_plan_clone_dirty(base, &plan)?;
+                current = next;
+                dirty = Some(touched);
+            }
+            Advice::InsertPipeline { module, path, fmax } => {
+                if fmax.value() <= best.value() + MIN_PROGRESS_MHZ {
+                    return Err(DseError::Unreachable { target, best });
+                }
+                best = fmax;
+                plan.pipelines.push((module, path));
+                let (next, touched) = apply_plan_clone_dirty(base, &plan)?;
                 current = next;
                 dirty = Some(touched);
             }
@@ -455,10 +710,57 @@ mod tests {
     }
 
     #[test]
+    fn journal_loop_matches_clone_reference() {
+        // The headline bit-identity claim, on the real design: the
+        // journal-backed greedy loop, the CoW-replay middle leg and the
+        // retained clone-and-replay loop agree on everything, down to
+        // fmax bit patterns.
+        let tech = Tech::l65();
+        let b = base();
+        for target in [500.0, 590.0, 667.0] {
+            let target = Mhz::new(target);
+            let journal = optimize_for_with(&b, &tech, target, &StaCache::new()).unwrap();
+            let cow = optimize_for_cow(&b, &tech, target, &StaCache::new()).unwrap();
+            let clone = optimize_for_clone(&b, &tech, target, &StaCache::new()).unwrap();
+            for (name, other) in [("cow", &cow), ("clone", &clone)] {
+                assert_eq!(journal.plan, other.plan, "{name} plan diverges at {target}");
+                assert_eq!(
+                    journal.design, other.design,
+                    "{name} design diverges at {target}"
+                );
+                assert_eq!(
+                    journal.trace, other.trace,
+                    "{name} trace diverges at {target}"
+                );
+                assert_eq!(
+                    journal.fmax.value().to_bits(),
+                    other.fmax.value().to_bits(),
+                    "{name} fmax bits diverge at {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_plan_matches_clone_replay() {
+        let tech = Tech::l65();
+        let b = base();
+        let opt = optimize_for(&b, &tech, Mhz::new(667.0)).unwrap();
+        let (journal, dirty_j) = apply_plan_dirty(&b, &opt.plan).unwrap();
+        let (clone, dirty_c) = apply_plan_clone_dirty(&b, &opt.plan).unwrap();
+        assert_eq!(journal, clone);
+        assert_eq!(dirty_j, dirty_c);
+        assert_eq!(
+            ggpu_netlist::to_structural_verilog(&journal),
+            ggpu_netlist::to_structural_verilog(&clone)
+        );
+    }
+
+    #[test]
     fn apply_plan_preserves_total_macro_bits() {
         // Divisions re-bank memories but never change total storage;
-        // the per-step FlowSnapshot checks in apply_plan enforce this,
-        // and the end-to-end totals agree.
+        // the per-transaction FlowSnapshot checks in the journal
+        // enforce this, and the end-to-end totals agree.
         let tech = Tech::l65();
         let b = base();
         let opt = optimize_for(&b, &tech, Mhz::new(590.0)).unwrap();
@@ -477,6 +779,10 @@ mod tests {
             apply_plan(&base(), &plan),
             Err(DseError::UnknownModule(_))
         ));
+        assert!(matches!(
+            apply_plan_clone_dirty(&base(), &plan),
+            Err(DseError::UnknownModule(_))
+        ));
     }
 
     #[test]
@@ -489,5 +795,13 @@ mod tests {
             opt.plan.divisions.len() + opt.plan.pipelines.len()
         );
         assert!(actions.iter().any(|a| matches!(a, Action::Divide { .. })));
+    }
+
+    #[test]
+    fn dse_config_defaults_to_greedy() {
+        assert_eq!(DseConfig::default().beam_width, 1);
+        assert_eq!(DseConfig::greedy(), DseConfig::default());
+        assert_eq!(DseConfig::with_beam_width(0).beam_width, 1);
+        assert_eq!(DseConfig::with_beam_width(3).beam_width, 3);
     }
 }

@@ -26,10 +26,12 @@
 //! # }
 //! ```
 
+pub mod beam;
 pub mod cache;
 pub mod datasheet;
 pub mod dse;
 pub mod flow;
+pub mod journal;
 pub mod map;
 pub mod spec;
 pub mod spreadsheet;
@@ -38,13 +40,15 @@ pub mod versions;
 pub use cache::{fingerprint, StaCache};
 pub use datasheet::datasheet;
 pub use dse::{
-    apply_plan, apply_plan_dirty, optimize_for, optimize_for_with, Action, DseError,
+    apply_plan, apply_plan_clone_dirty, apply_plan_dirty, optimize_for, optimize_for_clone,
+    optimize_for_cow, optimize_for_with, optimize_with_config, Action, DseConfig, DseError,
     OptimizationPlan, Optimized,
 };
 pub use flow::{
     worker_threads, GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate,
 };
-pub use map::{advise, advise_delta, advise_with, Advice};
+pub use journal::{Checkpoint, TransformJournal};
+pub use map::{advise, advise_candidates, advise_delta, advise_with, Advice};
 pub use spec::Specification;
 pub use spreadsheet::{frequency_map, map_to_csv, render_map, MapRow};
 pub use versions::{paper_versions, physical_versions};

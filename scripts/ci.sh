@@ -30,11 +30,27 @@ cargo test --workspace -q
 echo "== smoke (event-driven simulator, ~2 s) =="
 cargo run --release --example accelerator_vs_cpu 512
 
+echo "== property suite (transactional transform engine, release) =="
+# The journal/CoW bit-identity claims, re-run under the optimizer: the
+# randomized journal-vs-clone equivalence and revert-fidelity
+# properties, plus the beam-vs-greedy acceptance across all 12 Table-I
+# versions. (The debug-mode run is part of the workspace tests above.)
+cargo test --release -q -p gpuplanner --test prop_journal_equiv --test beam_vs_greedy
+
 echo "== smoke (STA perf baseline, 1-CU scenarios) =="
 # Asserts that the incremental engine and the legacy engine produce
 # bit-identical plans/fmax while it measures; deterministic and offline.
 # Wall-clock numbers are informational in CI — the tracked baseline is
 # the checked-in BENCH_sta.json regenerated via the full (non-smoke) run.
+# Since the transactional refactor this also runs the clone-vs-CoW-vs-
+# journal engine comparison, which *asserts* zero clones per DSE
+# candidate on the journal path.
 cargo run --release -p ggpu-bench --bin sta_bench -- --smoke --out target/BENCH_sta_smoke.json
+
+echo "== smoke (transform engine baseline) =="
+# Journal replay vs deep-clone replay, revert-walk fidelity and the
+# beam-width comparison; the tracked baseline is BENCH_journal.json
+# from the full run.
+cargo run --release -p ggpu-bench --bin journal_bench -- --smoke --out target/BENCH_journal_smoke.json
 
 echo "== ci green =="

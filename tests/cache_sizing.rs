@@ -1,0 +1,47 @@
+//! Cross-check for the documented cache-capacity inconsistency.
+//!
+//! DESIGN.md records that the area model (Table-I calibration) and the
+//! cycle model (Table-III calibration) assume *different* cache
+//! capacities. `g_gpu::CacheSizing` is the code-level record of that
+//! state; this test fails if either subsystem default silently drifts
+//! away from it, so any change must update the constants (and
+//! DESIGN.md) deliberately.
+
+use g_gpu::rtl::GgpuConfig;
+use g_gpu::simt::CacheConfig;
+use g_gpu::CacheSizing;
+
+#[test]
+fn area_model_default_matches_documented_constant() {
+    assert_eq!(
+        GgpuConfig::default().cache_kib,
+        CacheSizing::AREA_MODEL_KIB,
+        "the RTL generator's default cache capacity drifted from the \
+         documented Table-I calibration; update CacheSizing and the \
+         DESIGN.md 'Known modelling inconsistencies' entry together"
+    );
+}
+
+#[test]
+fn cycle_model_default_matches_documented_constant() {
+    assert_eq!(
+        CacheConfig::default().size_kib,
+        CacheSizing::CYCLE_MODEL_KIB,
+        "the performance simulator's default cache capacity drifted \
+         from the documented Table-III calibration; update CacheSizing \
+         and the DESIGN.md 'Known modelling inconsistencies' entry \
+         together"
+    );
+}
+
+#[test]
+// The assertion *is* on a constant — that is the point: the test body
+// documents the recorded state and fails loudly when it changes.
+#[allow(clippy::assertions_on_constants)]
+fn the_documented_inconsistency_still_stands() {
+    // If this starts failing, the two models were unified: flip
+    // MODELS_DISAGREE, delete the DESIGN.md entry, and celebrate.
+    assert!(CacheSizing::MODELS_DISAGREE);
+    assert_eq!(CacheSizing::AREA_MODEL_KIB, 64);
+    assert_eq!(CacheSizing::CYCLE_MODEL_KIB, 32);
+}
