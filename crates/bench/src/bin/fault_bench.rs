@@ -1,0 +1,156 @@
+//! Tracked baseline for the fault-injection subsystem: seeded SEU
+//! campaigns over the 1-CU design under three protection policies
+//! (unprotected / parity / SEC-DED), reporting the outcome taxonomy
+//! and AVF per scenario.
+//!
+//! The campaign runner is deterministic by construction — the per-trial
+//! RNG is keyed by `(seed, trial)`, independent of thread scheduling —
+//! and this binary *asserts* that as it measures: the first scenario is
+//! re-run single-threaded and its report JSON must be byte-identical to
+//! the parallel run.
+//!
+//! Results go to `BENCH_fault.json` (override with `--out PATH`);
+//! `--smoke` runs one kernel at 64 trials per policy, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin fault_bench
+//! cargo run --release -p ggpu-bench --bin fault_bench -- --smoke --out target/BENCH_fault_smoke.json
+//! ```
+
+use ggpu_fault::{run_campaign, CampaignConfig, CampaignReport, MacroMap, Workload};
+use ggpu_kernels::bench;
+use ggpu_netlist::EccPolicy;
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::sram::EccScheme;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    kernel: &'static str,
+    policy_name: &'static str,
+    overhead_pct: f64,
+    wall_ms: f64,
+    report: CampaignReport,
+}
+
+fn policies() -> [(&'static str, EccPolicy); 3] {
+    [
+        ("unprotected", EccPolicy::unprotected()),
+        ("parity", EccPolicy::uniform(EccScheme::Parity)),
+        ("secded", EccPolicy::uniform(EccScheme::SecDed)),
+    ]
+}
+
+fn render_json(seed: u64, trials: u32, scenarios: &[Scenario], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fault\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"design\": \"1cu\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"trials_per_scenario\": {trials},");
+    out.push_str("  \"scenarios\": [\n");
+    for (idx, s) in scenarios.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"policy\": \"{}\", \"ecc_overhead_pct\": {:.2}, \
+             \"avf\": {:.4}, \"wall_ms\": {:.1}, \"report\": {}}}",
+            s.kernel,
+            s.policy_name,
+            s.overhead_pct,
+            s.report.avf(),
+            s.wall_ms,
+            s.report.to_json(),
+        );
+        out.push_str(if idx + 1 < scenarios.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fault.json".into());
+
+    let seed: u64 = 0x5eed_f417;
+    let trials: u32 = std::env::var("GGPU_FAULT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 64 } else { 256 });
+    let n: u32 = 256;
+
+    let design = generate(&GgpuConfig::with_cus(1).expect("1 CU is valid")).expect("generates");
+    let kernels: Vec<ggpu_kernels::bench::Bench> = if smoke {
+        vec![bench::all()[1]] // copy
+    } else {
+        bench::all()[..4].to_vec() // vec_add, copy, saxpy, reduce-class
+    };
+
+    let mut scenarios = Vec::new();
+    for kernel in &kernels {
+        let workload = Workload::from_bench(kernel, n).expect("workload builds");
+        for (policy_name, policy) in policies() {
+            let map = MacroMap::from_design(&design, &policy).expect("design has macros");
+            let overhead_pct =
+                ggpu_fault::ResilienceReport::from_map(&map, policy.to_string()).overhead_pct();
+            let cfg = CampaignConfig::new(seed, trials);
+            eprintln!(
+                "running {}/{policy_name} ({trials} trials) ...",
+                kernel.name
+            );
+            let t0 = Instant::now();
+            let report = run_campaign(&workload, &map, &cfg).expect("campaign runs");
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "  avf {:.3}  (masked {}, sdc {}, corrected {}, due {}, hang {}, crash {})  \
+                 {wall_ms:.0} ms",
+                report.avf(),
+                report.counts.masked,
+                report.counts.sdc,
+                report.counts.detected_corrected,
+                report.counts.detected_uncorrectable,
+                report.counts.hang,
+                report.counts.crash,
+            );
+            scenarios.push(Scenario {
+                kernel: kernel.name,
+                policy_name,
+                overhead_pct,
+                wall_ms,
+                report,
+            });
+        }
+    }
+
+    // Determinism gate: replay the first scenario single-threaded; the
+    // report must be byte-identical to the parallel run above.
+    {
+        let kernel = &kernels[0];
+        let workload = Workload::from_bench(kernel, n).expect("workload builds");
+        let (_, policy) = &policies()[0];
+        let map = MacroMap::from_design(&design, policy).expect("design has macros");
+        let mut cfg = CampaignConfig::new(seed, trials);
+        cfg.threads = 1;
+        let replay = run_campaign(&workload, &map, &cfg).expect("campaign runs");
+        assert_eq!(
+            replay.to_json(),
+            scenarios[0].report.to_json(),
+            "seeded campaign must be byte-identical across thread counts"
+        );
+        eprintln!("determinism gate: single-threaded replay is byte-identical");
+    }
+
+    let json = render_json(seed, trials, &scenarios, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,419 @@
+//! Monte-Carlo SEU campaigns: many independent single-fault trials,
+//! classified into the standard resilience taxonomy.
+//!
+//! # Determinism contract
+//!
+//! Trial `i`'s injection is a pure function of `(seed, i)` and the
+//! macro map ([`crate::rng::Rng::for_trial`]), and the simulator is
+//! deterministic, so a campaign's report is **byte-identical** across
+//! thread counts, checkpoint/resume splits and runs — the property
+//! suite asserts this on the serialized JSON.
+//!
+//! # Checkpointing
+//!
+//! With [`CampaignConfig::checkpoint`] set, every finished trial
+//! appends one text line to the checkpoint file. A rerun parses the
+//! file (validating seed/kernel/trial-count in the header), skips the
+//! recorded trials and completes the rest; the final report is
+//! identical to an uninterrupted run.
+
+use crate::map::{Geometry, MacroMap};
+use crate::report::{CampaignReport, MacroAvf, OutcomeCounts};
+use crate::rng::Rng;
+use crate::workload::{Workload, WorkloadError};
+use ggpu_simt::{FaultPlan, HardenedOptions, InjectionOutcome, SimError, SimtConfig};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How one fault trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The run completed with correct output and no correction event:
+    /// the upset was architecturally or logically masked (includes
+    /// vacant sites and lucky mis-corrections).
+    Masked,
+    /// The run completed but the output differs from the golden
+    /// reference: silent data corruption.
+    Sdc,
+    /// ECC corrected the upset and the output is correct.
+    DetectedCorrected,
+    /// Parity/SEC-DED flagged an uncorrectable word; the run aborted
+    /// with a typed `SimError::UncorrectableFault`.
+    DetectedUncorrectable,
+    /// The watchdog (or the hard cycle ceiling) flagged a hung run.
+    Hang,
+    /// The simulator aborted with any other typed fault (bad PC,
+    /// memory fault, scheduler stall...).
+    Crash,
+}
+
+impl Outcome {
+    /// Stable machine-readable name (checkpoint / JSON vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::DetectedCorrected => "detected-corrected",
+            Outcome::DetectedUncorrectable => "detected-uncorrectable",
+            Outcome::Hang => "hang",
+            Outcome::Crash => "crash",
+        }
+    }
+
+    /// Parses [`Outcome::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "masked" => Outcome::Masked,
+            "sdc" => Outcome::Sdc,
+            "detected-corrected" => Outcome::DetectedCorrected,
+            "detected-uncorrectable" => Outcome::DetectedUncorrectable,
+            "hang" => Outcome::Hang,
+            "crash" => Outcome::Crash,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finished trial, sufficient to rebuild its report contribution
+/// without re-simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Trial index in `0..trials`.
+    pub trial: u32,
+    /// Index into the macro map of the macro hit.
+    pub macro_idx: u32,
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Classification.
+    pub outcome: Outcome,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; together with the trial index it fully determines
+    /// every injection.
+    pub seed: u64,
+    /// Number of independent single-fault trials.
+    pub trials: u32,
+    /// The simulated machine.
+    pub sim: SimtConfig,
+    /// Livelock watchdog for every trial (and hang classification).
+    pub watchdog: ggpu_simt::WatchdogConfig,
+    /// Worker threads; `0` picks the host parallelism.
+    pub threads: usize,
+    /// Optional checkpoint file for resumable campaigns.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl CampaignConfig {
+    /// A campaign with default machine, watchdog and threading.
+    pub fn new(seed: u64, trials: u32) -> Self {
+        Self {
+            seed,
+            trials,
+            sim: SimtConfig::default(),
+            watchdog: ggpu_simt::WatchdogConfig::default(),
+            threads: 0,
+            checkpoint: None,
+        }
+    }
+
+    fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Campaign-level failures (per-trial simulator faults are *outcomes*,
+/// not errors).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Preparing or golden-running the workload failed.
+    Workload(WorkloadError),
+    /// A trial could not even be set up (memory staging failed).
+    Setup(SimError),
+    /// Checkpoint I/O failed.
+    Io(String),
+    /// The checkpoint file does not match this campaign.
+    Checkpoint(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Workload(e) => write!(f, "workload: {e}"),
+            CampaignError::Setup(e) => write!(f, "trial setup: {e}"),
+            CampaignError::Io(m) => write!(f, "checkpoint io: {m}"),
+            CampaignError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<WorkloadError> for CampaignError {
+    fn from(e: WorkloadError) -> Self {
+        CampaignError::Workload(e)
+    }
+}
+
+/// Shared worker output: finished-trial results plus the checkpoint
+/// file (behind one lock so checkpoint lines are whole).
+type TrialSink = (
+    Vec<Result<TrialRecord, CampaignError>>,
+    Option<std::fs::File>,
+);
+
+/// Runs (or resumes) a fault-injection campaign.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on workload preparation failure,
+/// checkpoint corruption or I/O failure. Simulator faults *inside*
+/// trials are classified, never propagated.
+pub fn run_campaign(
+    workload: &Workload,
+    map: &MacroMap,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    let golden = workload.run_golden(cfg.sim)?;
+    // Injections target [1, cycles): cycle 0 precedes dispatch (every
+    // CU-resident site is vacant) and the final cycle post-dates the
+    // last read.
+    let cycle_hi = golden.cycles.max(2);
+    let geom = Geometry::new(cfg.sim, workload.memory_words());
+
+    let mut done: BTreeMap<u32, TrialRecord> = BTreeMap::new();
+    if let Some(path) = &cfg.checkpoint {
+        if path.exists() {
+            for rec in parse_checkpoint(path, cfg, workload)? {
+                done.insert(rec.trial, rec);
+            }
+        } else {
+            let header = checkpoint_header(cfg, workload);
+            std::fs::write(path, header).map_err(|e| CampaignError::Io(e.to_string()))?;
+        }
+    }
+
+    let pending: Vec<u32> = (0..cfg.trials).filter(|t| !done.contains_key(t)).collect();
+    let sink: Mutex<TrialSink> = {
+        let file = match &cfg.checkpoint {
+            Some(path) => Some(
+                OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| CampaignError::Io(e.to_string()))?,
+            ),
+            None => None,
+        };
+        Mutex::new((Vec::with_capacity(pending.len()), file))
+    };
+    let next = AtomicUsize::new(0);
+    let workers = cfg.worker_threads().min(pending.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&trial) = pending.get(i) else { break };
+                let res = run_trial(workload, map, cfg, &geom, cycle_hi, trial);
+                let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+                if let (Ok(rec), Some(file)) = (&res, guard.1.as_mut()) {
+                    // Checkpoint write failures degrade to an
+                    // un-checkpointed campaign rather than losing the
+                    // computed trial.
+                    let _ = writeln!(
+                        file,
+                        "t {} {} {} {}",
+                        rec.trial, rec.macro_idx, rec.cycle, rec.outcome
+                    );
+                }
+                guard.0.push(res);
+            });
+        }
+    });
+
+    let (results, _) = sink.into_inner().unwrap_or_else(|e| e.into_inner());
+    for res in results {
+        let rec = res?;
+        done.insert(rec.trial, rec);
+    }
+
+    let records: Vec<TrialRecord> = done.into_values().collect();
+    Ok(build_report(workload, map, cfg, golden.cycles, &records))
+}
+
+/// Runs one seeded trial. Pure in `(seed, trial)` given the map and
+/// geometry.
+fn run_trial(
+    workload: &Workload,
+    map: &MacroMap,
+    cfg: &CampaignConfig,
+    geom: &Geometry,
+    cycle_hi: u64,
+    trial: u32,
+) -> Result<TrialRecord, CampaignError> {
+    let mut rng = Rng::for_trial(cfg.seed, u64::from(trial));
+    let (macro_idx, injection) = map.sample_injection(&mut rng, geom, 1, cycle_hi);
+    let cycle = injection.cycle;
+    let mut gpu = workload.fresh_gpu(cfg.sim).map_err(CampaignError::Setup)?;
+    let opts = HardenedOptions {
+        plan: FaultPlan::new(vec![injection]),
+        watchdog: Some(cfg.watchdog),
+    };
+    let outcome = match gpu.launch_hardened(workload.kernel(), workload.launch(), &opts) {
+        Err(SimError::UncorrectableFault(_)) => Outcome::DetectedUncorrectable,
+        Err(SimError::Watchdog { .. }) | Err(SimError::CycleLimit { .. }) => Outcome::Hang,
+        Err(_) => Outcome::Crash,
+        Ok(run) => match workload.read_output(&gpu) {
+            Err(_) => Outcome::Crash,
+            Ok(out) if out != workload.golden() => Outcome::Sdc,
+            Ok(_) if run.log.count(InjectionOutcome::Corrected) > 0 => Outcome::DetectedCorrected,
+            Ok(_) => Outcome::Masked,
+        },
+    };
+    Ok(TrialRecord {
+        trial,
+        macro_idx: macro_idx as u32,
+        cycle,
+        outcome,
+    })
+}
+
+fn checkpoint_header(cfg: &CampaignConfig, workload: &Workload) -> String {
+    format!(
+        "ggpu-fault-checkpoint v1 seed={} kernel={} n={} trials={}\n",
+        cfg.seed, workload.name, workload.n, cfg.trials
+    )
+}
+
+fn parse_checkpoint(
+    path: &std::path::Path,
+    cfg: &CampaignConfig,
+    workload: &Workload,
+) -> Result<Vec<TrialRecord>, CampaignError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CampaignError::Io(e.to_string()))?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    let expected = checkpoint_header(cfg, workload);
+    if header != expected.trim_end() {
+        return Err(CampaignError::Checkpoint(format!(
+            "header {header:?} does not match campaign {:?}",
+            expected.trim_end()
+        )));
+    }
+    let mut out = Vec::new();
+    for (no, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut f = line.split_ascii_whitespace();
+        let rec = (|| {
+            if f.next()? != "t" {
+                return None;
+            }
+            let trial: u32 = f.next()?.parse().ok()?;
+            let macro_idx: u32 = f.next()?.parse().ok()?;
+            let cycle: u64 = f.next()?.parse().ok()?;
+            let outcome = Outcome::parse(f.next()?)?;
+            Some(TrialRecord {
+                trial,
+                macro_idx,
+                cycle,
+                outcome,
+            })
+        })();
+        match rec {
+            Some(r) if r.trial < cfg.trials => out.push(r),
+            Some(r) => {
+                return Err(CampaignError::Checkpoint(format!(
+                    "trial {} out of range (campaign has {})",
+                    r.trial, cfg.trials
+                )))
+            }
+            None => {
+                return Err(CampaignError::Checkpoint(format!(
+                    "unparseable line {}: {line:?}",
+                    no + 2
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn build_report(
+    workload: &Workload,
+    map: &MacroMap,
+    cfg: &CampaignConfig,
+    golden_cycles: u64,
+    records: &[TrialRecord],
+) -> CampaignReport {
+    let mut totals = OutcomeCounts::default();
+    let mut per_macro: Vec<OutcomeCounts> = vec![OutcomeCounts::default(); map.sites().len()];
+    for rec in records {
+        totals.add(rec.outcome);
+        if let Some(c) = per_macro.get_mut(rec.macro_idx as usize) {
+            c.add(rec.outcome);
+        }
+    }
+    let macros = map
+        .sites()
+        .iter()
+        .zip(per_macro)
+        .enumerate()
+        .map(|(i, (site, counts))| MacroAvf {
+            path: site.path.clone(),
+            role: site.role.to_string(),
+            scheme: site.scheme,
+            exposure: map.exposure(i),
+            counts,
+        })
+        .collect();
+    CampaignReport {
+        kernel: workload.name.to_string(),
+        n: workload.n,
+        seed: cfg.seed,
+        trials: cfg.trials,
+        compute_units: cfg.sim.compute_units,
+        golden_cycles,
+        counts: totals,
+        macros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_names_round_trip() {
+        for o in [
+            Outcome::Masked,
+            Outcome::Sdc,
+            Outcome::DetectedCorrected,
+            Outcome::DetectedUncorrectable,
+            Outcome::Hang,
+            Outcome::Crash,
+        ] {
+            assert_eq!(Outcome::parse(o.as_str()), Some(o));
+        }
+        assert_eq!(Outcome::parse("nope"), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Injection-site derivation from the design's actual SRAM macro map.
+//!
+//! This is what ties the resilience campaign to the *generated
+//! hardware* rather than to an abstract machine: sites are drawn from
+//! the netlist's macro instances (every hierarchical instance path is
+//! a separate entry), weighted by each macro's stored capacity in
+//! bits. Dividing a macro during design-space exploration therefore
+//! measurably changes that macro's exposure — each division part holds
+//! half the bits, so it soaks up half the upsets — and adding ECC
+//! widens the stored word, adding check-bit columns that absorb a
+//! proportional share of hits.
+
+use crate::rng::Rng;
+use ggpu_netlist::{Design, EccPolicy, MacroInst, MemoryRole};
+use ggpu_simt::{FaultSite, Injection, Protection, SimtConfig, LOCAL_WORDS};
+use ggpu_tech::sram::EccScheme;
+use std::fmt;
+
+/// Which simulator state a macro's upsets land in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Register-file banks → [`FaultSite::Register`].
+    Register,
+    /// LRAM scratchpads → [`FaultSite::LocalWord`].
+    Local,
+    /// Cache / runtime / FIFO storage → [`FaultSite::GlobalWord`]
+    /// (the cache is write-back over global memory, so a data-array
+    /// upset is architecturally a global-word upset).
+    Global,
+    /// Instruction storage → [`FaultSite::Pc`] (a CRAM upset
+    /// manifests as a corrupted fetch address/stream).
+    Pc,
+    /// Scheduler bookkeeping → [`FaultSite::ExecMask`].
+    ExecMask,
+}
+
+impl Domain {
+    /// The architectural role's domain.
+    pub fn of_role(role: MemoryRole) -> Self {
+        match role {
+            MemoryRole::RegisterFile => Domain::Register,
+            MemoryRole::ScratchRam => Domain::Local,
+            MemoryRole::InstructionRam => Domain::Pc,
+            MemoryRole::SchedulerState => Domain::ExecMask,
+            MemoryRole::CacheData
+            | MemoryRole::CacheTag
+            | MemoryRole::RuntimeMemory
+            | MemoryRole::Fifo => Domain::Global,
+            // `MemoryRole` is non-exhaustive; anything future lands in
+            // the broadest domain.
+            _ => Domain::Global,
+        }
+    }
+
+    /// Short name matching `FaultSite::domain` vocabulary.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Domain::Register => "register",
+            Domain::Local => "lram",
+            Domain::Global => "global",
+            Domain::Pc => "pc",
+            Domain::ExecMask => "exec-mask",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One SRAM macro instance as an upset target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroSite {
+    /// Hierarchical instance path (design traversal order).
+    pub path: String,
+    /// Architectural role.
+    pub role: MemoryRole,
+    /// Protection scheme the policy assigns this macro.
+    pub scheme: EccScheme,
+    /// Simulator domain its upsets land in.
+    pub domain: Domain,
+    /// Words stored.
+    pub words: u32,
+    /// Data bits per word (the unprotected width).
+    pub data_bits: u32,
+    /// Check bits per word under `scheme`.
+    pub check_bits: u32,
+}
+
+impl MacroSite {
+    /// Total stored bits including check columns — the soft-error
+    /// cross-section weight.
+    pub fn capacity_bits(&self) -> u64 {
+        u64::from(self.words) * u64::from(self.data_bits + self.check_bits)
+    }
+
+    /// The simulator-side protection decision model for this scheme.
+    pub fn protection(&self) -> Protection {
+        match self.scheme {
+            EccScheme::None => Protection::None,
+            EccScheme::Parity => Protection::Parity,
+            EccScheme::SecDed => Protection::SecDed,
+        }
+    }
+}
+
+/// Building a map failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The design instantiates no memory macros — nothing to upset.
+    NoMacros,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoMacros => f.write_str("design has no memory macros"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The capacity-weighted macro map a campaign samples from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroMap {
+    sites: Vec<MacroSite>,
+    /// Exclusive prefix sums of `capacity_bits` (cum[i] = bits before
+    /// site i); one extra entry holding the total.
+    cum: Vec<u64>,
+}
+
+impl MacroMap {
+    /// Derives the map from a design's macro instances under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoMacros`] for a macro-free design.
+    pub fn from_design(design: &Design, policy: &EccPolicy) -> Result<Self, MapError> {
+        let sites: Vec<MacroSite> = design
+            .all_macros()
+            .map(|(path, m): (String, &MacroInst)| {
+                let scheme = policy.scheme_for(m.role);
+                MacroSite {
+                    path,
+                    role: m.role,
+                    scheme,
+                    domain: Domain::of_role(m.role),
+                    words: m.config.words,
+                    data_bits: m.config.bits,
+                    check_bits: scheme.check_bits(m.config.bits),
+                }
+            })
+            .collect();
+        if sites.is_empty() {
+            return Err(MapError::NoMacros);
+        }
+        let mut cum = Vec::with_capacity(sites.len() + 1);
+        let mut total = 0u64;
+        for s in &sites {
+            cum.push(total);
+            total += s.capacity_bits().max(1);
+        }
+        cum.push(total);
+        Ok(Self { sites, cum })
+    }
+
+    /// The macro sites in design-traversal order.
+    pub fn sites(&self) -> &[MacroSite] {
+        &self.sites
+    }
+
+    /// Total stored bits across all macros (including check columns).
+    pub fn total_bits(&self) -> u64 {
+        *self.cum.last().unwrap_or(&0)
+    }
+
+    /// The fraction of all stored bits held by site `idx` — its
+    /// soft-error exposure. Dividing a macro halves each part's
+    /// exposure; adding ECC raises it slightly (more stored bits).
+    pub fn exposure(&self, idx: usize) -> f64 {
+        if idx >= self.sites.len() || self.total_bits() == 0 {
+            return 0.0;
+        }
+        (self.cum[idx + 1] - self.cum[idx]) as f64 / self.total_bits() as f64
+    }
+
+    /// Summed exposure of every site whose path contains `needle` —
+    /// handy for "all parts of rf_bank" queries across divisions.
+    pub fn exposure_of(&self, needle: &str) -> f64 {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.path.contains(needle))
+            .map(|(i, _)| self.exposure(i))
+            .sum()
+    }
+
+    /// Samples a macro index, capacity-weighted.
+    pub fn sample_site(&self, rng: &mut Rng) -> usize {
+        let total = self.total_bits();
+        if total == 0 {
+            return 0;
+        }
+        let r = rng.u64_in(total);
+        // cum is monotone; partition_point finds the owning interval.
+        self.cum.partition_point(|&c| c <= r).saturating_sub(1)
+    }
+
+    /// Samples one single-event upset: a macro (capacity-weighted), a
+    /// stored bit within it (uniform), a live coordinate for its
+    /// domain and a cycle uniform in `[cycle_lo, cycle_hi)`.
+    ///
+    /// A hit on a *check-bit column* (probability `check/(data+check)`
+    /// per macro) perturbs no architectural word but still exercises
+    /// the protection decision — represented as an empty `flips` list
+    /// with `codeword_flips = 1`.
+    ///
+    /// Returns the sampled macro index alongside the injection so the
+    /// campaign can attribute the trial.
+    pub fn sample_injection(
+        &self,
+        rng: &mut Rng,
+        geom: &Geometry,
+        cycle_lo: u64,
+        cycle_hi: u64,
+    ) -> (usize, Injection) {
+        let idx = self.sample_site(rng);
+        let site_desc = &self.sites[idx.min(self.sites.len() - 1)];
+        let cycle = if cycle_hi > cycle_lo {
+            cycle_lo + rng.u64_in(cycle_hi - cycle_lo)
+        } else {
+            cycle_lo
+        };
+        let c = &geom.config;
+        let cu = rng.u32_in(c.compute_units.max(1));
+        let slot = rng.u32_in(c.max_wavefronts_per_cu.max(1));
+        let lane = rng.u32_in(c.wavefront_size.max(1));
+        let site = match site_desc.domain {
+            Domain::Register => FaultSite::Register {
+                cu,
+                slot,
+                lane,
+                reg: rng.u32_in(32) as u8,
+            },
+            Domain::Local => FaultSite::LocalWord {
+                cu,
+                word: rng.u32_in(geom.local_words.max(1)),
+            },
+            Domain::Global => FaultSite::GlobalWord {
+                word: rng.u32_in(geom.memory_words.max(1)),
+            },
+            Domain::Pc => FaultSite::Pc { cu, slot, lane },
+            Domain::ExecMask => FaultSite::ExecMask { cu, slot, lane },
+        };
+        let stored = site_desc.data_bits + site_desc.check_bits;
+        let col = rng.u32_in(stored.max(1));
+        let flips = if col < site_desc.data_bits {
+            // Architectural bit: map the data column onto the 32-bit
+            // simulator word.
+            vec![(col % 32) as u8]
+        } else {
+            // Check-bit column: no architectural change.
+            Vec::new()
+        };
+        let injection = Injection {
+            cycle,
+            site,
+            flips,
+            codeword_flips: 1,
+            protection: site_desc.protection(),
+            label: site_desc.path.clone(),
+        };
+        (idx, injection)
+    }
+}
+
+/// Machine geometry the sampler needs beyond the netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    /// The simulated machine.
+    pub config: SimtConfig,
+    /// Global-memory words of the run.
+    pub memory_words: u32,
+    /// LRAM words per CU.
+    pub local_words: u32,
+}
+
+impl Geometry {
+    /// Geometry for `config` with `memory_words` of global memory and
+    /// the simulator's fixed LRAM size.
+    pub fn new(config: SimtConfig, memory_words: usize) -> Self {
+        Self {
+            config,
+            memory_words: u32::try_from(memory_words).unwrap_or(u32::MAX),
+            local_words: LOCAL_WORDS as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_netlist::module::Module;
+    use ggpu_netlist::CellGroup;
+    use ggpu_tech::sram::SramConfig;
+    use ggpu_tech::stdcell::CellClass;
+
+    fn two_macro_design() -> Design {
+        let mut d = Design::new("t");
+        let m = Module::new("top")
+            .with_group(CellGroup::new("g", CellClass::Inv, 1, 0.1))
+            .with_macro(MacroInst::new(
+                "rf",
+                SramConfig::dual(512, 32),
+                MemoryRole::RegisterFile,
+                0.5,
+            ))
+            .with_macro(MacroInst::new(
+                "lram",
+                SramConfig::single(4096, 32),
+                MemoryRole::ScratchRam,
+                0.5,
+            ));
+        let id = d.add_module(m);
+        d.set_top(id);
+        d
+    }
+
+    #[test]
+    fn exposure_is_capacity_weighted() {
+        let d = two_macro_design();
+        let map = MacroMap::from_design(&d, &EccPolicy::unprotected()).unwrap();
+        assert_eq!(map.sites().len(), 2);
+        let rf = 512u64 * 32;
+        let lram = 4096u64 * 32;
+        let total = (rf + lram) as f64;
+        assert!((map.exposure(0) - rf as f64 / total).abs() < 1e-12);
+        assert!((map.exposure_of("lram") - lram as f64 / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecc_widens_exposure_denominator() {
+        let d = two_macro_design();
+        let plain = MacroMap::from_design(&d, &EccPolicy::unprotected()).unwrap();
+        let prot = MacroMap::from_design(&d, &EccPolicy::uniform(EccScheme::SecDed)).unwrap();
+        assert!(prot.total_bits() > plain.total_bits());
+        // 32-bit words gain 7 check bits.
+        assert_eq!(prot.sites()[0].check_bits, 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let d = two_macro_design();
+        let map = MacroMap::from_design(&d, &EccPolicy::uniform(EccScheme::Parity)).unwrap();
+        let geom = Geometry::new(SimtConfig::with_cus(2), 1 << 16);
+        let mut a = Rng::seeded(5);
+        let mut b = Rng::seeded(5);
+        for _ in 0..200 {
+            let (ia, inj_a) = map.sample_injection(&mut a, &geom, 1, 1000);
+            let (ib, inj_b) = map.sample_injection(&mut b, &geom, 1, 1000);
+            assert_eq!(ia, ib);
+            assert_eq!(inj_a, inj_b);
+            assert!(ia < map.sites().len());
+            assert!((1..1000).contains(&inj_a.cycle));
+            assert_eq!(inj_a.protection, Protection::Parity);
+        }
+    }
+
+    #[test]
+    fn empty_design_is_an_error() {
+        let mut d = Design::new("e");
+        let id = d.add_module(Module::new("m"));
+        d.set_top(id);
+        assert_eq!(
+            MacroMap::from_design(&d, &EccPolicy::unprotected()),
+            Err(MapError::NoMacros)
+        );
+    }
+
+    #[test]
+    fn domain_mapping_covers_roles() {
+        assert_eq!(Domain::of_role(MemoryRole::RegisterFile), Domain::Register);
+        assert_eq!(Domain::of_role(MemoryRole::ScratchRam), Domain::Local);
+        assert_eq!(Domain::of_role(MemoryRole::CacheData), Domain::Global);
+        assert_eq!(Domain::of_role(MemoryRole::CacheTag), Domain::Global);
+        assert_eq!(Domain::of_role(MemoryRole::InstructionRam), Domain::Pc);
+        assert_eq!(
+            Domain::of_role(MemoryRole::SchedulerState),
+            Domain::ExecMask
+        );
+        assert_eq!(Domain::Register.to_string(), "register");
+    }
+}

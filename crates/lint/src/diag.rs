@@ -84,11 +84,16 @@ pub enum Code {
     N006,
     /// Design has no top module or the instantiation graph is cyclic.
     N007,
+    /// Resilience coverage: an SRAM macro is left without ECC/parity
+    /// while a resilience target is configured (the ECC policy
+    /// resolves its role to `none`). Only emitted by the resilience
+    /// lint, which callers invoke when a target exists.
+    N008,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 17] = [
         Code::K001,
         Code::K002,
         Code::K003,
@@ -105,6 +110,7 @@ impl Code {
         Code::N005,
         Code::N006,
         Code::N007,
+        Code::N008,
     ];
 
     /// The stable textual form (`"K001"`, …).
@@ -126,6 +132,7 @@ impl Code {
             Code::N005 => "N005",
             Code::N006 => "N006",
             Code::N007 => "N007",
+            Code::N008 => "N008",
         }
     }
 
@@ -142,7 +149,7 @@ impl Code {
     /// flow default to `Deny`.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::K001 | Code::K002 | Code::K003 | Code::K006 => Severity::Warn,
+            Code::K001 | Code::K002 | Code::K003 | Code::K006 | Code::N008 => Severity::Warn,
             Code::K004
             | Code::K005
             | Code::K007
@@ -177,6 +184,7 @@ impl Code {
             Code::N005 => "memory division changed total macro bits",
             Code::N006 => "pipeline insertion broke timing endpoints",
             Code::N007 => "missing top module or instantiation cycle",
+            Code::N008 => "SRAM macro without ECC/parity under a resilience target",
         }
     }
 }

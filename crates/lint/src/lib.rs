@@ -9,8 +9,9 @@
 //!   races, divergent barriers (`K001`–`K009`);
 //! * the **design linter** ([`design`]) checks netlist structure and
 //!   numerics — duplicate names, dangling references, SRAM compiler
-//!   range, activity sanity (`N001`–`N004`, `N007`) — and [`flow`]
-//!   asserts post-transform invariants after every GPUPlanner step
+//!   range, activity sanity (`N001`–`N004`, `N007`), resilience
+//!   coverage under an ECC policy (`N008`) — and [`flow`] asserts
+//!   post-transform invariants after every GPUPlanner step
 //!   (`N005`–`N006`).
 //!
 //! Both are wired as *pre-flight gates*: `ggpu_simt::Kernel::
@@ -35,7 +36,7 @@ pub mod kernel;
 pub mod shipped;
 
 pub use cfg::Cfg;
-pub use design::lint_design;
+pub use design::{lint_design, lint_resilience};
 pub use diag::{Code, Diagnostic, LintConfig, Report, Severity};
 pub use flow::{check_division, check_pipeline, FlowSnapshot};
 pub use kernel::{verify_asm, verify_program, DIVERGENCE_DEPTH_LIMIT};

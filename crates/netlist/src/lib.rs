@@ -30,6 +30,7 @@
 //! ```
 
 pub mod design;
+pub mod ecc;
 pub mod export;
 pub mod ids;
 pub mod module;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod timing;
 
 pub use design::{design_clone_count, module_copy_count, Design, MacroIter, ModuleSnapshot};
+pub use ecc::EccPolicy;
 pub use export::to_structural_verilog;
 pub use ids::ModuleId;
 pub use module::{CellGroup, Instance, MacroInst, MemoryRole, Module};

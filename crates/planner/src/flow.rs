@@ -5,7 +5,8 @@
 use crate::cache::StaCache;
 use crate::dse::{apply_plan, optimize_for_with, DseError, OptimizationPlan};
 use crate::spec::Specification;
-use ggpu_netlist::Design;
+use ggpu_fault::ResilienceReport;
+use ggpu_netlist::{Design, EccPolicy};
 use ggpu_pnr::{place_and_route, Layout, PnrError, PnrOptions};
 use ggpu_rtl::{generate, ConfigError, GgpuConfig};
 use ggpu_sta::max_frequency;
@@ -157,6 +158,11 @@ pub struct PlannedVersion {
     pub synthesis: SynthesisReport,
     /// The map's advice trace.
     pub trace: Vec<String>,
+    /// Resilience accounting for the optimized netlist under the
+    /// effective ECC policy — `Some` exactly when the specification
+    /// (or the planner's policy override) configured a resilience
+    /// target.
+    pub resilience: Option<ResilienceReport>,
 }
 
 /// A version after physical synthesis.
@@ -184,6 +190,7 @@ pub struct GpuPlanner {
     tech: Tech,
     pnr_options: PnrOptions,
     sta_cache: Arc<StaCache>,
+    ecc_policy: Option<EccPolicy>,
 }
 
 impl GpuPlanner {
@@ -193,6 +200,7 @@ impl GpuPlanner {
             tech,
             pnr_options: PnrOptions::default(),
             sta_cache: Arc::new(StaCache::new()),
+            ecc_policy: None,
         }
     }
 
@@ -222,6 +230,26 @@ impl GpuPlanner {
     pub fn with_sta_cache(mut self, cache: Arc<StaCache>) -> Self {
         self.sta_cache = cache;
         self
+    }
+
+    /// Sets a per-role ECC policy that overrides the uniform scheme of
+    /// [`Specification::with_resilience`] — e.g. SEC-DED on register
+    /// files but bare parity on FIFOs. Setting a policy activates the
+    /// resilience flow (N008 coverage lint + [`ResilienceReport`]) for
+    /// every spec this planner plans, whether or not the spec carries
+    /// its own `resilience` field.
+    pub fn with_ecc_policy(mut self, policy: EccPolicy) -> Self {
+        self.ecc_policy = Some(policy);
+        self
+    }
+
+    /// The effective ECC policy for `spec`: the planner-level override
+    /// if one was installed, else the spec's uniform scheme, else
+    /// `None` (resilience not configured).
+    pub fn resilience_policy(&self, spec: &Specification) -> Option<EccPolicy> {
+        self.ecc_policy
+            .clone()
+            .or_else(|| spec.resilience.map(EccPolicy::uniform))
     }
 
     /// Pre-flight static gate: rejects a netlist with deny-level
@@ -293,6 +321,30 @@ impl GpuPlanner {
             spec.frequency.value()
         ));
         Self::lint_gate(&design)?;
+        let mut trace = optimized.trace;
+        let resilience = match self.resilience_policy(spec) {
+            Some(policy) => {
+                // N008 coverage lint over the optimized netlist. The
+                // code defaults to warn, so uncovered macros surface in
+                // the trace; a strict config (overrides/`--deny warn`)
+                // at the CLI level still denies.
+                let coverage =
+                    ggpu_lint::lint_resilience(&design, &policy, &ggpu_lint::LintConfig::new());
+                if coverage.denial_count() > 0 {
+                    return Err(PlanError::Lint(coverage));
+                }
+                if !coverage.is_clean() {
+                    trace.push(format!(
+                        "resilience: {} macro site(s) unprotected under `{policy}`",
+                        coverage.diagnostics.len()
+                    ));
+                }
+                ggpu_fault::MacroMap::from_design(&design, &policy)
+                    .ok()
+                    .map(|map| ResilienceReport::from_map(&map, policy.to_string()))
+            }
+            None => None,
+        };
         let synthesis = synthesize(&design, &self.tech, spec.frequency)?;
         Ok(PlannedVersion {
             spec: *spec,
@@ -300,7 +352,8 @@ impl GpuPlanner {
             design,
             plan: optimized.plan,
             synthesis,
-            trace: optimized.trace,
+            trace,
+            resilience,
         })
     }
 
@@ -606,6 +659,40 @@ mod tests {
         // The untouched baseline passes the same gate.
         let clean = generate(&GgpuConfig::default()).unwrap();
         assert!(GpuPlanner::lint_gate(&clean).is_ok());
+    }
+
+    #[test]
+    fn resilience_target_yields_a_report() {
+        use ggpu_tech::sram::EccScheme;
+        let p = planner();
+        let spec = Specification::new(1, Mhz::new(500.0)).with_resilience(EccScheme::SecDed);
+        let v = p.plan(&spec).unwrap();
+        let res = v.resilience.expect("resilience target configured");
+        assert!(res.overhead_pct() > 0.0, "SEC-DED widens every word");
+        assert_eq!(res.unprotected_fraction(), 0.0, "uniform policy covers all");
+        // No target: no report, no resilience trace lines.
+        let plain = p.plan(&Specification::new(1, Mhz::new(500.0))).unwrap();
+        assert!(plain.resilience.is_none());
+        assert!(!plain.trace.iter().any(|t| t.contains("resilience")));
+    }
+
+    #[test]
+    fn planner_policy_overrides_spec_scheme_and_traces_holes() {
+        use ggpu_netlist::module::MemoryRole;
+        use ggpu_tech::sram::EccScheme;
+        let policy =
+            EccPolicy::uniform(EccScheme::Parity).with_role(MemoryRole::Fifo, EccScheme::None);
+        let p = planner().with_ecc_policy(policy.clone());
+        let spec = Specification::new(1, Mhz::new(500.0)).with_resilience(EccScheme::SecDed);
+        assert_eq!(p.resilience_policy(&spec), Some(policy));
+        let v = p.plan(&spec).unwrap();
+        let res = v.resilience.expect("policy activates the flow");
+        assert!(res.unprotected_fraction() > 0.0, "FIFOs left exposed");
+        assert!(
+            v.trace.iter().any(|t| t.contains("unprotected")),
+            "{:?}",
+            v.trace
+        );
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use flow::{
 pub use journal::{Checkpoint, TransformJournal};
 pub use map::{advise, advise_candidates, advise_delta, advise_with, Advice};
 pub use spec::Specification;
-pub use spreadsheet::{frequency_map, map_to_csv, render_map, MapRow};
+pub use spreadsheet::{frequency_map, frequency_map_with_policy, map_to_csv, render_map, MapRow};
 pub use versions::{paper_versions, physical_versions};

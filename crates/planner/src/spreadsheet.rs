@@ -9,9 +9,9 @@
 use crate::dse::apply_plan;
 use crate::map::advise;
 use ggpu_netlist::timing::PathEndpoint;
-use ggpu_netlist::Design;
+use ggpu_netlist::{Design, EccPolicy};
 use ggpu_sta::{analyze, StaError};
-use ggpu_tech::sram::SramConfig;
+use ggpu_tech::sram::{EccScheme, SramConfig};
 use ggpu_tech::units::{Mhz, Ns};
 use ggpu_tech::Tech;
 use std::fmt::Write as _;
@@ -34,6 +34,10 @@ pub struct MapRow {
     /// paths to non-negative slack at the target (1 = no division
     /// needed, `None` = no factor up to 16 suffices).
     pub division_to_close: Option<u32>,
+    /// The ECC scheme protecting this memory's role under the map's
+    /// policy (`None` when the map was built without a resilience
+    /// target — rendered as `-` in the CSV).
+    pub ecc: Option<EccScheme>,
 }
 
 /// Builds the frequency map for `design` at `target`.
@@ -45,6 +49,21 @@ pub struct MapRow {
 ///
 /// Returns [`StaError`] if timing analysis fails.
 pub fn frequency_map(design: &Design, tech: &Tech, target: Mhz) -> Result<Vec<MapRow>, StaError> {
+    frequency_map_with_policy(design, tech, target, None)
+}
+
+/// [`frequency_map`] with a resilience column: each row also reports
+/// the ECC scheme its memory's role resolves to under `policy`.
+///
+/// # Errors
+///
+/// Returns [`StaError`] if timing analysis fails.
+pub fn frequency_map_with_policy(
+    design: &Design,
+    tech: &Tech,
+    target: Mhz,
+    policy: Option<&EccPolicy>,
+) -> Result<Vec<MapRow>, StaError> {
     let report = analyze(design, tech, target)?;
     let mut rows = Vec::new();
     for timing in report.paths() {
@@ -61,11 +80,12 @@ pub fn frequency_map(design: &Design, tech: &Tech, target: Mhz) -> Result<Vec<Ma
         let module_id = design
             .module_by_name(&timing.module)
             .expect("report names an existing module");
-        let config = design
+        let mac = design
             .module(module_id)
             .find_macro(macro_name)
-            .expect("report names an existing macro")
-            .config;
+            .expect("report names an existing macro");
+        let config = mac.config;
+        let ecc = policy.map(|p| p.scheme_for(mac.role));
         let access_time = tech
             .memory_compiler
             .compile(config)
@@ -106,6 +126,7 @@ pub fn frequency_map(design: &Design, tech: &Tech, target: Mhz) -> Result<Vec<Ma
             access_time,
             slack: timing.slack,
             division_to_close,
+            ecc,
         });
     }
     Ok(rows)
@@ -121,11 +142,11 @@ pub fn map_to_csv(rows: &[MapRow]) -> String {
             .partial_cmp(&b.slack.value())
             .expect("finite slack")
     });
-    let mut out = String::from("module,macro,words,bits,ports,access_ns,slack_ns,divide_by\n");
+    let mut out = String::from("module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc\n");
     for r in sorted {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.3},{}",
+            "{},{},{},{},{},{:.3},{:.3},{},{}",
             r.module,
             r.macro_name,
             r.config.words,
@@ -136,6 +157,7 @@ pub fn map_to_csv(rows: &[MapRow]) -> String {
             r.division_to_close
                 .map(|f| f.to_string())
                 .unwrap_or_else(|| "unreachable".into()),
+            r.ecc.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
         );
     }
     out
@@ -203,7 +225,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
             lines[0],
-            "module,macro,words,bits,ports,access_ns,slack_ns,divide_by"
+            "module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc"
         );
         assert_eq!(lines.len(), rows.len() + 1);
         // Worst slack first.
@@ -218,6 +240,29 @@ mod tests {
         let text = render_map(&base(), &Tech::l65(), Mhz::new(590.0)).unwrap();
         assert!(text.contains("# next step: divide"));
         assert!(text.contains("rf_bank"));
+    }
+
+    #[test]
+    fn policy_fills_the_ecc_column() {
+        let policy = EccPolicy::uniform(EccScheme::Parity).with_role(
+            ggpu_netlist::module::MemoryRole::RegisterFile,
+            EccScheme::SecDed,
+        );
+        let rows = frequency_map_with_policy(&base(), &Tech::l65(), Mhz::new(590.0), Some(&policy))
+            .unwrap();
+        let rf = rows.iter().find(|r| r.macro_name == "rf_bank").unwrap();
+        assert_eq!(rf.ecc, Some(EccScheme::SecDed));
+        let fifo = rows.iter().find(|r| r.macro_name == "axi_fifo0").unwrap();
+        assert_eq!(fifo.ecc, Some(EccScheme::Parity));
+        let csv = map_to_csv(&rows);
+        assert!(csv.contains(",secded") && csv.contains(",parity"), "{csv}");
+        // Without a policy the column renders `-`.
+        let plain = frequency_map(&base(), &Tech::l65(), Mhz::new(590.0)).unwrap();
+        assert!(plain.iter().all(|r| r.ecc.is_none()));
+        assert!(map_to_csv(&plain)
+            .lines()
+            .skip(1)
+            .all(|l| l.ends_with(",-")));
     }
 
     #[test]

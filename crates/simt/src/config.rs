@@ -103,6 +103,49 @@ impl SimtConfig {
     pub fn wavefronts_per_group(&self, workgroup_size: u32) -> u32 {
         workgroup_size.div_ceil(self.wavefront_size)
     }
+
+    /// Checks the geometry for structural validity. All fields are
+    /// public, so a hand-built configuration can contain zero-sized
+    /// extents that would divide by zero inside the memory system;
+    /// the simulator rejects those with a typed error at launch
+    /// instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.compute_units == 0 {
+            return Err("zero compute units".into());
+        }
+        if self.pes_per_cu == 0 {
+            return Err("zero processing elements per CU".into());
+        }
+        if self.wavefront_size == 0 {
+            return Err("zero wavefront size".into());
+        }
+        if self.max_wavefronts_per_cu == 0 {
+            return Err("zero resident wavefronts per CU".into());
+        }
+        if self.cache.line_bytes == 0 {
+            return Err("zero cache line size".into());
+        }
+        if self.cache.lines() == 0 {
+            return Err(format!(
+                "cache of {} KiB holds no {}-byte lines",
+                self.cache.size_kib, self.cache.line_bytes
+            ));
+        }
+        if self.cache.banks == 0 {
+            return Err("zero cache banks".into());
+        }
+        if self.dram.interfaces == 0 {
+            return Err("zero DRAM interfaces".into());
+        }
+        if self.dram.bytes_per_cycle == 0 {
+            return Err("zero DRAM bytes per cycle".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimtConfig {
@@ -154,5 +197,28 @@ mod tests {
     #[should_panic(expected = "at least one compute unit")]
     fn zero_cus_panics() {
         let _ = SimtConfig::with_cus(0);
+    }
+
+    #[test]
+    fn validate_catches_zero_extents() {
+        assert!(SimtConfig::default().validate().is_ok());
+        type Mutator = fn(&mut SimtConfig);
+        let cases: Vec<(Mutator, &str)> = vec![
+            (|c| c.compute_units = 0, "compute units"),
+            (|c| c.pes_per_cu = 0, "processing elements"),
+            (|c| c.wavefront_size = 0, "wavefront size"),
+            (|c| c.max_wavefronts_per_cu = 0, "resident wavefronts"),
+            (|c| c.cache.line_bytes = 0, "line size"),
+            (|c| c.cache.size_kib = 0, "holds no"),
+            (|c| c.cache.banks = 0, "cache banks"),
+            (|c| c.dram.interfaces = 0, "DRAM interfaces"),
+            (|c| c.dram.bytes_per_cycle = 0, "bytes per cycle"),
+        ];
+        for (mutate, needle) in cases {
+            let mut c = SimtConfig::default();
+            mutate(&mut c);
+            let err = c.validate().expect_err(needle);
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
     }
 }

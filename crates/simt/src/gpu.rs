@@ -10,15 +10,23 @@
 //! serialization cost of divergence emerges naturally.
 
 use crate::config::SimtConfig;
+use crate::fault::{
+    FaultEvent, FaultLog, FaultReport, FaultSite, HardenedOptions, HardenedRun, Injection,
+    InjectionOutcome, Protection, WatchdogConfig,
+};
 use crate::memsys::{Dram, MemStats, SharedCache};
 use ggpu_isa::asm::{assemble, AssembleError};
 use ggpu_isa::inst::{AluOp, IdSource, Inst};
+use std::collections::hash_map::DefaultHasher;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
-/// Local scratch (LRAM) words per CU.
-const LOCAL_WORDS: usize = 4096;
+/// Local scratch (LRAM) words per CU. Public so site-map builders
+/// (the `ggpu-fault` crate) can bound [`crate::FaultSite::LocalWord`]
+/// coordinates to the live scratchpad.
+pub const LOCAL_WORDS: usize = 4096;
 /// Kernel parameter slots (FGPU runtime memory).
 const PARAM_SLOTS: usize = 8;
 
@@ -169,6 +177,36 @@ pub enum SimError {
         /// The configured ceiling.
         limit: u64,
     },
+    /// The machine configuration is structurally invalid (zero-sized
+    /// geometry that would divide by zero inside the memory system).
+    BadConfig(String),
+    /// A `param` instruction named a slot outside the RTM's 8
+    /// parameter words.
+    ParamOutOfRange {
+        /// The offending instruction index.
+        pc: u32,
+        /// The requested parameter slot.
+        idx: u8,
+    },
+    /// The retirement-progress watchdog found no architectural
+    /// progress across consecutive heartbeats: livelock.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// An injected fault was detected by parity/SEC-DED but could not
+    /// be corrected — graceful degradation instead of silent data
+    /// corruption.
+    UncorrectableFault(FaultReport),
+    /// A live compute unit had no schedulable event: every resident
+    /// wavefront was parked at a barrier that can never release. This
+    /// indicates a scheduler invariant violation (barrier release is
+    /// immediate once a group has fully arrived) and is reported
+    /// instead of silently re-polling every cycle.
+    SchedulerStall {
+        /// Cycle at which the scheduler found no event.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -187,6 +225,17 @@ impl fmt::Display for SimError {
                 write!(f, "divergent control flow at barrier (pc {pc})")
             }
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            SimError::BadConfig(m) => write!(f, "bad machine configuration: {m}"),
+            SimError::ParamOutOfRange { pc, idx } => {
+                write!(f, "param slot {idx} out of range at pc {pc}")
+            }
+            SimError::Watchdog { cycle } => {
+                write!(f, "watchdog: no architectural progress by cycle {cycle}")
+            }
+            SimError::UncorrectableFault(report) => report.fmt(f),
+            SimError::SchedulerStall { cycle } => {
+                write!(f, "no schedulable event at cycle {cycle} (all-waiting CU)")
+            }
         }
     }
 }
@@ -424,7 +473,39 @@ impl Gpu {
     /// Returns [`SimError`] on invalid launches, memory faults,
     /// control flow leaving the program, or the cycle ceiling.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, SimError> {
-        self.launch_impl(kernel, launch, false)
+        self.launch_impl(kernel, launch, false, None)
+    }
+
+    /// Runs `kernel` under the fault-injection / watchdog harness.
+    ///
+    /// The harness acts only at scheduler passes that already exist:
+    /// pending injections land at the first pass at or after their
+    /// cycle, and the watchdog heartbeat is evaluated at the first
+    /// pass past each deadline. With an empty
+    /// [`crate::fault::FaultPlan`] the run is **bit-identical** to
+    /// [`Gpu::launch`] — same cycles, same [`RunStats`], same memory
+    /// image — whether or not the watchdog is enabled, because a
+    /// no-progress check mutates nothing.
+    ///
+    /// # Errors
+    ///
+    /// All of [`Gpu::launch`]'s errors, plus
+    /// [`SimError::UncorrectableFault`] when a detected-uncorrectable
+    /// fault occurs and [`SimError::Watchdog`] on livelock. Injected
+    /// corruption may also surface as any ordinary [`SimError`]
+    /// (e.g. a flipped PC leaving the program) — never as a panic.
+    pub fn launch_hardened(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        opts: &HardenedOptions,
+    ) -> Result<HardenedRun, SimError> {
+        let mut hard = HardenState::new(opts);
+        let stats = self.launch_impl(kernel, launch, false, Some(&mut hard))?;
+        Ok(HardenedRun {
+            stats,
+            log: hard.log,
+        })
     }
 
     /// Runs `kernel` under the cycle-stepping reference scheduler —
@@ -445,7 +526,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
     ) -> Result<RunStats, SimError> {
-        self.launch_impl(kernel, launch, true)
+        self.launch_impl(kernel, launch, true, None)
     }
 
     fn launch_impl(
@@ -453,8 +534,10 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
         reference: bool,
+        hard: Option<&mut HardenState>,
     ) -> Result<RunStats, SimError> {
         let wall = Instant::now();
+        self.config.validate().map_err(SimError::BadConfig)?;
         if kernel.program.is_empty() {
             return Err(SimError::BadLaunch("empty program".into()));
         }
@@ -499,6 +582,7 @@ impl Gpu {
                 workgroups: u64::from(total_groups),
                 ..RunStats::default()
             },
+            hard,
         };
         let mut stats = if reference {
             sched.run_cycle_reference()?
@@ -524,6 +608,47 @@ struct PassOutcome {
     dispatched: bool,
 }
 
+/// Mutable state of the fault-injection / watchdog harness for one
+/// hardened run. Owned by [`Gpu::launch_hardened`] and lent to the
+/// scheduler; `None` in the scheduler means a plain run and the
+/// harness hook is an exact no-op.
+struct HardenState {
+    /// Injections sorted by cycle (from the [`crate::fault::FaultPlan`]).
+    injections: Vec<Injection>,
+    /// Next injection to apply.
+    next_inj: usize,
+    /// Watchdog configuration, if enabled.
+    watchdog: Option<WatchdogConfig>,
+    /// Next heartbeat deadline.
+    wd_next: u64,
+    /// Fingerprint at the previous armed check.
+    wd_last_fp: u64,
+    /// Whether `wd_last_fp` holds a real sample yet.
+    wd_fp_valid: bool,
+    /// Consecutive armed checks with an unchanged fingerprint.
+    wd_streak: u32,
+    /// `vector_instructions` at the previous check (activity gate).
+    wd_last_instr: u64,
+    /// Applied injections and their outcomes.
+    log: FaultLog,
+}
+
+impl HardenState {
+    fn new(opts: &HardenedOptions) -> Self {
+        Self {
+            injections: opts.plan.injections().to_vec(),
+            next_inj: 0,
+            watchdog: opts.watchdog,
+            wd_next: 0,
+            wd_last_fp: 0,
+            wd_fp_valid: false,
+            wd_streak: 0,
+            wd_last_instr: 0,
+            log: FaultLog::default(),
+        }
+    }
+}
+
 /// One in-flight kernel run: machine state plus scheduling queues,
 /// shared by the event-driven scheduler and the cycle-stepping
 /// reference so both execute byte-for-byte identical passes.
@@ -539,9 +664,11 @@ struct Sched<'a> {
     total_groups: u32,
     next_group: u32,
     stats: RunStats,
+    /// Fault-injection / watchdog harness; `None` for plain runs.
+    hard: Option<&'a mut HardenState>,
 }
 
-impl Sched<'_> {
+impl<'a> Sched<'a> {
     /// Event-driven driver: the time wheel. Runs a pass, then jumps
     /// `now` directly to the next event, accounting the skipped idle
     /// cycles arithmetically.
@@ -553,11 +680,12 @@ impl Sched<'_> {
                     limit: self.config.max_cycles,
                 });
             }
+            self.harness_tick(now)?;
             let pass = self.pass(now)?;
             if !pass.any_alive && self.next_group >= self.total_groups {
                 break;
             }
-            let next = self.next_event_after(now, &pass);
+            let next = self.next_event_after(now, &pass)?;
             self.account_idle_span(now, next);
             now = next;
         }
@@ -575,6 +703,7 @@ impl Sched<'_> {
                     limit: self.config.max_cycles,
                 });
             }
+            self.harness_tick(now)?;
             let pass = self.pass(now)?;
             if !pass.any_alive && self.next_group >= self.total_groups {
                 break;
@@ -595,7 +724,7 @@ impl Sched<'_> {
     /// re-opens dispatch at `now + 1`; once no live wavefront remains
     /// anywhere, one final drain pass at `now + 1` reproduces the
     /// reference loop's trailing busy accounting and break timing.
-    fn next_event_after(&self, now: u64, pass: &PassOutcome) -> u64 {
+    fn next_event_after(&self, now: u64, pass: &PassOutcome) -> Result<u64, SimError> {
         let mut next = u64::MAX;
         for cu in &self.cus {
             if !cu.wavefronts.iter().any(|w| !w.done) {
@@ -603,15 +732,17 @@ impl Sched<'_> {
             }
             // A live CU always has an issuable (non-barrier) wavefront
             // with finite readiness: barrier release is immediate once
-            // the whole group has arrived. The fallback keeps an
-            // (impossible) all-waiting CU from stopping the clock.
+            // the whole group has arrived. An all-waiting CU would
+            // otherwise stop the clock, so it is a typed scheduler
+            // invariant violation rather than a silent `now + 1`
+            // re-poll that spins to the cycle ceiling.
             let ready = cu
                 .wavefronts
                 .iter()
                 .filter(|w| !w.done && !w.at_barrier)
                 .map(|w| w.ready_at)
                 .min()
-                .unwrap_or(now + 1);
+                .ok_or(SimError::SchedulerStall { cycle: now })?;
             next = next.min(cu.busy_until.max(ready));
         }
         if next == u64::MAX {
@@ -620,7 +751,7 @@ impl Sched<'_> {
         if self.next_group < self.total_groups && (pass.became_done || pass.dispatched) {
             next = next.min(now + 1);
         }
-        next.max(now + 1)
+        Ok(next.max(now + 1))
     }
 
     /// Adds the busy/stall increments the reference loop would have
@@ -634,6 +765,190 @@ impl Sched<'_> {
             if cu.wavefronts.iter().any(|w| !w.done) {
                 self.stats.stall_cycles += next.saturating_sub(cu.busy_until.max(now + 1));
             }
+        }
+    }
+
+    /// Fault-injection / watchdog hook, run before every scheduler
+    /// pass. Exact no-op when no harness is attached; with an attached
+    /// harness but an empty plan the only work is the (mutation-free)
+    /// watchdog heartbeat, so architectural state and accounting are
+    /// untouched — the zero-injection bit-identity guarantee.
+    fn harness_tick(&mut self, now: u64) -> Result<(), SimError> {
+        let Some(hard) = self.hard.take() else {
+            return Ok(());
+        };
+        // `hard` is re-attached by the inner function for reuse on the
+        // next pass; on error the run aborts and the owner (the
+        // `launch_hardened` frame) still holds the log.
+        self.harness_tick_inner(now, hard)
+    }
+
+    fn harness_tick_inner(&mut self, now: u64, hard: &'a mut HardenState) -> Result<(), SimError> {
+        // Apply every injection that has come due. Between passes no
+        // architectural state is read, so landing at the first pass at
+        // or after the target cycle is bit-equivalent to landing at
+        // the target cycle itself on the cycle-stepping machine.
+        while hard
+            .injections
+            .get(hard.next_inj)
+            .is_some_and(|inj| inj.cycle <= now)
+        {
+            let i = hard.next_inj;
+            hard.next_inj += 1;
+            let outcome =
+                Self::apply_injection(&mut self.cus, self.memory, &hard.injections[i], now)?;
+            hard.log.events.push(FaultEvent {
+                cycle: now,
+                label: hard.injections[i].label.clone(),
+                outcome,
+            });
+        }
+
+        // Retirement-progress watchdog: evaluated at the first pass at
+        // or past each deadline, armed only when instructions were
+        // issued since the previous check (pure memory stalls always
+        // resolve — modelled latencies are finite — and must not trip
+        // the heartbeat).
+        if let Some(wd) = hard.watchdog {
+            if now >= hard.wd_next {
+                hard.wd_next = now + wd.interval.max(1);
+                let instr = self.stats.vector_instructions;
+                if instr > hard.wd_last_instr {
+                    hard.wd_last_instr = instr;
+                    let fp = self.arch_fingerprint();
+                    if hard.wd_fp_valid && fp == hard.wd_last_fp {
+                        hard.wd_streak += 1;
+                        if hard.wd_streak >= wd.patience.max(1) {
+                            self.hard = Some(hard);
+                            return Err(SimError::Watchdog { cycle: now });
+                        }
+                    } else {
+                        hard.wd_streak = 0;
+                        hard.wd_last_fp = fp;
+                        hard.wd_fp_valid = true;
+                    }
+                }
+            }
+        }
+        self.hard = Some(hard);
+        Ok(())
+    }
+
+    /// Hash of all architectural state the watchdog watches: PCs,
+    /// activity masks, registers, IDs, barrier/done flags, LRAM and
+    /// the dispatch position. Global memory is excluded for cost; a
+    /// kernel making progress only through memory writes still changes
+    /// registers (addresses, loop counters) every iteration.
+    fn arch_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.next_group.hash(&mut h);
+        for cu in &self.cus {
+            cu.local_mem.hash(&mut h);
+            cu.wavefronts.len().hash(&mut h);
+            for wf in &cu.wavefronts {
+                wf.pcs.hash(&mut h);
+                wf.active.hash(&mut h);
+                wf.regs.hash(&mut h);
+                wf.global_ids.hash(&mut h);
+                wf.local_ids.hash(&mut h);
+                wf.group_id.hash(&mut h);
+                wf.done.hash(&mut h);
+                wf.at_barrier.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Applies one injection to the machine. Unresolvable coordinates
+    /// (index out of range, retired slot) are [`InjectionOutcome::Vacant`];
+    /// protection is decided by the total codeword flip count. This
+    /// function cannot panic for any `(site, cycle, bits)` input.
+    fn apply_injection(
+        cus: &mut [ComputeUnit],
+        memory: &mut [u32],
+        inj: &Injection,
+        now: u64,
+    ) -> Result<InjectionOutcome, SimError> {
+        /// A resolved mutable view of the targeted state.
+        enum Slot<'m> {
+            Word(&'m mut u32),
+            Mask(&'m mut bool),
+        }
+        fn wf_of(cus: &mut [ComputeUnit], cu: u32, slot: u32) -> Option<&mut Wavefront> {
+            cus.get_mut(cu as usize)
+                .and_then(|c| c.wavefronts.get_mut(slot as usize))
+                .filter(|w| !w.done)
+        }
+        let slot: Option<Slot<'_>> = match inj.site {
+            FaultSite::Register {
+                cu,
+                slot,
+                lane,
+                reg,
+            } => wf_of(cus, cu, slot)
+                .filter(|w| (lane as usize) < w.pcs.len())
+                .and_then(|w| w.regs.get_mut(lane as usize * 32 + usize::from(reg & 31)))
+                .map(Slot::Word),
+            FaultSite::LocalWord { cu, word } => cus
+                .get_mut(cu as usize)
+                .and_then(|c| c.local_mem.get_mut(word as usize))
+                .map(Slot::Word),
+            FaultSite::GlobalWord { word } => memory.get_mut(word as usize).map(Slot::Word),
+            FaultSite::Pc { cu, slot, lane } => wf_of(cus, cu, slot)
+                .and_then(|w| w.pcs.get_mut(lane as usize))
+                .map(Slot::Word),
+            FaultSite::ExecMask { cu, slot, lane } => wf_of(cus, cu, slot)
+                .and_then(|w| w.active.get_mut(lane as usize))
+                .map(Slot::Mask),
+        };
+        let Some(slot) = slot else {
+            return Ok(InjectionOutcome::Vacant);
+        };
+        let apply = |slot: Slot<'_>| match slot {
+            Slot::Word(w) => {
+                for &b in &inj.flips {
+                    *w ^= 1u32 << (b % 32);
+                }
+            }
+            Slot::Mask(active) => *active = !*active,
+        };
+        let total = inj.codeword_flips.max(inj.flips.len() as u32);
+        let detected = || {
+            SimError::UncorrectableFault(FaultReport {
+                cycle: now,
+                label: inj.label.clone(),
+                domain: inj.site.domain(),
+                flips: total,
+            })
+        };
+        match inj.protection {
+            Protection::None => {
+                apply(slot);
+                Ok(InjectionOutcome::Applied)
+            }
+            _ if total == 0 => Ok(InjectionOutcome::Vacant),
+            Protection::Parity => {
+                if total % 2 == 1 {
+                    // Odd flip count inverts the parity: detected, not
+                    // correctable — surfaced as a typed error.
+                    Err(detected())
+                } else {
+                    // Even flip counts cancel in the parity sum and
+                    // land silently (potential SDC).
+                    apply(slot);
+                    Ok(InjectionOutcome::Applied)
+                }
+            }
+            Protection::SecDed => match total {
+                1 => Ok(InjectionOutcome::Corrected),
+                t if t % 2 == 0 => Err(detected()),
+                _ => {
+                    // Odd >= 3: the decoder sees a plausible single-bit
+                    // syndrome and "corrects" the wrong bit.
+                    apply(slot);
+                    Ok(InjectionOutcome::MisCorrected)
+                }
+            },
         }
     }
 
@@ -801,8 +1116,13 @@ impl Sched<'_> {
                 }
             }
             Inst::Param { rd, idx: p } => {
+                // `idx` is a free u8 in the encoding; a slot outside
+                // the 8 RTM words is a typed error, not an index panic.
+                let v = *params
+                    .get(p as usize)
+                    .ok_or(SimError::ParamOutOfRange { pc, idx: p })?;
                 for &l in &lanes {
-                    wf.regs[l * 32 + rd.index()] = params[p as usize];
+                    wf.regs[l * 32 + rd.index()] = v;
                     wf.pcs[l] = pc + 1;
                 }
             }
@@ -1176,6 +1496,380 @@ mod tests {
         assert_eq!(stats.workgroups, 2);
         let out = g.read_words(0x8000, 70).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+}
+
+#[cfg(test)]
+mod hardened_tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultSite, HardenedOptions, Injection, Protection};
+
+    /// out[i] = in[i] + 1 over n items; in @ param0, out @ param1.
+    const INCR: &str = "
+        gid   r1
+        param r2, 0
+        param r3, 1
+        slli  r4, r1, 2
+        add   r5, r4, r2
+        lw    r6, r5, 0
+        addi  r6, r6, 1
+        add   r7, r4, r3
+        sw    r7, r6, 0
+        ret
+    ";
+
+    fn incr_gpu() -> (Gpu, Kernel, Launch) {
+        let mut g = Gpu::new(SimtConfig::with_cus(1), 1 << 16);
+        let input: Vec<u32> = (0..256).map(|i| i * 3).collect();
+        g.write_words(0x1000, &input).unwrap();
+        let k = Kernel::from_asm("incr", INCR).unwrap();
+        (g, k, Launch::new(256, 64, vec![0x1000, 0x8000]))
+    }
+
+    #[test]
+    fn zero_injection_run_is_bit_identical_with_watchdog_on() {
+        let (mut plain, k, launch) = incr_gpu();
+        let base = plain.launch(&k, &launch).unwrap();
+        let base_mem = plain.read_words(0, 1 << 14).unwrap();
+
+        let (mut hard, k, launch) = incr_gpu();
+        let opts = HardenedOptions {
+            plan: FaultPlan::empty(),
+            watchdog: Some(WatchdogConfig::default()),
+        };
+        let run = hard.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.stats, base, "RunStats must be bit-identical");
+        assert_eq!(run.stats.cycles, base.cycles);
+        assert_eq!(
+            hard.read_words(0, 1 << 14).unwrap(),
+            base_mem,
+            "memory image must be bit-identical"
+        );
+        assert!(run.log.events.is_empty());
+    }
+
+    #[test]
+    fn watchdog_flags_spin_kernel_within_10k_cycles() {
+        // The spin kernel is only caught by max_cycles (400M default)
+        // without the watchdog; the heartbeat must flag it in < 10k
+        // simulated cycles.
+        let mut g = Gpu::new(SimtConfig::with_cus(1), 1024);
+        let k = Kernel::from_asm("spin", "forever: jmp forever").unwrap();
+        let opts = HardenedOptions {
+            plan: FaultPlan::empty(),
+            watchdog: Some(WatchdogConfig::default()),
+        };
+        let err = g
+            .launch_hardened(&k, &Launch::new(64, 64, vec![]), &opts)
+            .unwrap_err();
+        match err {
+            SimError::Watchdog { cycle } => {
+                assert!(cycle < 10_000, "flagged at cycle {cycle}, need < 10k");
+            }
+            other => panic!("expected watchdog, got {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_leaves_long_convergent_kernel_untouched() {
+        // A loop that runs far longer than several watchdog intervals
+        // but makes progress (counter register changes) every
+        // iteration must complete normally, bit-identical to plain.
+        let src = "
+            addi r2, r0, 4000
+            loop:
+            addi r3, r3, 1
+            add  r4, r4, r3
+            bne  r3, r2, loop
+            param r5, 0
+            sw   r5, r4, 0
+            ret
+        ";
+        let k = Kernel::from_asm("converge", src).unwrap();
+        let launch = Launch::new(64, 64, vec![0x100]);
+        let mut plain = Gpu::new(SimtConfig::with_cus(1), 1024);
+        let base = plain.launch(&k, &launch).unwrap();
+        assert!(
+            base.cycles > 8 * WatchdogConfig::default().interval,
+            "kernel must span several heartbeats ({} cycles)",
+            base.cycles
+        );
+        let mut hard = Gpu::new(SimtConfig::with_cus(1), 1024);
+        let opts = HardenedOptions {
+            plan: FaultPlan::empty(),
+            watchdog: Some(WatchdogConfig::default()),
+        };
+        let run = hard.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.stats, base);
+        assert_eq!(
+            plain.read_words(0x100, 1).unwrap(),
+            hard.read_words(0x100, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn unprotected_register_flip_corrupts_output() {
+        // Flip a bit of r1 (the gid) in lane 0 of slot 0 right after
+        // dispatch (cycle 1 — at cycle 0 nothing is resident yet):
+        // silent data corruption the campaign will classify as SDC.
+        let (mut g, k, launch) = incr_gpu();
+        let inj = Injection::single(
+            1,
+            FaultSite::Register {
+                cu: 0,
+                slot: 0,
+                lane: 0,
+                reg: 1,
+            },
+            7,
+            Protection::None,
+        )
+        .with_label("cu/pe/rf_bank");
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![inj]),
+            watchdog: None,
+        };
+        let run = g.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.log.count(InjectionOutcome::Applied), 1);
+        // r1 (gid) flipped by 128 in lane 0: its output lands at the
+        // wrong address / wrong value — the image differs.
+        let (plain_gpu, k2, launch2) = incr_gpu();
+        let mut plain_gpu = plain_gpu;
+        plain_gpu.launch(&k2, &launch2).unwrap();
+        assert_ne!(
+            g.read_words(0x8000, 256).unwrap(),
+            plain_gpu.read_words(0x8000, 256).unwrap(),
+            "unprotected flip must corrupt the output"
+        );
+    }
+
+    #[test]
+    fn secded_corrects_single_bit_flip() {
+        let (mut g, k, launch) = incr_gpu();
+        let inj = Injection::single(
+            1,
+            FaultSite::Register {
+                cu: 0,
+                slot: 0,
+                lane: 0,
+                reg: 1,
+            },
+            7,
+            Protection::SecDed,
+        );
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![inj]),
+            watchdog: None,
+        };
+        let run = g.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.log.count(InjectionOutcome::Corrected), 1);
+        let out = g.read_words(0x8000, 256).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u32) * 3 + 1, "corrected run must be clean");
+        }
+    }
+
+    #[test]
+    fn parity_detects_odd_and_misses_even_flips() {
+        let site = FaultSite::GlobalWord { word: 0x1000 / 4 };
+        let (mut g, k, launch) = incr_gpu();
+        let odd = Injection::single(0, site, 3, Protection::Parity).with_label("dcache");
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![odd]),
+            watchdog: None,
+        };
+        match g.launch_hardened(&k, &launch, &opts).unwrap_err() {
+            SimError::UncorrectableFault(report) => {
+                assert_eq!(report.label, "dcache");
+                assert_eq!(report.flips, 1);
+                assert_eq!(report.domain, "global");
+            }
+            other => panic!("expected uncorrectable fault, got {other}"),
+        }
+
+        let (mut g, k, launch) = incr_gpu();
+        let even = Injection {
+            cycle: 0,
+            site,
+            flips: vec![3, 9],
+            codeword_flips: 2,
+            protection: Protection::Parity,
+            label: "dcache".into(),
+        };
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![even]),
+            watchdog: None,
+        };
+        let run = g.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.log.count(InjectionOutcome::Applied), 1, "even slips by");
+    }
+
+    #[test]
+    fn secded_double_flip_is_detected_uncorrectable() {
+        let (mut g, k, launch) = incr_gpu();
+        let inj = Injection {
+            cycle: 0,
+            site: FaultSite::LocalWord { cu: 0, word: 3 },
+            flips: vec![0, 1],
+            codeword_flips: 2,
+            protection: Protection::SecDed,
+            label: "cu/lram".into(),
+        };
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![inj]),
+            watchdog: None,
+        };
+        assert!(matches!(
+            g.launch_hardened(&k, &launch, &opts),
+            Err(SimError::UncorrectableFault(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_sites_are_vacant_not_errors() {
+        let (mut g, k, launch) = incr_gpu();
+        let plan = FaultPlan::new(vec![
+            Injection::single(
+                0,
+                FaultSite::Register {
+                    cu: 99,
+                    slot: 0,
+                    lane: 0,
+                    reg: 1,
+                },
+                0,
+                Protection::None,
+            ),
+            Injection::single(
+                0,
+                FaultSite::Register {
+                    cu: 0,
+                    slot: 57,
+                    lane: 0,
+                    reg: 1,
+                },
+                0,
+                Protection::None,
+            ),
+            Injection::single(
+                0,
+                FaultSite::GlobalWord { word: u32::MAX },
+                31,
+                Protection::SecDed,
+            ),
+            Injection::single(
+                1,
+                FaultSite::ExecMask {
+                    cu: 0,
+                    slot: 0,
+                    lane: 4096,
+                },
+                0,
+                Protection::None,
+            ),
+        ]);
+        let opts = HardenedOptions {
+            plan,
+            watchdog: None,
+        };
+        let run = g.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.log.count(InjectionOutcome::Vacant), 4);
+        let out = g.read_words(0x8000, 256).unwrap();
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (i as u32) * 3 + 1));
+    }
+
+    #[test]
+    fn pc_flip_surfaces_as_typed_error_or_completes() {
+        // Flipping a high PC bit sends control flow outside the
+        // program: must be PcOutOfRange (a crash classification),
+        // never a panic.
+        let (mut g, k, launch) = incr_gpu();
+        let inj = Injection::single(
+            2,
+            FaultSite::Pc {
+                cu: 0,
+                slot: 0,
+                lane: 0,
+            },
+            20,
+            Protection::None,
+        );
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![inj]),
+            watchdog: None,
+        };
+        match g.launch_hardened(&k, &launch, &opts) {
+            Err(SimError::PcOutOfRange { .. }) | Ok(_) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn param_slot_out_of_range_is_typed() {
+        use ggpu_isa::inst::Reg;
+        let k = Kernel {
+            name: "badparam".into(),
+            program: vec![
+                Inst::Param {
+                    rd: Reg::try_new(1).unwrap(),
+                    idx: 200,
+                },
+                Inst::Ret,
+            ],
+        };
+        let mut g = Gpu::new(SimtConfig::with_cus(1), 1024);
+        assert_eq!(
+            g.launch(&k, &Launch::new(1, 1, vec![])),
+            Err(SimError::ParamOutOfRange { pc: 0, idx: 200 })
+        );
+    }
+
+    #[test]
+    fn bad_config_is_typed_not_division_panic() {
+        let mut cfg = SimtConfig::with_cus(1);
+        cfg.dram.interfaces = 0;
+        let mut g = Gpu::new(cfg, 1024);
+        let k = Kernel::from_asm("k", "ret").unwrap();
+        assert!(matches!(
+            g.launch(&k, &Launch::new(1, 1, vec![])),
+            Err(SimError::BadConfig(_))
+        ));
+        let mut cfg = SimtConfig::with_cus(1);
+        cfg.cache.banks = 0;
+        let mut g = Gpu::new(cfg, 1024);
+        assert!(matches!(
+            g.launch(&k, &Launch::new(1, 1, vec![])),
+            Err(SimError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn exec_mask_flip_changes_lane_participation() {
+        // Deactivating lane 0 before it stores: its output word stays
+        // zero while every other lane completes.
+        let (mut g, k, launch) = incr_gpu();
+        let inj = Injection::single(
+            1,
+            FaultSite::ExecMask {
+                cu: 0,
+                slot: 0,
+                lane: 0,
+            },
+            0,
+            Protection::None,
+        );
+        let opts = HardenedOptions {
+            plan: FaultPlan::new(vec![inj]),
+            watchdog: None,
+        };
+        let run = g.launch_hardened(&k, &launch, &opts).unwrap();
+        assert_eq!(run.log.count(InjectionOutcome::Applied), 1);
+        let out = g.read_words(0x8000, 256).unwrap();
+        assert_eq!(out[0], 0, "lane 0 was masked off before its store");
+        assert_eq!(out[1], 3 + 1, "other lanes unaffected");
     }
 }
 

@@ -1,3 +1,8 @@
+// Panic audit (robustness subsystem): non-test library code must not
+// use `unwrap`/`expect` — every fallible path surfaces a typed
+// `SimError`. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! Cycle-level performance simulator of the G-GPU's SIMT execution.
 //!
 //! [`Gpu::launch`] runs an assembled [`Kernel`] over a work-item grid
@@ -27,9 +32,14 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod gpu;
 pub mod memsys;
 
 pub use config::{CacheConfig, DramConfig, SimtConfig};
-pub use gpu::{Gpu, Kernel, KernelVerifyError, Launch, RunStats, SimError};
+pub use fault::{
+    FaultEvent, FaultLog, FaultPlan, FaultReport, FaultSite, HardenedOptions, HardenedRun,
+    Injection, InjectionOutcome, Protection, WatchdogConfig,
+};
+pub use gpu::{Gpu, Kernel, KernelVerifyError, Launch, RunStats, SimError, LOCAL_WORDS};
 pub use memsys::MemStats;

@@ -172,6 +172,97 @@ impl fmt::Display for SramConfig {
     }
 }
 
+/// Per-word error-protection scheme stored alongside the data bits of
+/// a macro.
+///
+/// The memory compiler itself is protection-agnostic — ECC is "just
+/// more columns" — so a protected macro is compiled by widening its
+/// word via [`SramConfig::with_ecc`] and the scheme only determines
+/// *how many* extra columns are paid for:
+///
+/// * [`EccScheme::Parity`]: 1 bit per word; detects any odd number of
+///   flipped bits, corrects nothing.
+/// * [`EccScheme::SecDed`]: extended Hamming; corrects single-bit and
+///   detects double-bit errors at a cost of
+///   [`secded_check_bits`]` + 1` bits per word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum EccScheme {
+    /// No protection: flips propagate silently.
+    #[default]
+    None,
+    /// Single even-parity bit per word (detect-only, odd flips).
+    Parity,
+    /// Extended Hamming SEC-DED per word.
+    SecDed,
+}
+
+impl EccScheme {
+    /// Extra storage bits per `data_bits`-bit word this scheme costs.
+    pub fn check_bits(self, data_bits: u32) -> u32 {
+        match self {
+            EccScheme::None => 0,
+            EccScheme::Parity => 1,
+            EccScheme::SecDed => secded_check_bits(data_bits) + 1,
+        }
+    }
+
+    /// Short machine-readable name (`none`/`parity`/`secded`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EccScheme::None => "none",
+            EccScheme::Parity => "parity",
+            EccScheme::SecDed => "secded",
+        }
+    }
+
+    /// Parses the output of [`EccScheme::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(EccScheme::None),
+            "parity" => Some(EccScheme::Parity),
+            "secded" => Some(EccScheme::SecDed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EccScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Number of Hamming check bits `r` required to single-error-correct a
+/// `data_bits`-bit word: the smallest `r` with `2^r >= data_bits + r + 1`.
+/// SEC-DED (extended Hamming) adds one further overall-parity bit on
+/// top of this.
+pub fn secded_check_bits(data_bits: u32) -> u32 {
+    let mut r = 1u32;
+    while (1u64 << r) < u64::from(data_bits) + u64::from(r) + 1 {
+        r += 1;
+    }
+    r
+}
+
+impl SramConfig {
+    /// The same geometry widened to store `scheme`'s check bits next to
+    /// every data word — how GPUPlanner compiles a protected macro.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileSramError::BitsOutOfRange`] if the widened word
+    /// exceeds the compiler's 144-bit limit (the caller must divide the
+    /// macro in the bit direction first).
+    pub fn with_ecc(self, scheme: EccScheme) -> Result<SramConfig, CompileSramError> {
+        let widened = SramConfig {
+            bits: self.bits + scheme.check_bits(self.bits),
+            ..self
+        };
+        widened.validate()?;
+        Ok(widened)
+    }
+}
+
 /// Error returned when a requested geometry cannot be compiled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompileSramError {
@@ -714,6 +805,66 @@ mod tests {
         let before = raw_compile_count();
         let _ = compiler().compile(SramConfig::dual(64, 8));
         assert!(raw_compile_count() > before);
+    }
+
+    #[test]
+    fn secded_check_bits_match_hamming_table() {
+        // Classic extended-Hamming overheads: (data bits, r).
+        for (k, r) in [
+            (2, 3),
+            (4, 3),
+            (8, 4),
+            (11, 4),
+            (16, 5),
+            (26, 5),
+            (32, 6),
+            (57, 6),
+            (64, 7),
+            (120, 7),
+            (128, 8),
+            (144, 8),
+        ] {
+            assert_eq!(secded_check_bits(k), r, "k={k}");
+            // Defining inequality holds and is tight.
+            assert!((1u64 << r) > u64::from(k) + u64::from(r));
+            assert!((1u64 << (r - 1)) < u64::from(k) + u64::from(r), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ecc_widening_costs_and_limits() {
+        let cfg = SramConfig::dual(2048, 32);
+        assert_eq!(cfg.with_ecc(EccScheme::None).unwrap(), cfg);
+        assert_eq!(cfg.with_ecc(EccScheme::Parity).unwrap().bits, 33);
+        // 32 data bits need r=6 plus the overall parity bit.
+        assert_eq!(cfg.with_ecc(EccScheme::SecDed).unwrap().bits, 39);
+        assert_eq!(EccScheme::SecDed.check_bits(32), 7);
+        assert_eq!(EccScheme::Parity.check_bits(144), 1);
+        // Widening past the 144-bit compiler limit is a typed error.
+        assert_eq!(
+            SramConfig::dual(1024, 144)
+                .with_ecc(EccScheme::Parity)
+                .unwrap_err(),
+            CompileSramError::BitsOutOfRange(145)
+        );
+        assert!(SramConfig::dual(1024, 140)
+            .with_ecc(EccScheme::SecDed)
+            .is_err());
+        // Widened macros cost area/energy — protection is not free.
+        let c = compiler();
+        let plain = c.compile(cfg).unwrap();
+        let prot = c.compile(cfg.with_ecc(EccScheme::SecDed).unwrap()).unwrap();
+        assert!(prot.area > plain.area);
+        assert!(prot.read_energy > plain.read_energy);
+    }
+
+    #[test]
+    fn ecc_scheme_round_trips_names() {
+        for s in [EccScheme::None, EccScheme::Parity, EccScheme::SecDed] {
+            assert_eq!(EccScheme::parse(s.as_str()), Some(s));
+            assert_eq!(s.to_string(), s.as_str());
+        }
+        assert_eq!(EccScheme::parse("hamming"), None);
     }
 
     #[test]

@@ -53,4 +53,12 @@ echo "== smoke (transform engine baseline) =="
 # from the full run.
 cargo run --release -p ggpu-bench --bin journal_bench -- --smoke --out target/BENCH_journal_smoke.json
 
+echo "== smoke (seeded fault campaign, 64 injections/policy) =="
+# Offline SEU campaign on the 1-CU design (copy kernel, unprotected /
+# parity / SEC-DED policies). The binary asserts determinism as it
+# measures: a single-threaded replay of the first scenario must be
+# byte-identical to the parallel run. Tracked baseline is the
+# checked-in BENCH_fault.json from the full (non-smoke) run.
+cargo run --release -p ggpu-bench --bin fault_bench -- --smoke --out target/BENCH_fault_smoke.json
+
 echo "== ci green =="
