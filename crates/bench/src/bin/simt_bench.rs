@@ -1,0 +1,164 @@
+//! Host-speed benchmark of the two SIMT execution backends: the
+//! scalar reference engine and the data-oriented SoA fast path
+//! (see [`ggpu_simt::Accelerator`]), over the 8 shipped kernels
+//! (the paper's Table III seven plus the LRAM-tiled `mat_mul_local`).
+//!
+//! This binary is also the backend-agreement gate: every kernel is run
+//! on *both* backends and the `RunStats` (cycles, instruction and
+//! lane-op counts, stall/busy breakdown, full memory-system counters)
+//! must be identical — on top of the golden-output check the kernel
+//! harness already applies. Only then is host throughput reported, as
+//! `simulated_cycles_per_second` per kernel per backend.
+//!
+//! Kernels run at `SimtConfig::default()` — the same configuration
+//! the fault-injection campaigns and the planner's per-candidate
+//! probes use, i.e. the throughput that actually bounds those loops.
+//!
+//! Results go to `BENCH_simt.json` (override with `--out PATH`);
+//! `--smoke` runs small grids once, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin simt_bench
+//! cargo run --release -p ggpu-bench --bin simt_bench -- --smoke --out target/BENCH_simt_smoke.json
+//! ```
+
+use ggpu_kernels::bench::{self, Bench};
+use ggpu_simt::{AccelBackend, RunStats, SimtConfig};
+use std::fmt::Write as _;
+
+struct Row {
+    kernel: &'static str,
+    n: u32,
+    cycles: u64,
+    scalar_cps: f64,
+    soa_cps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.soa_cps / self.scalar_cps
+    }
+}
+
+fn run_once(bench: &Bench, n: u32, backend: AccelBackend) -> RunStats {
+    let config = SimtConfig {
+        backend,
+        ..SimtConfig::default()
+    };
+    bench
+        .run_gpu_with(n, config)
+        .unwrap_or_else(|e| panic!("{} on {backend:?} backend failed: {e:?}", bench.name))
+}
+
+/// Best-of-`reps` run of *both* backends, repetitions interleaved so
+/// transient host load hits the two backends alike instead of biasing
+/// whichever block it lands on; returns the fastest repetition of each
+/// (`sim_wall` is the only field that varies across reps).
+fn run_pair(bench: &Bench, n: u32, reps: u32) -> (RunStats, RunStats) {
+    let mut scalar: Option<RunStats> = None;
+    let mut soa: Option<RunStats> = None;
+    for _ in 0..reps {
+        for (backend, best) in [
+            (AccelBackend::Scalar, &mut scalar),
+            (AccelBackend::Soa, &mut soa),
+        ] {
+            let stats = run_once(bench, n, backend);
+            let faster = best
+                .as_ref()
+                .map(|b| stats.sim_wall < b.sim_wall)
+                .unwrap_or(true);
+            if faster {
+                *best = Some(stats);
+            }
+        }
+    }
+    (scalar.expect("reps >= 1"), soa.expect("reps >= 1"))
+}
+
+fn render_json(cus: u32, reps: u32, rows: &[Row], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"simt\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"compute_units\": {cus},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    out.push_str("  \"kernels\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"simulated_cycles\": {}, \
+             \"simulated_cycles_per_second\": {{\"scalar\": {:.0}, \"soa\": {:.0}}}, \
+             \"soa_speedup\": {:.2}}}",
+            r.kernel,
+            r.n,
+            r.cycles,
+            r.scalar_cps,
+            r.soa_cps,
+            r.speedup(),
+        );
+        out.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simt.json".into());
+
+    // Benchmarked at `SimtConfig::default()` — the configuration the
+    // fault-injection campaigns and the planner's per-candidate probes
+    // actually run, which is the throughput this PR is about.
+    let cus = SimtConfig::default().compute_units;
+    let reps: u32 = if smoke { 1 } else { 5 };
+
+    let mut kernels: Vec<Bench> = bench::all().to_vec();
+    kernels.push(bench::mat_mul_local());
+
+    let mut rows = Vec::new();
+    for b in &kernels {
+        // mat_mul_local needs full wavefronts; 256 satisfies both.
+        let n = if smoke { 256 } else { b.gpu_n };
+        eprintln!("running {} (n={n}, {cus} CU) ...", b.name);
+        let (scalar, soa) = run_pair(b, n, reps);
+        // Backend-agreement gate: architectural stats must be
+        // bit-identical (RunStats::eq excludes host-perf fields).
+        assert_eq!(
+            scalar, soa,
+            "backends disagree on {} — SoA fast path is not bit-identical",
+            b.name
+        );
+        let scalar_cps = scalar.cycles as f64 / scalar.sim_wall.as_secs_f64();
+        let soa_cps = soa.cycles as f64 / soa.sim_wall.as_secs_f64();
+        eprintln!(
+            "  {} cycles; scalar {:.2} Mcyc/s, soa {:.2} Mcyc/s ({:.1}x)",
+            scalar.cycles,
+            scalar_cps / 1e6,
+            soa_cps / 1e6,
+            soa_cps / scalar_cps,
+        );
+        rows.push(Row {
+            kernel: b.name,
+            n,
+            cycles: scalar.cycles,
+            scalar_cps,
+            soa_cps,
+        });
+    }
+
+    let fast = rows.iter().filter(|r| r.speedup() >= 5.0).count();
+    eprintln!(
+        "{fast}/{} kernels reach a 5x SoA speedup; all 8 backend-agreement checks passed",
+        rows.len()
+    );
+
+    let json = render_json(cus, reps, &rows, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

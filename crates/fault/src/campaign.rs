@@ -107,7 +107,13 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Number of independent single-fault trials.
     pub trials: u32,
-    /// The simulated machine.
+    /// The simulated machine. The default configuration leaves
+    /// [`SimtConfig::backend`] on `Auto`, which resolves to the SoA
+    /// fast path — fault semantics are bit-identical across backends
+    /// (the simt equivalence suite pins this, injection plans and
+    /// watchdog included), so campaigns get the fast engine without
+    /// any behavioural difference; set `GGPU_ACCEL=scalar` to force
+    /// the reference engine when bisecting.
     pub sim: SimtConfig,
     /// Livelock watchdog for every trial (and hang classification).
     pub watchdog: ggpu_simt::WatchdogConfig,

@@ -40,6 +40,7 @@ impl Reg {
     }
 
     /// The raw index.
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
@@ -86,7 +87,13 @@ impl AluOp {
     /// Applies the operation.
     // Divide-by-zero follows the RISC-V M convention, so the manual
     // zero check is the specification, not a missed `checked_div`.
+    //
+    // `#[inline]` so the simulator's per-op specialized lane loops can
+    // constant-fold the `match` away and autovectorize across lanes
+    // (the workspace builds without LTO, so cross-crate inlining needs
+    // the hint).
     #[allow(clippy::manual_checked_ops)]
+    #[inline]
     pub fn apply(self, a: u32, b: u32) -> u32 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -142,6 +149,9 @@ pub enum BranchCond {
 
 impl BranchCond {
     /// Evaluates the condition.
+    // `#[inline]` for the same cross-crate vectorization reason as
+    // [`AluOp::apply`].
+    #[inline]
     pub fn test(self, a: u32, b: u32) -> bool {
         match self {
             BranchCond::Eq => a == b,

@@ -28,6 +28,7 @@
 
 pub mod beam;
 pub mod cache;
+pub mod cycles;
 pub mod datasheet;
 pub mod dse;
 pub mod flow;
@@ -38,6 +39,7 @@ pub mod spreadsheet;
 pub mod versions;
 
 pub use cache::{fingerprint, StaCache};
+pub use cycles::{kernel_cycles, price_at, total_runtime_us, KernelCycles, KernelRuntime};
 pub use datasheet::datasheet;
 pub use dse::{
     apply_plan, apply_plan_clone_dirty, apply_plan_dirty, optimize_for, optimize_for_clone,

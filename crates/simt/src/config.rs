@@ -1,5 +1,27 @@
 //! Simulator configuration: machine geometry and timing parameters.
 
+/// Which execution backend ([`crate::Accelerator`]) runs a launch.
+///
+/// Every backend simulates the identical architecture — outputs,
+/// [`crate::RunStats`], memory image and fault semantics are
+/// bit-identical — so this knob only trades host speed for engine
+/// simplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccelBackend {
+    /// Pick automatically: the `GGPU_ACCEL` environment variable
+    /// (`"scalar"` / `"soa"`) if set, otherwise the SoA fast path
+    /// where the geometry allows it (`wavefront_size <= 64`), with a
+    /// silent scalar fallback where it does not.
+    #[default]
+    Auto,
+    /// The retained per-lane scalar reference engine (the oracle).
+    Scalar,
+    /// The data-oriented structure-of-arrays fast path. Explicitly
+    /// selecting it on `wavefront_size > 64` fails the launch with
+    /// [`crate::SimError::BadConfig`] instead of silently demoting.
+    Soa,
+}
+
 /// Shared data-cache parameters (direct-mapped, write-back,
 /// write-allocate, banked — the FGPU's central multi-port cache).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +105,9 @@ pub struct SimtConfig {
     pub local_latency: u32,
     /// Hard cycle ceiling; exceeded means a runaway kernel.
     pub max_cycles: u64,
+    /// Execution backend (host-side engine choice; architecturally
+    /// invisible).
+    pub backend: AccelBackend,
 }
 
 impl SimtConfig {
@@ -97,6 +122,12 @@ impl SimtConfig {
             compute_units,
             ..Self::default()
         }
+    }
+
+    /// The same machine with an explicit execution backend.
+    pub fn with_backend(mut self, backend: AccelBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Wavefronts needed for one full workgroup.
@@ -163,6 +194,7 @@ impl Default for SimtConfig {
             div_serial: 36,
             local_latency: 3,
             max_cycles: 400_000_000,
+            backend: AccelBackend::default(),
         }
     }
 }

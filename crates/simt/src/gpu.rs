@@ -9,18 +9,16 @@
 //! active PC each issue — arbitrary control flow is supported and the
 //! serialization cost of divergence emerges naturally.
 
+use crate::accel::{resolve, Accelerator, LaunchRequest, ScalarAccelerator};
 use crate::config::SimtConfig;
 use crate::fault::{
-    FaultEvent, FaultLog, FaultReport, FaultSite, HardenedOptions, HardenedRun, Injection,
-    InjectionOutcome, Protection, WatchdogConfig,
+    FaultLog, FaultReport, HardenedOptions, HardenedRun, Injection, WatchdogConfig,
 };
-use crate::memsys::{Dram, MemStats, SharedCache};
+use crate::memsys::MemStats;
 use ggpu_isa::asm::{assemble, AssembleError};
-use ggpu_isa::inst::{AluOp, IdSource, Inst};
-use std::collections::hash_map::DefaultHasher;
+use ggpu_isa::inst::Inst;
 use std::error::Error;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 /// Local scratch (LRAM) words per CU. Public so site-map builders
@@ -28,7 +26,7 @@ use std::time::{Duration, Instant};
 /// coordinates to the live scratchpad.
 pub const LOCAL_WORDS: usize = 4096;
 /// Kernel parameter slots (FGPU runtime memory).
-const PARAM_SLOTS: usize = 8;
+pub(crate) const PARAM_SLOTS: usize = 8;
 
 /// A compiled kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -323,59 +321,6 @@ impl RunStats {
     }
 }
 
-struct Wavefront {
-    pcs: Vec<u32>,
-    active: Vec<bool>,
-    regs: Vec<u32>,
-    global_ids: Vec<u32>,
-    local_ids: Vec<u32>,
-    group_id: u32,
-    ready_at: u64,
-    done: bool,
-    at_barrier: bool,
-}
-
-impl Wavefront {
-    fn new(wf_size: u32, group_id: u32, first_global: u32, first_local: u32, items: u32) -> Self {
-        let n = wf_size as usize;
-        let mut active = vec![false; n];
-        let mut global_ids = vec![0; n];
-        let mut local_ids = vec![0; n];
-        for lane in 0..items as usize {
-            active[lane] = true;
-            global_ids[lane] = first_global + lane as u32;
-            local_ids[lane] = first_local + lane as u32;
-        }
-        Self {
-            pcs: vec![0; n],
-            active,
-            regs: vec![0; n * 32],
-            global_ids,
-            local_ids,
-            group_id,
-            ready_at: 0,
-            done: items == 0,
-            at_barrier: false,
-        }
-    }
-
-    fn min_active_pc(&self) -> Option<u32> {
-        self.pcs
-            .iter()
-            .zip(&self.active)
-            .filter(|(_, &a)| a)
-            .map(|(&pc, _)| pc)
-            .min()
-    }
-}
-
-struct ComputeUnit {
-    wavefronts: Vec<Wavefront>,
-    local_mem: Vec<u32>,
-    busy_until: u64,
-    rr_cursor: usize,
-}
-
 /// The SIMT machine: configuration plus global memory.
 pub struct Gpu {
     config: SimtConfig,
@@ -473,7 +418,29 @@ impl Gpu {
     /// Returns [`SimError`] on invalid launches, memory faults,
     /// control flow leaving the program, or the cycle ceiling.
     pub fn launch(&mut self, kernel: &Kernel, launch: &Launch) -> Result<RunStats, SimError> {
-        self.launch_impl(kernel, launch, false, None)
+        self.launch_impl(kernel, launch, false, None, None)
+    }
+
+    /// Runs `kernel` on an explicitly chosen execution backend instead
+    /// of the one [`crate::AccelBackend`] resolution would pick.
+    ///
+    /// Every backend is architecturally bit-identical, so this exists
+    /// for validation and benchmarking (the equivalence suite and
+    /// `simt_bench` drive the scalar and SoA engines over identical
+    /// launches), not for functional selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`Gpu::launch`] does, plus
+    /// [`SimError::BadConfig`] when the backend rejects the machine
+    /// geometry (e.g. SoA with `wavefront_size > 64`).
+    pub fn launch_with(
+        &mut self,
+        accel: &dyn Accelerator,
+        kernel: &Kernel,
+        launch: &Launch,
+    ) -> Result<RunStats, SimError> {
+        self.launch_impl(kernel, launch, false, None, Some(accel))
     }
 
     /// Runs `kernel` under the fault-injection / watchdog harness.
@@ -501,7 +468,31 @@ impl Gpu {
         opts: &HardenedOptions,
     ) -> Result<HardenedRun, SimError> {
         let mut hard = HardenState::new(opts);
-        let stats = self.launch_impl(kernel, launch, false, Some(&mut hard))?;
+        let stats = self.launch_impl(kernel, launch, false, Some(&mut hard), None)?;
+        Ok(HardenedRun {
+            stats,
+            log: hard.log,
+        })
+    }
+
+    /// [`Gpu::launch_hardened`] on an explicitly chosen backend — the
+    /// fault-semantics half of the backend-equivalence contract
+    /// (injection outcomes, ECC verdicts, watchdog trips and partial
+    /// memory effects must all match across backends).
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch_hardened`], plus [`SimError::BadConfig`] for
+    /// geometries the backend rejects.
+    pub fn launch_hardened_with(
+        &mut self,
+        accel: &dyn Accelerator,
+        kernel: &Kernel,
+        launch: &Launch,
+        opts: &HardenedOptions,
+    ) -> Result<HardenedRun, SimError> {
+        let mut hard = HardenState::new(opts);
+        let stats = self.launch_impl(kernel, launch, false, Some(&mut hard), Some(accel))?;
         Ok(HardenedRun {
             stats,
             log: hard.log,
@@ -526,7 +517,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: &Launch,
     ) -> Result<RunStats, SimError> {
-        self.launch_impl(kernel, launch, true, None)
+        self.launch_impl(kernel, launch, true, None, Some(&ScalarAccelerator))
     }
 
     fn launch_impl(
@@ -535,6 +526,7 @@ impl Gpu {
         launch: &Launch,
         reference: bool,
         hard: Option<&mut HardenState>,
+        accel: Option<&dyn Accelerator>,
     ) -> Result<RunStats, SimError> {
         let wall = Instant::now();
         self.config.validate().map_err(SimError::BadConfig)?;
@@ -560,77 +552,46 @@ impl Gpu {
         let mut params = [0u32; PARAM_SLOTS];
         params[..launch.params.len()].copy_from_slice(&launch.params);
 
-        let total_groups = launch.global_size.div_ceil(launch.workgroup_size);
-        let sched = Sched {
+        let accel =
+            accel.unwrap_or_else(|| resolve(self.config.backend, self.config.wavefront_size));
+        let mut stats = accel.run(LaunchRequest {
             config: self.config,
             program: &kernel.program,
             params,
-            sizes: (launch.global_size, launch.workgroup_size),
+            global_size: launch.global_size,
+            workgroup_size: launch.workgroup_size,
             memory: &mut self.memory,
-            cache: SharedCache::new(self.config.cache, Dram::new(self.config.dram)),
-            cus: (0..self.config.compute_units)
-                .map(|_| ComputeUnit {
-                    wavefronts: Vec::new(),
-                    local_mem: vec![0; LOCAL_WORDS],
-                    busy_until: 0,
-                    rr_cursor: 0,
-                })
-                .collect(),
-            total_groups,
-            next_group: 0,
-            stats: RunStats {
-                workgroups: u64::from(total_groups),
-                ..RunStats::default()
-            },
+            reference,
             hard,
-        };
-        let mut stats = if reference {
-            sched.run_cycle_reference()?
-        } else {
-            sched.run_event_driven()?
-        };
+        })?;
         stats.sim_wall = wall.elapsed();
         Ok(stats)
     }
-}
-
-/// Outcome of one scheduler pass (one simulated cycle's worth of
-/// dispatch/issue work), used by the event-driven driver to decide
-/// how far time can jump.
-struct PassOutcome {
-    /// Some CU held live wavefronts at pass time (pre-issue), i.e.
-    /// the run is not finished.
-    any_alive: bool,
-    /// A wavefront retired during this pass, freeing a slot: dispatch
-    /// may newly succeed next cycle.
-    became_done: bool,
-    /// A workgroup was dispatched during this pass.
-    dispatched: bool,
 }
 
 /// Mutable state of the fault-injection / watchdog harness for one
 /// hardened run. Owned by [`Gpu::launch_hardened`] and lent to the
 /// scheduler; `None` in the scheduler means a plain run and the
 /// harness hook is an exact no-op.
-struct HardenState {
+pub(crate) struct HardenState {
     /// Injections sorted by cycle (from the [`crate::fault::FaultPlan`]).
-    injections: Vec<Injection>,
+    pub(crate) injections: Vec<Injection>,
     /// Next injection to apply.
-    next_inj: usize,
+    pub(crate) next_inj: usize,
     /// Watchdog configuration, if enabled.
-    watchdog: Option<WatchdogConfig>,
+    pub(crate) watchdog: Option<WatchdogConfig>,
     /// Next heartbeat deadline.
-    wd_next: u64,
+    pub(crate) wd_next: u64,
     /// Fingerprint at the previous armed check.
-    wd_last_fp: u64,
+    pub(crate) wd_last_fp: u64,
     /// Whether `wd_last_fp` holds a real sample yet.
-    wd_fp_valid: bool,
+    pub(crate) wd_fp_valid: bool,
     /// Consecutive armed checks with an unchanged fingerprint.
-    wd_streak: u32,
+    pub(crate) wd_streak: u32,
     /// `vector_instructions` at the previous check (activity gate).
-    wd_last_instr: u64,
+    pub(crate) wd_last_instr: u64,
     /// Applied injections and their outcomes.
-    log: FaultLog,
+    pub(crate) log: FaultLog,
 }
 
 impl HardenState {
@@ -645,635 +606,6 @@ impl HardenState {
             wd_streak: 0,
             wd_last_instr: 0,
             log: FaultLog::default(),
-        }
-    }
-}
-
-/// One in-flight kernel run: machine state plus scheduling queues,
-/// shared by the event-driven scheduler and the cycle-stepping
-/// reference so both execute byte-for-byte identical passes.
-struct Sched<'a> {
-    config: SimtConfig,
-    program: &'a [Inst],
-    params: [u32; PARAM_SLOTS],
-    /// `(global_size, workgroup_size)`.
-    sizes: (u32, u32),
-    memory: &'a mut Vec<u32>,
-    cache: SharedCache,
-    cus: Vec<ComputeUnit>,
-    total_groups: u32,
-    next_group: u32,
-    stats: RunStats,
-    /// Fault-injection / watchdog harness; `None` for plain runs.
-    hard: Option<&'a mut HardenState>,
-}
-
-impl<'a> Sched<'a> {
-    /// Event-driven driver: the time wheel. Runs a pass, then jumps
-    /// `now` directly to the next event, accounting the skipped idle
-    /// cycles arithmetically.
-    fn run_event_driven(mut self) -> Result<RunStats, SimError> {
-        let mut now: u64 = 0;
-        loop {
-            if now > self.config.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.config.max_cycles,
-                });
-            }
-            self.harness_tick(now)?;
-            let pass = self.pass(now)?;
-            if !pass.any_alive && self.next_group >= self.total_groups {
-                break;
-            }
-            let next = self.next_event_after(now, &pass)?;
-            self.account_idle_span(now, next);
-            now = next;
-        }
-        self.stats.cycles = now;
-        self.stats.mem = self.cache.stats();
-        Ok(self.stats)
-    }
-
-    /// Cycle-stepping reference driver: visits every simulated cycle.
-    fn run_cycle_reference(mut self) -> Result<RunStats, SimError> {
-        let mut now: u64 = 0;
-        loop {
-            if now > self.config.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.config.max_cycles,
-                });
-            }
-            self.harness_tick(now)?;
-            let pass = self.pass(now)?;
-            if !pass.any_alive && self.next_group >= self.total_groups {
-                break;
-            }
-            now += 1;
-        }
-        self.stats.cycles = now;
-        self.stats.mem = self.cache.stats();
-        Ok(self.stats)
-    }
-
-    /// The earliest simulated time after `now` at which any CU can
-    /// change state.
-    ///
-    /// For every CU holding live wavefronts that is
-    /// `max(busy_until, min ready_at over issuable wavefronts)`; a
-    /// wavefront retirement (or dispatch) with workgroups still queued
-    /// re-opens dispatch at `now + 1`; once no live wavefront remains
-    /// anywhere, one final drain pass at `now + 1` reproduces the
-    /// reference loop's trailing busy accounting and break timing.
-    fn next_event_after(&self, now: u64, pass: &PassOutcome) -> Result<u64, SimError> {
-        let mut next = u64::MAX;
-        for cu in &self.cus {
-            if !cu.wavefronts.iter().any(|w| !w.done) {
-                continue;
-            }
-            // A live CU always has an issuable (non-barrier) wavefront
-            // with finite readiness: barrier release is immediate once
-            // the whole group has arrived. An all-waiting CU would
-            // otherwise stop the clock, so it is a typed scheduler
-            // invariant violation rather than a silent `now + 1`
-            // re-poll that spins to the cycle ceiling.
-            let ready = cu
-                .wavefronts
-                .iter()
-                .filter(|w| !w.done && !w.at_barrier)
-                .map(|w| w.ready_at)
-                .min()
-                .ok_or(SimError::SchedulerStall { cycle: now })?;
-            next = next.min(cu.busy_until.max(ready));
-        }
-        if next == u64::MAX {
-            next = now + 1; // final drain pass
-        }
-        if self.next_group < self.total_groups && (pass.became_done || pass.dispatched) {
-            next = next.min(now + 1);
-        }
-        Ok(next.max(now + 1))
-    }
-
-    /// Adds the busy/stall increments the reference loop would have
-    /// made during the skipped cycles `now+1 ..= next-1`, in closed
-    /// form. During that span no CU state changes: a CU counts as
-    /// busy while `cycle < busy_until`, and as stalled for the rest of
-    /// the span iff it holds live wavefronts.
-    fn account_idle_span(&mut self, now: u64, next: u64) {
-        for cu in &self.cus {
-            self.stats.busy_cycles += cu.busy_until.min(next).saturating_sub(now + 1);
-            if cu.wavefronts.iter().any(|w| !w.done) {
-                self.stats.stall_cycles += next.saturating_sub(cu.busy_until.max(now + 1));
-            }
-        }
-    }
-
-    /// Fault-injection / watchdog hook, run before every scheduler
-    /// pass. Exact no-op when no harness is attached; with an attached
-    /// harness but an empty plan the only work is the (mutation-free)
-    /// watchdog heartbeat, so architectural state and accounting are
-    /// untouched — the zero-injection bit-identity guarantee.
-    fn harness_tick(&mut self, now: u64) -> Result<(), SimError> {
-        let Some(hard) = self.hard.take() else {
-            return Ok(());
-        };
-        // `hard` is re-attached by the inner function for reuse on the
-        // next pass; on error the run aborts and the owner (the
-        // `launch_hardened` frame) still holds the log.
-        self.harness_tick_inner(now, hard)
-    }
-
-    fn harness_tick_inner(&mut self, now: u64, hard: &'a mut HardenState) -> Result<(), SimError> {
-        // Apply every injection that has come due. Between passes no
-        // architectural state is read, so landing at the first pass at
-        // or after the target cycle is bit-equivalent to landing at
-        // the target cycle itself on the cycle-stepping machine.
-        while hard
-            .injections
-            .get(hard.next_inj)
-            .is_some_and(|inj| inj.cycle <= now)
-        {
-            let i = hard.next_inj;
-            hard.next_inj += 1;
-            let outcome =
-                Self::apply_injection(&mut self.cus, self.memory, &hard.injections[i], now)?;
-            hard.log.events.push(FaultEvent {
-                cycle: now,
-                label: hard.injections[i].label.clone(),
-                outcome,
-            });
-        }
-
-        // Retirement-progress watchdog: evaluated at the first pass at
-        // or past each deadline, armed only when instructions were
-        // issued since the previous check (pure memory stalls always
-        // resolve — modelled latencies are finite — and must not trip
-        // the heartbeat).
-        if let Some(wd) = hard.watchdog {
-            if now >= hard.wd_next {
-                hard.wd_next = now + wd.interval.max(1);
-                let instr = self.stats.vector_instructions;
-                if instr > hard.wd_last_instr {
-                    hard.wd_last_instr = instr;
-                    let fp = self.arch_fingerprint();
-                    if hard.wd_fp_valid && fp == hard.wd_last_fp {
-                        hard.wd_streak += 1;
-                        if hard.wd_streak >= wd.patience.max(1) {
-                            self.hard = Some(hard);
-                            return Err(SimError::Watchdog { cycle: now });
-                        }
-                    } else {
-                        hard.wd_streak = 0;
-                        hard.wd_last_fp = fp;
-                        hard.wd_fp_valid = true;
-                    }
-                }
-            }
-        }
-        self.hard = Some(hard);
-        Ok(())
-    }
-
-    /// Hash of all architectural state the watchdog watches: PCs,
-    /// activity masks, registers, IDs, barrier/done flags, LRAM and
-    /// the dispatch position. Global memory is excluded for cost; a
-    /// kernel making progress only through memory writes still changes
-    /// registers (addresses, loop counters) every iteration.
-    fn arch_fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.next_group.hash(&mut h);
-        for cu in &self.cus {
-            cu.local_mem.hash(&mut h);
-            cu.wavefronts.len().hash(&mut h);
-            for wf in &cu.wavefronts {
-                wf.pcs.hash(&mut h);
-                wf.active.hash(&mut h);
-                wf.regs.hash(&mut h);
-                wf.global_ids.hash(&mut h);
-                wf.local_ids.hash(&mut h);
-                wf.group_id.hash(&mut h);
-                wf.done.hash(&mut h);
-                wf.at_barrier.hash(&mut h);
-            }
-        }
-        h.finish()
-    }
-
-    /// Applies one injection to the machine. Unresolvable coordinates
-    /// (index out of range, retired slot) are [`InjectionOutcome::Vacant`];
-    /// protection is decided by the total codeword flip count. This
-    /// function cannot panic for any `(site, cycle, bits)` input.
-    fn apply_injection(
-        cus: &mut [ComputeUnit],
-        memory: &mut [u32],
-        inj: &Injection,
-        now: u64,
-    ) -> Result<InjectionOutcome, SimError> {
-        /// A resolved mutable view of the targeted state.
-        enum Slot<'m> {
-            Word(&'m mut u32),
-            Mask(&'m mut bool),
-        }
-        fn wf_of(cus: &mut [ComputeUnit], cu: u32, slot: u32) -> Option<&mut Wavefront> {
-            cus.get_mut(cu as usize)
-                .and_then(|c| c.wavefronts.get_mut(slot as usize))
-                .filter(|w| !w.done)
-        }
-        let slot: Option<Slot<'_>> = match inj.site {
-            FaultSite::Register {
-                cu,
-                slot,
-                lane,
-                reg,
-            } => wf_of(cus, cu, slot)
-                .filter(|w| (lane as usize) < w.pcs.len())
-                .and_then(|w| w.regs.get_mut(lane as usize * 32 + usize::from(reg & 31)))
-                .map(Slot::Word),
-            FaultSite::LocalWord { cu, word } => cus
-                .get_mut(cu as usize)
-                .and_then(|c| c.local_mem.get_mut(word as usize))
-                .map(Slot::Word),
-            FaultSite::GlobalWord { word } => memory.get_mut(word as usize).map(Slot::Word),
-            FaultSite::Pc { cu, slot, lane } => wf_of(cus, cu, slot)
-                .and_then(|w| w.pcs.get_mut(lane as usize))
-                .map(Slot::Word),
-            FaultSite::ExecMask { cu, slot, lane } => wf_of(cus, cu, slot)
-                .and_then(|w| w.active.get_mut(lane as usize))
-                .map(Slot::Mask),
-        };
-        let Some(slot) = slot else {
-            return Ok(InjectionOutcome::Vacant);
-        };
-        let apply = |slot: Slot<'_>| match slot {
-            Slot::Word(w) => {
-                for &b in &inj.flips {
-                    *w ^= 1u32 << (b % 32);
-                }
-            }
-            Slot::Mask(active) => *active = !*active,
-        };
-        let total = inj.codeword_flips.max(inj.flips.len() as u32);
-        let detected = || {
-            SimError::UncorrectableFault(FaultReport {
-                cycle: now,
-                label: inj.label.clone(),
-                domain: inj.site.domain(),
-                flips: total,
-            })
-        };
-        match inj.protection {
-            Protection::None => {
-                apply(slot);
-                Ok(InjectionOutcome::Applied)
-            }
-            _ if total == 0 => Ok(InjectionOutcome::Vacant),
-            Protection::Parity => {
-                if total % 2 == 1 {
-                    // Odd flip count inverts the parity: detected, not
-                    // correctable — surfaced as a typed error.
-                    Err(detected())
-                } else {
-                    // Even flip counts cancel in the parity sum and
-                    // land silently (potential SDC).
-                    apply(slot);
-                    Ok(InjectionOutcome::Applied)
-                }
-            }
-            Protection::SecDed => match total {
-                1 => Ok(InjectionOutcome::Corrected),
-                t if t % 2 == 0 => Err(detected()),
-                _ => {
-                    // Odd >= 3: the decoder sees a plausible single-bit
-                    // syndrome and "corrects" the wrong bit.
-                    apply(slot);
-                    Ok(InjectionOutcome::MisCorrected)
-                }
-            },
-        }
-    }
-
-    /// Executes one scheduler pass at simulated time `now`: per CU in
-    /// index order, workgroup dispatch, then (unless the issue stage
-    /// is occupied) round-robin selection and issue of one vector
-    /// instruction. This is exactly one iteration of the reference
-    /// cycle loop; the event-driven driver calls it only at event
-    /// times.
-    fn pass(&mut self, now: u64) -> Result<PassOutcome, SimError> {
-        self.stats.sched_iterations += 1;
-        let mut out = PassOutcome {
-            any_alive: false,
-            became_done: false,
-            dispatched: false,
-        };
-        for cu in self.cus.iter_mut() {
-            // Dispatch whole workgroups into free wavefront slots.
-            // Retired wavefronts are compacted once, *before* the slot
-            // computation (not per dispatched group), and the
-            // round-robin cursor is re-clamped so compaction cannot
-            // leave it pointing past the end of the list.
-            if self.next_group < self.total_groups {
-                cu.wavefronts.retain(|w| !w.done);
-                if cu.rr_cursor >= cu.wavefronts.len() {
-                    cu.rr_cursor = 0;
-                }
-                while self.next_group < self.total_groups {
-                    let live = cu.wavefronts.iter().filter(|w| !w.done).count() as u32;
-                    let free = self.config.max_wavefronts_per_cu - live;
-                    let first_item = self.next_group * self.sizes.1;
-                    let items_in_group = self.sizes.1.min(self.sizes.0 - first_item);
-                    let needed = self.config.wavefronts_per_group(items_in_group);
-                    if needed > free {
-                        break;
-                    }
-                    for wf_idx in 0..needed {
-                        let first_local = wf_idx * self.config.wavefront_size;
-                        let items = self.config.wavefront_size.min(items_in_group - first_local);
-                        cu.wavefronts.push(Wavefront::new(
-                            self.config.wavefront_size,
-                            self.next_group,
-                            first_item + first_local,
-                            first_local,
-                            items,
-                        ));
-                        self.stats.wavefronts += 1;
-                    }
-                    self.next_group += 1;
-                    out.dispatched = true;
-                }
-            }
-
-            let has_live = cu.wavefronts.iter().any(|w| !w.done);
-            if has_live {
-                out.any_alive = true;
-            }
-            if cu.busy_until > now {
-                self.stats.busy_cycles += 1;
-                continue;
-            }
-            // Round-robin wavefront selection.
-            let n_wf = cu.wavefronts.len();
-            let mut chosen = None;
-            for k in 0..n_wf {
-                let idx = (cu.rr_cursor + k) % n_wf;
-                let wf = &cu.wavefronts[idx];
-                if !wf.done && !wf.at_barrier && wf.ready_at <= now {
-                    chosen = Some(idx);
-                    break;
-                }
-            }
-            let Some(idx) = chosen else {
-                if has_live {
-                    self.stats.stall_cycles += 1;
-                }
-                continue;
-            };
-            cu.rr_cursor = (idx + 1) % n_wf;
-
-            out.became_done |= Self::issue(
-                &self.config,
-                self.program,
-                &self.params,
-                self.sizes,
-                self.memory,
-                &mut self.cache,
-                cu,
-                idx,
-                now,
-                &mut self.stats,
-            )?;
-        }
-        Ok(out)
-    }
-
-    /// Issues one vector instruction for wavefront `idx` of `cu`.
-    /// Returns whether a wavefront retired (freeing a dispatch slot).
-    #[allow(clippy::too_many_arguments)]
-    fn issue(
-        config: &SimtConfig,
-        program: &[Inst],
-        params: &[u32; PARAM_SLOTS],
-        (global_size, workgroup_size): (u32, u32),
-        memory: &mut [u32],
-        cache: &mut SharedCache,
-        cu: &mut ComputeUnit,
-        idx: usize,
-        now: u64,
-        stats: &mut RunStats,
-    ) -> Result<bool, SimError> {
-        let wf = &mut cu.wavefronts[idx];
-        let Some(pc) = wf.min_active_pc() else {
-            wf.done = true;
-            return Ok(true);
-        };
-        let inst = *program
-            .get(pc as usize)
-            .ok_or(SimError::PcOutOfRange { pc })?;
-
-        let lanes: Vec<usize> = (0..wf.pcs.len())
-            .filter(|&l| wf.active[l] && wf.pcs[l] == pc)
-            .collect();
-        let lane_count = lanes.len() as u32;
-        stats.vector_instructions += 1;
-        stats.lane_ops += u64::from(lane_count);
-
-        let reg = |wf: &Wavefront, lane: usize, r: ggpu_isa::inst::Reg| -> u32 {
-            wf.regs[lane * 32 + r.index()]
-        };
-        let mut mem_ready: u64 = now;
-
-        match inst {
-            Inst::Alu { op, rd, rs1, rs2 } => {
-                for &l in &lanes {
-                    let v = op.apply(reg(wf, l, rs1), reg(wf, l, rs2));
-                    wf.regs[l * 32 + rd.index()] = v;
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::AluImm { op, rd, rs1, imm } => {
-                for &l in &lanes {
-                    let v = op.apply(reg(wf, l, rs1), imm as i32 as u32);
-                    wf.regs[l * 32 + rd.index()] = v;
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::Lui { rd, imm } => {
-                for &l in &lanes {
-                    wf.regs[l * 32 + rd.index()] = u32::from(imm) << 16;
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::ReadId { rd, src } => {
-                for &l in &lanes {
-                    let v = match src {
-                        IdSource::GlobalId => wf.global_ids[l],
-                        IdSource::LocalId => wf.local_ids[l],
-                        IdSource::GroupId => wf.group_id,
-                        IdSource::GroupSize => workgroup_size,
-                        IdSource::GlobalSize => global_size,
-                    };
-                    wf.regs[l * 32 + rd.index()] = v;
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::Param { rd, idx: p } => {
-                // `idx` is a free u8 in the encoding; a slot outside
-                // the 8 RTM words is a typed error, not an index panic.
-                let v = *params
-                    .get(p as usize)
-                    .ok_or(SimError::ParamOutOfRange { pc, idx: p })?;
-                for &l in &lanes {
-                    wf.regs[l * 32 + rd.index()] = v;
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::Lw { rd, rs1, imm } | Inst::Sw { rs1, rs2: rd, imm } => {
-                let is_store = matches!(inst, Inst::Sw { .. });
-                // Coalesce: unique lines accessed once.
-                let mut touched_lines: Vec<u64> = Vec::with_capacity(lanes.len());
-                for &l in &lanes {
-                    let addr = reg(wf, l, rs1).wrapping_add(imm as i32 as u32);
-                    if addr % 4 != 0 {
-                        return Err(SimError::Unaligned { addr });
-                    }
-                    let widx = (addr / 4) as usize;
-                    if widx >= memory.len() {
-                        return Err(SimError::MemoryOutOfBounds { addr });
-                    }
-                    if is_store {
-                        memory[widx] = reg(wf, l, rd);
-                    } else {
-                        wf.regs[l * 32 + rd.index()] = memory[widx];
-                    }
-                    let line = u64::from(addr) / u64::from(cache.line_bytes());
-                    if !touched_lines.contains(&line) {
-                        touched_lines.push(line);
-                        let ready = cache.access(now, u64::from(addr), is_store);
-                        mem_ready = mem_ready.max(ready);
-                    }
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::Lwl { rd, rs1, imm } | Inst::Swl { rs1, rs2: rd, imm } => {
-                let is_store = matches!(inst, Inst::Swl { .. });
-                for &l in &lanes {
-                    let addr = reg(wf, l, rs1).wrapping_add(imm as i32 as u32);
-                    if addr % 4 != 0 {
-                        return Err(SimError::Unaligned { addr });
-                    }
-                    let widx = (addr / 4) as usize;
-                    if widx >= cu.local_mem.len() {
-                        return Err(SimError::LocalOutOfBounds { addr });
-                    }
-                    if is_store {
-                        cu.local_mem[widx] = reg(wf, l, rd);
-                    } else {
-                        wf.regs[l * 32 + rd.index()] = cu.local_mem[widx];
-                    }
-                    wf.pcs[l] = pc + 1;
-                }
-            }
-            Inst::Branch {
-                cond,
-                rs1,
-                rs2,
-                target,
-            } => {
-                for &l in &lanes {
-                    let taken = cond.test(reg(wf, l, rs1), reg(wf, l, rs2));
-                    wf.pcs[l] = if taken { target } else { pc + 1 };
-                }
-            }
-            Inst::Jmp { target } => {
-                for &l in &lanes {
-                    wf.pcs[l] = target;
-                }
-            }
-            Inst::Bar => {
-                // All active lanes must arrive together (uniform
-                // control flow at barriers, as on real SIMT machines).
-                let active_count = wf.active.iter().filter(|&&a| a).count();
-                if lanes.len() != active_count {
-                    return Err(SimError::DivergentBarrier { pc });
-                }
-                wf.at_barrier = true;
-                // PCs advance only on release, below.
-            }
-            Inst::Ret => {
-                for &l in &lanes {
-                    wf.active[l] = false;
-                }
-                if wf.active.iter().all(|&a| !a) {
-                    wf.done = true;
-                }
-            }
-        }
-        let became_done = matches!(inst, Inst::Ret) && cu.wavefronts[idx].done;
-
-        let mut beats = u64::from(lane_count.div_ceil(config.pes_per_cu).max(1));
-        // Divides serialize on the shared iterative divider.
-        if matches!(
-            inst,
-            Inst::Alu {
-                op: AluOp::Divu | AluOp::Remu,
-                ..
-            } | Inst::AluImm {
-                op: AluOp::Divu | AluOp::Remu,
-                ..
-            }
-        ) {
-            beats += u64::from(lane_count) * u64::from(config.div_serial);
-        }
-        let latency = u64::from(match inst {
-            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
-                AluOp::Mul => config.mul_latency,
-                AluOp::Divu | AluOp::Remu => config.div_latency,
-                _ => config.alu_latency,
-            },
-            Inst::Lw { .. } | Inst::Sw { .. } => 0, // folded into mem_ready
-            Inst::Lwl { .. } | Inst::Swl { .. } => config.local_latency,
-            _ => config.alu_latency,
-        });
-        let wf = &mut cu.wavefronts[idx];
-        wf.ready_at = (now + beats + latency).max(mem_ready);
-        cu.busy_until = now + beats;
-
-        // Workgroup barrier release: once every live wavefront of the
-        // group has arrived (or exited), advance the waiters. Checked
-        // when a barrier is reached and when a wavefront retires —
-        // both events can complete a group.
-        if matches!(inst, Inst::Bar) || became_done {
-            let group = cu.wavefronts[idx].group_id;
-            Self::release_barrier_group(cu, group, now);
-        }
-        Ok(became_done)
-    }
-
-    /// Advances every waiting wavefront of `group` past its barrier if
-    /// no live wavefront of the group is still on its way there.
-    fn release_barrier_group(cu: &mut ComputeUnit, group: u32, now: u64) {
-        let all_arrived = cu
-            .wavefronts
-            .iter()
-            .filter(|w| !w.done && w.group_id == group)
-            .all(|w| w.at_barrier);
-        let any_waiting = cu
-            .wavefronts
-            .iter()
-            .any(|w| !w.done && w.group_id == group && w.at_barrier);
-        if all_arrived && any_waiting {
-            for w in cu
-                .wavefronts
-                .iter_mut()
-                .filter(|w| !w.done && w.group_id == group)
-            {
-                w.at_barrier = false;
-                for l in 0..w.pcs.len() {
-                    if w.active[l] {
-                        w.pcs[l] += 1;
-                    }
-                }
-                w.ready_at = w.ready_at.max(now + 1);
-            }
         }
     }
 }
@@ -1502,7 +834,9 @@ mod tests {
 #[cfg(test)]
 mod hardened_tests {
     use super::*;
-    use crate::fault::{FaultPlan, FaultSite, HardenedOptions, Injection, Protection};
+    use crate::fault::{
+        FaultPlan, FaultSite, HardenedOptions, Injection, InjectionOutcome, Protection,
+    };
 
     /// out[i] = in[i] + 1 over n items; in @ param0, out @ param1.
     const INCR: &str = "

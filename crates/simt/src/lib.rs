@@ -31,12 +31,16 @@
 //! # }
 //! ```
 
+pub mod accel;
 pub mod config;
+mod engine;
 pub mod fault;
 pub mod gpu;
 pub mod memsys;
+mod soa;
 
-pub use config::{CacheConfig, DramConfig, SimtConfig};
+pub use accel::{Accelerator, LaunchRequest, ScalarAccelerator, SoaAccelerator};
+pub use config::{AccelBackend, CacheConfig, DramConfig, SimtConfig};
 pub use fault::{
     FaultEvent, FaultLog, FaultPlan, FaultReport, FaultSite, HardenedOptions, HardenedRun,
     Injection, InjectionOutcome, Protection, WatchdogConfig,

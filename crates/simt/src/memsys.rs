@@ -38,6 +38,14 @@ impl MemStats {
 pub struct Dram {
     cfg: DramConfig,
     iface_free: Vec<u64>,
+    /// `interfaces - 1` when the interface count is a power of two —
+    /// striping then avoids a hardware divide per transfer (streaming
+    /// kernels issue one or two transfers per missed line).
+    iface_mask: Option<usize>,
+    /// Precomputed occupancy of a full cache-line transfer, the only
+    /// size the cache ever requests.
+    line_bytes: u32,
+    line_occupancy: u64,
 }
 
 impl Dram {
@@ -46,6 +54,11 @@ impl Dram {
         Self {
             cfg,
             iface_free: vec![0; cfg.interfaces as usize],
+            iface_mask: (cfg.interfaces as usize)
+                .is_power_of_two()
+                .then(|| cfg.interfaces as usize - 1),
+            line_bytes: 0,
+            line_occupancy: 0,
         }
     }
 
@@ -53,9 +66,16 @@ impl Dram {
     /// returns the completion time. Lines are striped across
     /// interfaces by line address.
     pub fn transfer(&mut self, now: u64, line_addr: u64, bytes: u32) -> u64 {
-        let iface = (line_addr as usize) % self.iface_free.len();
+        let iface = match self.iface_mask {
+            Some(m) => (line_addr as usize) & m,
+            None => (line_addr as usize) % self.iface_free.len(),
+        };
         let start = now.max(self.iface_free[iface]);
-        let occupancy = u64::from(bytes.div_ceil(self.cfg.bytes_per_cycle));
+        let occupancy = if bytes == self.line_bytes {
+            self.line_occupancy
+        } else {
+            u64::from(bytes.div_ceil(self.cfg.bytes_per_cycle))
+        };
         self.iface_free[iface] = start + occupancy;
         start + occupancy + u64::from(self.cfg.latency)
     }
@@ -76,17 +96,36 @@ pub struct SharedCache {
     bank_free: Vec<u64>,
     dram: Dram,
     stats: MemStats,
+    /// Shift/mask address split, valid when `pow2` is set — the
+    /// address split then runs on shifts/masks instead of three
+    /// hardware divides per access, behind a *single* predicted
+    /// branch (this is the hottest loop of the whole simulator; the
+    /// default 64 B / 512-line / 4-bank geometry always takes the
+    /// fast path).
+    line_shift: u32,
+    index_mask: usize,
+    bank_mask: usize,
+    pow2: bool,
 }
 
 impl SharedCache {
     /// Creates a cold cache in front of `dram`.
-    pub fn new(cfg: CacheConfig, dram: Dram) -> Self {
+    pub fn new(cfg: CacheConfig, mut dram: Dram) -> Self {
+        dram.line_bytes = cfg.line_bytes;
+        dram.line_occupancy = u64::from(cfg.line_bytes.div_ceil(dram.cfg.bytes_per_cycle));
+        let pow2 = cfg.line_bytes.is_power_of_two()
+            && (cfg.lines() as usize).is_power_of_two()
+            && (cfg.banks as usize).is_power_of_two();
         Self {
             lines: vec![Line::default(); cfg.lines() as usize],
             bank_free: vec![0; cfg.banks as usize],
             cfg,
             dram,
             stats: MemStats::default(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            index_mask: (cfg.lines() as usize).wrapping_sub(1),
+            bank_mask: (cfg.banks as usize).wrapping_sub(1),
+            pow2,
         }
     }
 
@@ -102,10 +141,23 @@ impl SharedCache {
 
     /// Performs one line access (read or write) starting no earlier
     /// than `now`; returns when the data is available.
+    ///
+    /// The hit path is kept small and inlinable — on warmed working
+    /// sets it is the single most-executed piece of code in the
+    /// simulator — and the fill/writeback machinery lives in a cold
+    /// out-of-line helper.
+    #[inline]
     pub fn access(&mut self, now: u64, byte_addr: u64, is_write: bool) -> u64 {
-        let line_addr = byte_addr / u64::from(self.cfg.line_bytes);
-        let index = (line_addr as usize) % self.lines.len();
-        let bank = index % self.bank_free.len();
+        let (line_addr, index, bank);
+        if self.pow2 {
+            line_addr = byte_addr >> self.line_shift;
+            index = (line_addr as usize) & self.index_mask;
+            bank = index & self.bank_mask;
+        } else {
+            line_addr = byte_addr / u64::from(self.cfg.line_bytes);
+            index = (line_addr as usize) % self.lines.len();
+            bank = index % self.bank_free.len();
+        }
 
         // One access per cycle per bank.
         let start = now.max(self.bank_free[bank]);
@@ -120,8 +172,13 @@ impl SharedCache {
             }
             return start + u64::from(self.cfg.hit_latency);
         }
+        self.access_miss(start, line_addr, index, is_write)
+    }
 
-        // Miss: write back the victim if dirty, then fill.
+    /// Miss path: write back the victim if dirty, then fill.
+    #[cold]
+    fn access_miss(&mut self, start: u64, line_addr: u64, index: usize, is_write: bool) -> u64 {
+        let line = self.lines[index];
         if line.valid && line.dirty {
             self.stats.writebacks += 1;
             let victim_addr = line.tag;

@@ -61,4 +61,12 @@ echo "== smoke (seeded fault campaign, 64 injections/policy) =="
 # checked-in BENCH_fault.json from the full (non-smoke) run.
 cargo run --release -p ggpu-bench --bin fault_bench -- --smoke --out target/BENCH_fault_smoke.json
 
+echo "== smoke (SIMT backend agreement + throughput) =="
+# Runs every shipped kernel on both execution backends (scalar
+# reference and SoA fast path) and *asserts* their RunStats are
+# bit-identical before reporting host throughput — this is the CI
+# gate for the data-oriented engine. Tracked baseline is the
+# checked-in BENCH_simt.json from the full (non-smoke) run.
+cargo run --release -p ggpu-bench --bin simt_bench -- --smoke --out target/BENCH_simt_smoke.json
+
 echo "== ci green =="
