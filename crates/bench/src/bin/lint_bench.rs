@@ -1,0 +1,164 @@
+//! Host-speed benchmark of the kernel static analyzer: the PR-2
+//! syntactic linter (`verify_program_classic`) against the abstract
+//! interpreter that now fronts it (`verify_program`, the monotone
+//! interval × alignment × lane-affine fixpoint behind K010–K012),
+//! over the 8 shipped kernels (the paper's Table III seven plus the
+//! LRAM-tiled `mat_mul_local`).
+//!
+//! The absint pass is on every hot verification path — kernel load,
+//! planner pre-flight, fault-campaign setup — so its cost relative to
+//! the old syntactic walk is the number this binary pins. Each kernel
+//! is assembled once outside the timed region; only the verification
+//! passes are timed, best-of-`reps`. Both passes must agree that every
+//! shipped kernel is clean, which doubles as a regression gate.
+//!
+//! Results go to `BENCH_lint.json` (override with `--out PATH`);
+//! `--smoke` runs a single repetition, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin lint_bench
+//! cargo run --release -p ggpu-bench --bin lint_bench -- --smoke --out target/BENCH_lint_smoke.json
+//! ```
+
+use ggpu_isa::Inst;
+use ggpu_kernels::bench::{self, Bench};
+use ggpu_lint::{verify_program, verify_program_classic, LintConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Row {
+    kernel: &'static str,
+    insts: usize,
+    classic_ns: u128,
+    absint_ns: u128,
+    diagnostics: usize,
+}
+
+impl Row {
+    /// Cost of the abstract interpreter relative to the syntactic
+    /// baseline (> 1 means absint is slower, as expected).
+    fn ratio(&self) -> f64 {
+        self.absint_ns as f64 / self.classic_ns.max(1) as f64
+    }
+}
+
+/// Best-of-`reps` wall time of one verification pass. The inner loop
+/// runs the pass `batch` times per repetition so sub-microsecond
+/// passes still get a stable clock reading.
+fn time_pass(reps: u32, batch: u32, mut pass: impl FnMut()) -> u128 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..batch {
+            pass();
+        }
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    (best / batch).as_nanos()
+}
+
+fn assemble_kernel(b: &Bench) -> Vec<Inst> {
+    ggpu_isa::assemble(b.gpu_asm())
+        .unwrap_or_else(|e| panic!("{} failed to assemble: {e:?}", b.name))
+}
+
+fn render_json(reps: u32, batch: u32, rows: &[Row], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"lint\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"batch\": {batch},");
+    out.push_str("  \"kernels\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"instructions\": {}, \
+             \"wall_ns\": {{\"classic\": {}, \"absint\": {}}}, \
+             \"absint_cost_ratio\": {:.2}, \"diagnostics\": {}}}",
+            r.kernel,
+            r.insts,
+            r.classic_ns,
+            r.absint_ns,
+            r.ratio(),
+            r.diagnostics,
+        );
+        out.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_lint.json".into());
+
+    let reps: u32 = if smoke { 1 } else { 20 };
+    let batch: u32 = if smoke { 10 } else { 100 };
+    let config = LintConfig::new();
+
+    let mut kernels: Vec<Bench> = bench::all().to_vec();
+    kernels.push(bench::mat_mul_local());
+
+    let mut rows = Vec::new();
+    for b in &kernels {
+        let program = assemble_kernel(b);
+        eprintln!("linting {} ({} insts) ...", b.name, program.len());
+
+        // Shipped-kernel cleanliness gate: both the baseline and the
+        // absint pass must produce a deny-free report before either
+        // is worth timing.
+        let classic = verify_program_classic(b.name, &program, &config);
+        let absint = verify_program(b.name, &program, &config);
+        assert_eq!(
+            classic.denial_count(),
+            0,
+            "{}: classic pass flagged a shipped kernel",
+            b.name
+        );
+        assert_eq!(
+            absint.denial_count(),
+            0,
+            "{}: absint pass flagged a shipped kernel",
+            b.name
+        );
+
+        let classic_ns = time_pass(reps, batch, || {
+            std::hint::black_box(verify_program_classic(b.name, &program, &config));
+        });
+        let absint_ns = time_pass(reps, batch, || {
+            std::hint::black_box(verify_program(b.name, &program, &config));
+        });
+        eprintln!(
+            "  classic {classic_ns} ns, absint {absint_ns} ns ({:.2}x)",
+            absint_ns as f64 / classic_ns.max(1) as f64
+        );
+        rows.push(Row {
+            kernel: b.name,
+            insts: program.len(),
+            classic_ns,
+            absint_ns,
+            diagnostics: absint.diagnostics.len(),
+        });
+    }
+
+    let worst = rows.iter().map(|r| r.ratio()).fold(0.0_f64, f64::max);
+    eprintln!(
+        "all {} shipped kernels clean under both passes; worst absint cost ratio {worst:.2}x",
+        rows.len()
+    );
+
+    let json = render_json(reps, batch, &rows, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

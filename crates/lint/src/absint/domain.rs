@@ -1,0 +1,837 @@
+//! Abstract domains of the kernel abstract interpreter.
+//!
+//! One abstract value ([`AbsVal`]) is a reduced product of four
+//! component domains, each sound for the ISA's wrapping 32-bit
+//! arithmetic:
+//!
+//! * [`Interval`] — unsigned value range `[lo, hi]`. Wrapping ops are
+//!   computed in `i64` and re-normalized; a result that cannot be
+//!   shifted back into one unsigned window collapses to TOP.
+//!   `hi == u32::MAX` doubles as the "no real upper bound" sentinel
+//!   the bounds check treats as *unbounded* rather than *possibly
+//!   out of bounds*.
+//! * [`Align`] — congruence `value ≡ r (mod m)` for a power of two
+//!   `m ≤ 4096`. Because `m` divides `2^32`, the congruence survives
+//!   wrapping add/sub/mul exactly.
+//! * [`Lane`] — lane-affine form: the value of lane `l` is
+//!   `a·idx(l) + c (mod 2^32)` where `idx` is the work-item index,
+//!   `c` is lane-invariant and the coefficient `a` lies in a small
+//!   signed interval. `Affine(0,0)` is "uniform" (every lane equal),
+//!   subsuming the old uniform/varying bit; `Varying` is TOP.
+//! * symbolic expression ([`Expr`]) — a depth-capped expression DAG
+//!   over launch-invariant leaves and convergent loads, used by the
+//!   race check's determined-by-address argument.
+
+use ggpu_isa::inst::AluOp;
+use std::rc::Rc;
+
+/// Modulus cap of the alignment domain (`m ≤ 4096`, one LRAM page).
+pub const ALIGN_CAP: u32 = 4096;
+
+/// Lane-affine coefficients beyond this magnitude collapse to
+/// [`Lane::Varying`] (keeps coefficient arithmetic far from `i64`
+/// overflow).
+const COEFF_CAP: i64 = 1 << 40;
+
+/// Maximum symbolic-expression depth; deeper trees become opaque.
+/// Kept small so structural comparison stays cheap even without
+/// sharing.
+const SYM_DEPTH_CAP: u32 = 12;
+
+// ---------------------------------------------------------------------
+// Interval
+
+/// Unsigned value-range domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u32,
+    /// Largest possible value.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The full range (no information).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    /// The exact value `v`.
+    pub const fn singleton(v: u32) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// `Some(v)` if the interval pins one value.
+    pub fn as_singleton(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// `true` when the upper bound is the sentinel "no real bound".
+    pub fn is_unbounded(self) -> bool {
+        self.hi == u32::MAX
+    }
+
+    /// `true` if `v` lies in the range.
+    pub fn contains(self, v: u32) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound.
+    pub fn join(self, o: Self) -> Self {
+        Self {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Classic interval widening: any bound that grew jumps to its
+    /// extreme. `next` must already include `self` (it is the join).
+    pub fn widen(self, next: Self) -> Self {
+        Self {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: if next.hi > self.hi { u32::MAX } else { self.hi },
+        }
+    }
+
+    /// Renormalizes an `i64` pre-wrap range into the unsigned window.
+    /// The whole range is shifted by one common multiple of `2^32`
+    /// (wrapping moves every value the same way when the range does
+    /// not straddle a wrap boundary); a straddling range is TOP.
+    fn norm(lo: i64, hi: i64) -> Self {
+        const M: i64 = 1 << 32;
+        if hi - lo >= M {
+            return Self::TOP;
+        }
+        let k = lo.div_euclid(M);
+        let (lo, hi) = (lo - k * M, hi - k * M);
+        if hi < M {
+            Self {
+                lo: lo as u32,
+                hi: hi as u32,
+            }
+        } else {
+            Self::TOP
+        }
+    }
+
+    /// Smallest all-ones mask covering `h` (`0b111…1 ≥ h`).
+    fn mask_cover(h: u32) -> u32 {
+        if h == 0 {
+            0
+        } else {
+            u32::MAX >> h.leading_zeros()
+        }
+    }
+
+    /// Transfer function of one ALU op.
+    pub fn apply(op: AluOp, x: Self, y: Self) -> Self {
+        let (xl, xh) = (i64::from(x.lo), i64::from(x.hi));
+        let (yl, yh) = (i64::from(y.lo), i64::from(y.hi));
+        match op {
+            AluOp::Add => Self::norm(xl + yl, xh + yh),
+            AluOp::Sub => Self::norm(xl - yh, xh - yl),
+            AluOp::Mul => {
+                let max = u64::from(x.hi) * u64::from(y.hi);
+                if max <= u64::from(u32::MAX) {
+                    Self {
+                        lo: x.lo * y.lo,
+                        hi: max as u32,
+                    }
+                } else {
+                    Self::TOP
+                }
+            }
+            AluOp::Divu => {
+                // x/0 is all-ones (RISC-V M convention): the range
+                // must cover MAX as soon as zero is possible.
+                match (x.lo.checked_div(y.hi), x.hi.checked_div(y.lo)) {
+                    (Some(lo), Some(hi)) => Self { lo, hi },
+                    (Some(_), None) => Self::TOP,
+                    (None, _) => Self::singleton(u32::MAX),
+                }
+            }
+            AluOp::Remu => {
+                if y.lo >= 1 && x.hi < y.lo {
+                    x // remainder is a no-op: x < y everywhere
+                } else if y.lo >= 1 {
+                    Self {
+                        lo: 0,
+                        hi: x.hi.min(y.hi - 1),
+                    }
+                } else {
+                    // y may be zero, where x % 0 = x.
+                    Self { lo: 0, hi: x.hi }
+                }
+            }
+            AluOp::And => Self {
+                lo: 0,
+                hi: x.hi.min(y.hi),
+            },
+            AluOp::Or => Self {
+                lo: x.lo.max(y.lo),
+                hi: Self::mask_cover(x.hi.max(y.hi)),
+            },
+            AluOp::Xor => Self {
+                lo: 0,
+                hi: Self::mask_cover(x.hi.max(y.hi)),
+            },
+            AluOp::Sll => {
+                // The machine masks the shift amount to 5 bits.
+                if let Some(c) = y.as_singleton() {
+                    let c = c & 31;
+                    if (u64::from(x.hi)) << c <= u64::from(u32::MAX) {
+                        Self {
+                            lo: x.lo << c,
+                            hi: x.hi << c,
+                        }
+                    } else {
+                        Self::TOP
+                    }
+                } else if y.hi <= 31 && (u64::from(x.hi)) << y.hi <= u64::from(u32::MAX) {
+                    // Unmasked range of shifts: x << c is monotone in c.
+                    Self {
+                        lo: x.lo << y.lo,
+                        hi: x.hi << y.hi,
+                    }
+                } else if x.hi == 0 {
+                    Self::singleton(0)
+                } else {
+                    Self::TOP
+                }
+            }
+            AluOp::Srl => {
+                if let Some(c) = y.as_singleton() {
+                    let c = c & 31;
+                    Self {
+                        lo: x.lo >> c,
+                        hi: x.hi >> c,
+                    }
+                } else {
+                    Self { lo: 0, hi: x.hi }
+                }
+            }
+            AluOp::Sra => {
+                // Only meaningful on sign-free ranges; a possible sign
+                // bit smears ones from the top.
+                if x.hi < 1 << 31 {
+                    if let Some(c) = y.as_singleton() {
+                        let c = c & 31;
+                        Self {
+                            lo: x.lo >> c,
+                            hi: x.hi >> c,
+                        }
+                    } else {
+                        Self { lo: 0, hi: x.hi }
+                    }
+                } else {
+                    Self::TOP
+                }
+            }
+            AluOp::Slt => {
+                if x.hi < 1 << 31 && y.hi < 1 << 31 {
+                    // Both operands non-negative as signed: the signed
+                    // compare coincides with the unsigned one.
+                    Self::compare(x, y)
+                } else {
+                    Self { lo: 0, hi: 1 }
+                }
+            }
+            AluOp::Sltu => Self::compare(x, y),
+        }
+    }
+
+    /// Range of `x < y` when the order of the ranges decides it.
+    fn compare(x: Self, y: Self) -> Self {
+        if x.hi < y.lo {
+            Self::singleton(1)
+        } else if x.lo >= y.hi {
+            Self::singleton(0)
+        } else {
+            Self { lo: 0, hi: 1 }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Align
+
+/// Congruence domain: `value ≡ r (mod m)`, `m` a power of two.
+///
+/// Soundness under wrapping: `m` divides `2^32`, so reduction mod
+/// `2^32` preserves every congruence mod `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Align {
+    /// Power-of-two modulus, `1 ≤ m ≤ 4096`. `m == 1` is TOP.
+    pub m: u32,
+    /// Residue, `r < m`.
+    pub r: u32,
+}
+
+impl Align {
+    /// No alignment information.
+    pub const UNKNOWN: Align = Align { m: 1, r: 0 };
+
+    /// Exact constant `v` (full congruence up to the modulus cap).
+    pub fn constant(v: u32) -> Self {
+        Self {
+            m: ALIGN_CAP,
+            r: v % ALIGN_CAP,
+        }
+    }
+
+    /// Least upper bound: the residues must agree modulo the result,
+    /// so the joined modulus is the largest power of two dividing both
+    /// moduli and the residue difference.
+    pub fn join(self, o: Self) -> Self {
+        let m = self.m.min(o.m);
+        let (r1, r2) = (self.r & (m - 1), o.r & (m - 1));
+        if r1 == r2 {
+            return Self { m, r: r1 };
+        }
+        let d = r1.abs_diff(r2);
+        let g = m.min(1 << d.trailing_zeros().min(31));
+        Self {
+            m: g,
+            r: r1 & (g - 1),
+        }
+    }
+
+    /// Transfer function. `y_rng` supplies the value range of the
+    /// second operand (shift amounts need a known constant).
+    pub fn apply(op: AluOp, x: Self, y: Self, y_rng: Interval) -> Self {
+        match op {
+            AluOp::Add => {
+                let m = x.m.min(y.m);
+                Self {
+                    m,
+                    r: (x.r + y.r) & (m - 1),
+                }
+            }
+            AluOp::Sub => {
+                let m = x.m.min(y.m);
+                Self {
+                    m,
+                    r: x.r.wrapping_sub(y.r) & (m - 1),
+                }
+            }
+            AluOp::Mul => {
+                if x.r == 0 && y.r == 0 {
+                    Self {
+                        m: (x.m * y.m).min(ALIGN_CAP),
+                        r: 0,
+                    }
+                } else if x.r == 0 {
+                    Self { m: x.m, r: 0 }
+                } else if y.r == 0 {
+                    Self { m: y.m, r: 0 }
+                } else {
+                    let m = x.m.min(y.m);
+                    Self {
+                        m,
+                        r: (x.r * y.r) & (m - 1),
+                    }
+                }
+            }
+            AluOp::And => {
+                // A zero residue means the low log2(m) bits are zero,
+                // which AND preserves from either side.
+                if x.r == 0 && y.r == 0 {
+                    Self {
+                        m: x.m.max(y.m),
+                        r: 0,
+                    }
+                } else if x.r == 0 {
+                    Self { m: x.m, r: 0 }
+                } else if y.r == 0 {
+                    Self { m: y.m, r: 0 }
+                } else {
+                    Self::UNKNOWN
+                }
+            }
+            AluOp::Or | AluOp::Xor => {
+                // Power-of-two modulus: the residue is literally the
+                // low bits, which OR/XOR combine bitwise.
+                let m = x.m.min(y.m);
+                let (r1, r2) = (x.r & (m - 1), y.r & (m - 1));
+                let r = if op == AluOp::Or { r1 | r2 } else { r1 ^ r2 };
+                Self { m, r }
+            }
+            AluOp::Sll => {
+                if let Some(c) = y_rng.as_singleton() {
+                    let c = c & 31;
+                    let m = ((u64::from(x.m)) << c).min(u64::from(ALIGN_CAP)) as u32;
+                    let r = ((u64::from(x.r)) << c) as u32 & (m - 1);
+                    Self { m, r }
+                } else if x.r == 0 {
+                    // Left shifts keep multiples of m multiples of m.
+                    Self { m: x.m, r: 0 }
+                } else {
+                    Self::UNKNOWN
+                }
+            }
+            _ => Self::UNKNOWN,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane
+
+/// Lane-affine domain: per-lane value is `a·idx + c (mod 2^32)` with
+/// the coefficient `a` in a signed interval shared by all lanes and
+/// the offset `c` lane-invariant (the offset's *value* lives in the
+/// other domains). `Affine(0, 0)` means lane-uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Coefficient interval `[lo, hi]` on the work-item index.
+    Affine {
+        /// Smallest possible coefficient.
+        lo: i64,
+        /// Largest possible coefficient.
+        hi: i64,
+    },
+    /// Not (provably) affine in the work-item index.
+    Varying,
+}
+
+impl Lane {
+    /// Every lane holds the same value.
+    pub const UNIFORM: Lane = Lane::Affine { lo: 0, hi: 0 };
+
+    /// The work-item index itself (`lid`/`gid`: coefficient one).
+    pub const ID: Lane = Lane::Affine { lo: 1, hi: 1 };
+
+    /// `true` when provably lane-uniform.
+    pub fn is_uniform(self) -> bool {
+        self == Self::UNIFORM
+    }
+
+    /// The exact coefficient, if the interval pins one.
+    pub fn singleton_coeff(self) -> Option<i64> {
+        match self {
+            Lane::Affine { lo, hi } if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Builds an affine value, collapsing oversized coefficients.
+    fn affine(lo: i64, hi: i64) -> Self {
+        if lo.abs() > COEFF_CAP || hi.abs() > COEFF_CAP {
+            Lane::Varying
+        } else {
+            Lane::Affine { lo, hi }
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, o: Self) -> Self {
+        match (self, o) {
+            (Lane::Affine { lo: a, hi: b }, Lane::Affine { lo: c, hi: d }) => {
+                Self::affine(a.min(c), b.max(d))
+            }
+            _ => Lane::Varying,
+        }
+    }
+
+    /// Widening: a coefficient interval that keeps growing goes
+    /// straight to `Varying`.
+    pub fn widen(self, next: Self) -> Self {
+        if self == next {
+            self
+        } else {
+            Lane::Varying
+        }
+    }
+
+    /// Scales a coefficient interval by a non-negative unsigned value
+    /// range (multiplication by a lane-uniform operand).
+    fn scale(lo: i64, hi: i64, by: Interval) -> Self {
+        let (bl, bh) = (i128::from(by.lo), i128::from(by.hi));
+        let corners = [
+            i128::from(lo) * bl,
+            i128::from(lo) * bh,
+            i128::from(hi) * bl,
+            i128::from(hi) * bh,
+        ];
+        let (mut min, mut max) = (corners[0], corners[0]);
+        for c in corners {
+            min = min.min(c);
+            max = max.max(c);
+        }
+        if min.abs() > i128::from(COEFF_CAP) || max.abs() > i128::from(COEFF_CAP) {
+            Lane::Varying
+        } else {
+            Lane::Affine {
+                lo: min as i64,
+                hi: max as i64,
+            }
+        }
+    }
+
+    /// Transfer function; value ranges of the operands feed the
+    /// coefficient scaling of `Mul`/`Sll`.
+    pub fn apply(op: AluOp, x: Self, y: Self, x_rng: Interval, y_rng: Interval) -> Self {
+        if x.is_uniform() && y.is_uniform() {
+            // The same function of the same inputs on every lane.
+            return Self::UNIFORM;
+        }
+        match (op, x, y) {
+            (AluOp::Add, Lane::Affine { lo: a, hi: b }, Lane::Affine { lo: c, hi: d }) => {
+                Self::affine(a + c, b + d)
+            }
+            (AluOp::Sub, Lane::Affine { lo: a, hi: b }, Lane::Affine { lo: c, hi: d }) => {
+                Self::affine(a - d, b - c)
+            }
+            (AluOp::Mul, Lane::Affine { lo, hi }, u) if u.is_uniform() => {
+                Self::scale(lo, hi, y_rng)
+            }
+            (AluOp::Mul, u, Lane::Affine { lo, hi }) if u.is_uniform() => {
+                Self::scale(lo, hi, x_rng)
+            }
+            (AluOp::Sll, Lane::Affine { lo, hi }, u) if u.is_uniform() => {
+                match y_rng.as_singleton() {
+                    Some(c) => Self::scale(lo, hi, Interval::singleton(1 << (c & 31))),
+                    None => Lane::Varying,
+                }
+            }
+            _ => Lane::Varying,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbolic expressions
+
+/// Expression node kind; children are shared subtrees. Compared with
+/// [`expr_eq`], which short-circuits on shared subtrees — `ExprKind`
+/// deliberately does not implement `PartialEq`.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Literal constant.
+    Const(u32),
+    /// Kernel parameter slot (launch-invariant).
+    Param(u8),
+    /// Local work-item id.
+    Lid,
+    /// Global work-item id.
+    Gid,
+    /// Workgroup id (lane-invariant).
+    GroupId,
+    /// Workgroup size (launch-invariant).
+    GroupSize,
+    /// Global size (launch-invariant).
+    GlobalSize,
+    /// ALU op over two subexpressions.
+    Op(AluOp, Rc<Expr>, Rc<Expr>),
+    /// ALU op with an immediate second operand.
+    OpImm(AluOp, Rc<Expr>, u32),
+    /// Global load at instruction `site` from the given address
+    /// expression. Only built for loads at lane-convergent sites, so
+    /// within one wavefront every lane's value comes from the *same*
+    /// issue: equal addresses imply equal loaded values.
+    Load(usize, Rc<Expr>),
+}
+
+/// A depth-capped symbolic expression.
+#[derive(Debug)]
+pub struct Expr {
+    /// Node kind.
+    pub kind: ExprKind,
+    depth: u32,
+}
+
+impl Expr {
+    fn leaf(kind: ExprKind) -> Rc<Expr> {
+        Rc::new(Expr { kind, depth: 1 })
+    }
+
+    /// Constant leaf.
+    pub fn constant(v: u32) -> Rc<Expr> {
+        Self::leaf(ExprKind::Const(v))
+    }
+
+    /// Parameter leaf.
+    pub fn param(idx: u8) -> Rc<Expr> {
+        Self::leaf(ExprKind::Param(idx))
+    }
+
+    /// Id-source leaf.
+    pub fn id_leaf(kind: ExprKind) -> Rc<Expr> {
+        Self::leaf(kind)
+    }
+
+    /// ALU node; `None` past the depth cap.
+    pub fn op(op: AluOp, a: &Rc<Expr>, b: &Rc<Expr>) -> Option<Rc<Expr>> {
+        let depth = a.depth.max(b.depth) + 1;
+        (depth <= SYM_DEPTH_CAP).then(|| {
+            Rc::new(Expr {
+                kind: ExprKind::Op(op, Rc::clone(a), Rc::clone(b)),
+                depth,
+            })
+        })
+    }
+
+    /// ALU-immediate node; `None` past the depth cap.
+    pub fn op_imm(op: AluOp, a: &Rc<Expr>, imm: u32) -> Option<Rc<Expr>> {
+        let depth = a.depth + 1;
+        (depth <= SYM_DEPTH_CAP).then(|| {
+            Rc::new(Expr {
+                kind: ExprKind::OpImm(op, Rc::clone(a), imm),
+                depth,
+            })
+        })
+    }
+
+    /// Convergent-load node; `None` past the depth cap.
+    pub fn load(site: usize, addr: &Rc<Expr>) -> Option<Rc<Expr>> {
+        let depth = addr.depth + 1;
+        (depth <= SYM_DEPTH_CAP).then(|| {
+            Rc::new(Expr {
+                kind: ExprKind::Load(site, Rc::clone(addr)),
+                depth,
+            })
+        })
+    }
+}
+
+/// Structural equality with a pointer-identity fast path (joins keep
+/// the shared subtree, so most comparisons short-circuit).
+pub fn expr_eq(a: &Rc<Expr>, b: &Rc<Expr>) -> bool {
+    if Rc::ptr_eq(a, b) {
+        return true;
+    }
+    if a.depth != b.depth {
+        return false;
+    }
+    match (&a.kind, &b.kind) {
+        (ExprKind::Const(x), ExprKind::Const(y)) => x == y,
+        (ExprKind::Param(x), ExprKind::Param(y)) => x == y,
+        (ExprKind::Lid, ExprKind::Lid)
+        | (ExprKind::Gid, ExprKind::Gid)
+        | (ExprKind::GroupId, ExprKind::GroupId)
+        | (ExprKind::GroupSize, ExprKind::GroupSize)
+        | (ExprKind::GlobalSize, ExprKind::GlobalSize) => true,
+        (ExprKind::Op(o1, a1, b1), ExprKind::Op(o2, a2, b2)) => {
+            o1 == o2 && expr_eq(a1, a2) && expr_eq(b1, b2)
+        }
+        (ExprKind::OpImm(o1, a1, i1), ExprKind::OpImm(o2, a2, i2)) => {
+            o1 == o2 && i1 == i2 && expr_eq(a1, a2)
+        }
+        (ExprKind::Load(s1, a1), ExprKind::Load(s2, a2)) => s1 == s2 && expr_eq(a1, a2),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Product value
+
+/// The reduced product of all four domains: one abstract register.
+#[derive(Debug, Clone)]
+pub struct AbsVal {
+    /// Value range.
+    pub rng: Interval,
+    /// Power-of-two congruence.
+    pub align: Align,
+    /// Lane-affine shape.
+    pub lane: Lane,
+    /// Symbolic expression, if still exact along every path.
+    pub sym: Option<Rc<Expr>>,
+}
+
+impl PartialEq for AbsVal {
+    fn eq(&self, o: &Self) -> bool {
+        self.rng == o.rng
+            && self.align == o.align
+            && self.lane == o.lane
+            && match (&self.sym, &o.sym) {
+                (None, None) => true,
+                (Some(a), Some(b)) => expr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl AbsVal {
+    /// The exact constant `v`.
+    pub fn constant(v: u32) -> Self {
+        Self {
+            rng: Interval::singleton(v),
+            align: Align::constant(v),
+            lane: Lane::UNIFORM,
+            sym: Some(Expr::constant(v)),
+        }
+    }
+
+    /// Least upper bound; symbolic parts survive only when equal.
+    pub fn join(&self, o: &Self) -> Self {
+        let sym = match (&self.sym, &o.sym) {
+            (Some(a), Some(b)) if expr_eq(a, b) => Some(Rc::clone(a)),
+            _ => None,
+        };
+        Self {
+            rng: self.rng.join(o.rng),
+            align: self.align.join(o.align),
+            lane: self.lane.join(o.lane),
+            sym,
+        }
+    }
+
+    /// Widening (applied at back-edge targets after a short delay).
+    /// `next` must be the join of `self` with the incoming state.
+    pub fn widen(&self, next: &Self) -> Self {
+        let sym = match (&self.sym, &next.sym) {
+            (Some(a), Some(b)) if expr_eq(a, b) => Some(Rc::clone(a)),
+            _ => None,
+        };
+        Self {
+            rng: self.rng.widen(next.rng),
+            align: next.align, // finite lattice: join suffices
+            lane: self.lane.widen(next.lane),
+            sym,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_wrapping_add_sub() {
+        let a = Interval { lo: 10, hi: 20 };
+        let b = Interval::singleton(5);
+        assert_eq!(
+            Interval::apply(AluOp::Add, a, b),
+            Interval { lo: 15, hi: 25 }
+        );
+        // 0 - 1 wraps to MAX on every value: still a singleton.
+        let z = Interval::singleton(0);
+        let one = Interval::singleton(1);
+        assert_eq!(
+            Interval::apply(AluOp::Sub, z, one),
+            Interval::singleton(u32::MAX)
+        );
+        // Both endpoints wrap by the same 2^32 multiple: still exact.
+        let near = Interval {
+            lo: u32::MAX - 1,
+            hi: u32::MAX,
+        };
+        let two = Interval::singleton(2);
+        assert_eq!(
+            Interval::apply(AluOp::Add, near, two),
+            Interval { lo: 0, hi: 1 }
+        );
+        // A sum whose endpoints wrap by different multiples is TOP.
+        let wide = Interval {
+            lo: 0,
+            hi: u32::MAX,
+        };
+        assert_eq!(Interval::apply(AluOp::Add, wide, two), Interval::TOP);
+    }
+
+    #[test]
+    fn interval_masking_and_shifts() {
+        let x = Interval { lo: 0, hi: 511 };
+        let m = Interval::TOP;
+        assert_eq!(
+            Interval::apply(AluOp::And, x, m),
+            Interval { lo: 0, hi: 511 }
+        );
+        let c = Interval::singleton(2);
+        assert_eq!(
+            Interval::apply(AluOp::Sll, x, c),
+            Interval { lo: 0, hi: 2044 }
+        );
+        // Shift that can overflow goes to TOP.
+        let big = Interval { lo: 0, hi: 1 << 30 };
+        let s4 = Interval::singleton(4);
+        assert_eq!(Interval::apply(AluOp::Sll, big, s4), Interval::TOP);
+    }
+
+    #[test]
+    fn interval_div_rem_conventions() {
+        let x = Interval { lo: 8, hi: 64 };
+        let maybe_zero = Interval { lo: 0, hi: 4 };
+        assert_eq!(Interval::apply(AluOp::Divu, x, maybe_zero), Interval::TOP);
+        let zero = Interval::singleton(0);
+        assert_eq!(
+            Interval::apply(AluOp::Divu, x, zero),
+            Interval::singleton(u32::MAX)
+        );
+        let y = Interval { lo: 4, hi: 8 };
+        assert_eq!(
+            Interval::apply(AluOp::Remu, x, y),
+            Interval { lo: 0, hi: 7 }
+        );
+    }
+
+    #[test]
+    fn align_tracks_word_alignment_through_arith() {
+        let lid = Align::UNKNOWN;
+        let shifted = Align::apply(AluOp::Sll, lid, Align::constant(2), Interval::singleton(2));
+        assert_eq!(shifted.m, 4);
+        assert_eq!(shifted.r, 0);
+        let base = Align { m: 4, r: 0 };
+        let sum = Align::apply(AluOp::Add, shifted, base, Interval::TOP);
+        assert_eq!(sum.m, 4);
+        assert_eq!(sum.r, 0);
+        let odd = Align::constant(2);
+        let bad = Align::apply(AluOp::Add, sum, odd, Interval::singleton(2));
+        assert_eq!(bad.m, 4);
+        assert_eq!(bad.r, 2);
+    }
+
+    #[test]
+    fn align_join_keeps_common_congruence() {
+        let a = Align::constant(8);
+        let b = Align::constant(12);
+        let j = a.join(b);
+        assert_eq!(j.m, 4, "8 and 12 agree mod 4");
+        assert_eq!(j.r, 0);
+        let c = Align::constant(9);
+        let j2 = a.join(c);
+        assert_eq!(j2.m, 1, "8 and 9 agree only mod 1");
+    }
+
+    #[test]
+    fn lane_affine_composition() {
+        let id = Lane::ID;
+        let four = Lane::UNIFORM;
+        let scaled = Lane::apply(AluOp::Sll, id, four, Interval::TOP, Interval::singleton(2));
+        assert_eq!(scaled.singleton_coeff(), Some(4));
+        let sum = Lane::apply(
+            AluOp::Add,
+            scaled,
+            Lane::UNIFORM,
+            Interval::TOP,
+            Interval::TOP,
+        );
+        assert_eq!(sum.singleton_coeff(), Some(4));
+        let masked = Lane::apply(AluOp::And, id, Lane::UNIFORM, Interval::TOP, Interval::TOP);
+        assert_eq!(masked, Lane::Varying);
+        assert!(Lane::apply(
+            AluOp::Xor,
+            Lane::UNIFORM,
+            Lane::UNIFORM,
+            Interval::TOP,
+            Interval::TOP
+        )
+        .is_uniform());
+    }
+
+    #[test]
+    fn expr_depth_cap_and_equality() {
+        let a = Expr::id_leaf(ExprKind::Lid);
+        let b = Expr::id_leaf(ExprKind::Lid);
+        assert!(expr_eq(&a, &b));
+        let mut e = a;
+        for i in 0..SYM_DEPTH_CAP + 2 {
+            match Expr::op_imm(AluOp::Add, &e, i) {
+                Some(next) => e = next,
+                None => return, // hit the cap as intended
+            }
+        }
+        panic!("depth cap never engaged");
+    }
+}

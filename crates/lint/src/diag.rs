@@ -67,6 +67,17 @@ pub enum Code {
     K008,
     /// Empty program (the very first fetch faults).
     K009,
+    /// Out-of-bounds memory access proven (deny) or possible (capped
+    /// at warn) by the abstract interpreter's value-range domain.
+    K010,
+    /// Misaligned word access proven (deny) or possible (capped at
+    /// warn) by the stride/alignment domain.
+    K011,
+    /// Flow-sensitive local-memory race: a `swl` whose address is not
+    /// provably lane-distinct stores a value that is neither
+    /// lane-uniform nor determined by the address. Replaces K007's
+    /// syntactic check.
+    K012,
     /// Duplicate name: module, instance or macro.
     N001,
     /// Dangling reference: a child instance or a timing-path endpoint
@@ -93,7 +104,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 20] = [
         Code::K001,
         Code::K002,
         Code::K003,
@@ -103,6 +114,9 @@ impl Code {
         Code::K007,
         Code::K008,
         Code::K009,
+        Code::K010,
+        Code::K011,
+        Code::K012,
         Code::N001,
         Code::N002,
         Code::N003,
@@ -125,6 +139,9 @@ impl Code {
             Code::K007 => "K007",
             Code::K008 => "K008",
             Code::K009 => "K009",
+            Code::K010 => "K010",
+            Code::K011 => "K011",
+            Code::K012 => "K012",
             Code::N001 => "N001",
             Code::N002 => "N002",
             Code::N003 => "N003",
@@ -155,6 +172,9 @@ impl Code {
             | Code::K007
             | Code::K008
             | Code::K009
+            | Code::K010
+            | Code::K011
+            | Code::K012
             | Code::N001
             | Code::N002
             | Code::N003
@@ -163,6 +183,15 @@ impl Code {
             | Code::N006
             | Code::N007 => Severity::Deny,
         }
+    }
+
+    /// `true` for codes no pass emits anymore. Retired codes keep
+    /// their slot (codes are append-only) and can still be configured,
+    /// but corpus-coverage tests skip them.
+    pub fn retired(self) -> bool {
+        // K007's syntactic race check is subsumed by the
+        // flow-sensitive K012.
+        self == Code::K007
     }
 
     /// One-line description for `--help`/docs.
@@ -174,9 +203,12 @@ impl Code {
             Code::K004 => "reachable path falls through end of program",
             Code::K005 => "branch/jump target outside program",
             Code::K006 => "divergence depth exceeds threshold",
-            Code::K007 => "racey local store (uniform address, varying value)",
+            Code::K007 => "retired: syntactic local-store race, superseded by K012",
             Code::K008 => "barrier inside divergent control flow",
             Code::K009 => "empty program",
+            Code::K010 => "out-of-bounds memory access (proven or possible)",
+            Code::K011 => "misaligned word access (proven or possible)",
+            Code::K012 => "flow-sensitive local-memory race",
             Code::N001 => "duplicate module/instance/macro name",
             Code::N002 => "dangling module/macro reference",
             Code::N003 => "SRAM geometry outside compiler range",
@@ -226,7 +258,7 @@ impl fmt::Display for Diagnostic {
 
 /// Severity policy: per-code overrides plus the CI-style "warnings are
 /// denials" switch.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct LintConfig {
     /// Per-code severity overrides.
     pub overrides: BTreeMap<Code, Severity>,
@@ -308,6 +340,59 @@ impl Report {
             message: message.into(),
             inst,
             site,
+        });
+    }
+
+    /// Records a finding whose effective severity is capped at `cap`:
+    /// the policy severity applies first (an `Allow` override still
+    /// drops the finding), then the cap. Used for "possible"-tier
+    /// findings of deny-by-default codes, which must stay warnings
+    /// under the default policy yet still fail `--deny warn`.
+    pub fn push_at_most(
+        &mut self,
+        config: &LintConfig,
+        code: Code,
+        cap: Severity,
+        message: impl Into<String>,
+        inst: Option<usize>,
+        site: Option<String>,
+    ) {
+        let base = config
+            .overrides
+            .get(&code)
+            .copied()
+            .unwrap_or_else(|| code.default_severity());
+        if base == Severity::Allow {
+            return;
+        }
+        let mut severity = base.min(cap);
+        if severity == Severity::Warn && config.warnings_are_denials {
+            severity = Severity::Deny;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            inst,
+            site,
+        });
+    }
+
+    /// Sorts findings into the canonical order used by `--json`
+    /// output: by instruction (program order, subject-level findings
+    /// last), then code, then site, then message. Deterministic for
+    /// any pass ordering.
+    pub fn sort_canonical(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.inst.map_or(usize::MAX, |i| i),
+                    d.code,
+                    d.site.clone(),
+                    d.message.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
         });
     }
 
@@ -446,6 +531,66 @@ mod tests {
         assert_eq!(report.denial_count(), 1);
         assert!(report.has(Code::K004));
         assert!(!report.has(Code::K001));
+    }
+
+    #[test]
+    fn push_at_most_caps_then_promotes() {
+        // Default policy: deny-by-default code capped to warn.
+        let mut r = Report::new("x");
+        r.push_at_most(
+            &LintConfig::new(),
+            Code::K010,
+            Severity::Warn,
+            "m",
+            Some(0),
+            None,
+        );
+        assert_eq!(r.diagnostics[0].severity, Severity::Warn);
+        assert_eq!(r.denial_count(), 0);
+        // Strict policy: the capped warning is promoted back to deny.
+        let mut r = Report::new("x");
+        r.push_at_most(
+            &LintConfig::strict(),
+            Code::K010,
+            Severity::Warn,
+            "m",
+            Some(0),
+            None,
+        );
+        assert_eq!(r.denial_count(), 1);
+        // Allow override still drops it.
+        let config = LintConfig::new().with_override(Code::K010, Severity::Allow);
+        let mut r = Report::new("x");
+        r.push_at_most(&config, Code::K010, Severity::Warn, "m", Some(0), None);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn canonical_sort_is_program_order_then_code() {
+        let config = LintConfig::new();
+        let mut r = Report::new("x");
+        r.push(&config, Code::K009, "subject-level", None, None);
+        r.push(&config, Code::K005, "later", Some(4), None);
+        r.push(
+            &config,
+            Code::K002,
+            "same inst, smaller code",
+            Some(4),
+            None,
+        );
+        r.push(&config, Code::K004, "earlier", Some(1), None);
+        r.sort_canonical();
+        let order: Vec<(Option<usize>, Code)> =
+            r.diagnostics.iter().map(|d| (d.inst, d.code)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Some(1), Code::K004),
+                (Some(4), Code::K002),
+                (Some(4), Code::K005),
+                (None, Code::K009),
+            ]
+        );
     }
 
     #[test]

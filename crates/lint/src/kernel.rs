@@ -17,18 +17,20 @@
 //! * **K006** divergence-depth estimate above
 //!   [`DIVERGENCE_DEPTH_LIMIT`] (longest forward-edge path counting
 //!   lane-varying branches).
-//! * **K007** racey local store: `swl` to a lane-uniform address with
-//!   a lane-varying value — work-items of one wavefront clobber the
-//!   same LRAM word in an unordered way no barrier can serialize.
 //! * **K008** barrier inside lane-divergent control flow: a `bar`
 //!   reachable from a lane-varying branch that it does not
 //!   post-dominate (the simulator faults with `DivergentBarrier`).
+//! * **K010/K011/K012** abstract-interpretation checks — proven or
+//!   possible out-of-bounds access, misaligned word access, and the
+//!   flow-sensitive LRAM race that replaced K007's syntactic check
+//!   (see [`crate::absint`]).
 //!
 //! Soundness note used by the property suite: a program with no
 //! K004/K005/K009 findings cannot raise `SimError::PcOutOfRange`,
 //! because every reachable instruction's successors stay inside the
 //! program or end at `ret`.
 
+use crate::absint::AnalysisCtx;
 use crate::cfg::{BitSet, Cfg};
 use crate::diag::{Code, LintConfig, Report};
 use ggpu_isa::asm::{assemble, AssembleError};
@@ -113,9 +115,38 @@ fn lane_varying(program: &[Inst]) -> u32 {
     }
 }
 
-/// Verifies one assembled program under `config`, producing a
-/// [`Report`] named `name`.
+/// Verifies one assembled program under `config` with the default
+/// (launch-agnostic) analysis context, producing a [`Report`] named
+/// `name`.
 pub fn verify_program(name: &str, program: &[Inst], config: &LintConfig) -> Report {
+    verify_program_with_ctx(name, program, config, &AnalysisCtx::default())
+}
+
+/// Verifies one assembled program with launch facts pinned by `ctx`
+/// (a known parameter block or geometry sharpens the K010–K012
+/// verdicts).
+pub fn verify_program_with_ctx(
+    name: &str,
+    program: &[Inst],
+    config: &LintConfig,
+    ctx: &AnalysisCtx,
+) -> Report {
+    verify_impl(name, program, config, Some(ctx))
+}
+
+/// The PR-2-era verifier without the abstract-interpretation pass —
+/// kept callable so `lint_bench` can measure the absint overhead
+/// against the dataflow-only baseline.
+pub fn verify_program_classic(name: &str, program: &[Inst], config: &LintConfig) -> Report {
+    verify_impl(name, program, config, None)
+}
+
+fn verify_impl(
+    name: &str,
+    program: &[Inst],
+    config: &LintConfig,
+    ctx: Option<&AnalysisCtx>,
+) -> Report {
     let mut report = Report::new(name);
     if program.is_empty() {
         report.push(
@@ -179,6 +210,10 @@ pub fn verify_program(name: &str, program: &[Inst], config: &LintConfig) -> Repo
     check_uninitialized_reads(program, &cfg, &reachable, config, &mut report);
     check_dead_stores(program, &cfg, &reachable, config, &mut report);
     check_divergence(program, &cfg, &reachable, config, &mut report);
+    if let Some(ctx) = ctx {
+        crate::absint::check_kernel(program, &cfg, &reachable, ctx, config, &mut report);
+    }
+    report.sort_canonical();
     report
 }
 
@@ -315,7 +350,7 @@ fn check_dead_stores(
     }
 }
 
-/// K006/K007/K008: lane-variance-driven divergence checks.
+/// K006/K008: lane-variance-driven divergence checks.
 fn check_divergence(
     program: &[Inst],
     cfg: &Cfg,
@@ -363,27 +398,10 @@ fn check_divergence(
         );
     }
 
-    // K007: local store to a lane-uniform address with a lane-varying
-    // value.
-    for (i, inst) in program.iter().enumerate() {
-        if !reachable.contains(i) {
-            continue;
-        }
-        if let Inst::Swl { rs1, rs2, .. } = inst {
-            if !is_varying(*rs1) && is_varying(*rs2) {
-                report.push(
-                    config,
-                    Code::K007,
-                    format!(
-                        "swl writes lane-varying {rs2} to the lane-uniform address in {rs1}: \
-                         work-items race on the same local word"
-                    ),
-                    Some(i),
-                    None,
-                );
-            }
-        }
-    }
+    // The old K007 syntactic race check (uniform-address `swl` of a
+    // varying value over the taint bit) lived here; it is retired in
+    // favor of the flow-sensitive K012 in `crate::absint`, which also
+    // clears the tid-affine false positives the taint bit produced.
 
     // K008: a barrier reachable from a lane-varying branch that it
     // does not post-dominate sits in a divergent region.
@@ -468,8 +486,12 @@ mod tests {
     #[test]
     fn fallthrough_off_end_is_k004() {
         let r = lint("gid r1\naddi r2, r1, 1");
-        assert!(r.has(Code::K004));
-        assert_eq!(r.diagnostics[0].severity, Severity::Deny);
+        let k004 = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::K004)
+            .expect("K004 reported");
+        assert_eq!(k004.severity, Severity::Deny);
     }
 
     #[test]
@@ -535,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn racey_local_store_is_k007() {
+    fn racey_local_store_is_k012() {
         let r = lint(
             "
             lid  r1
@@ -544,8 +566,10 @@ mod tests {
             ret
             ",
         );
-        assert!(r.has(Code::K007));
-        // Lane-varying address: each work-item owns its word. Clean.
+        assert!(r.has(Code::K012), "{r}");
+        assert!(!r.has(Code::K007), "K007 is retired: {r}");
+        // Lane-distinct tid-affine address: each work-item owns its
+        // word — the case the old taint bit could not prove.
         let r = lint(
             "
             lid  r1
@@ -554,7 +578,7 @@ mod tests {
             ret
             ",
         );
-        assert!(!r.has(Code::K007), "{r}");
+        assert!(!r.has(Code::K012), "{r}");
     }
 
     #[test]

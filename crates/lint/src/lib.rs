@@ -5,8 +5,11 @@
 //! * the **kernel verifier** ([`kernel`]) builds a control-flow graph
 //!   over an assembled SIMT program and runs dataflow passes —
 //!   uninitialized reads, dead stores, unreachable code, missing-`ret`
-//!   paths, branch-target bounds, divergence depth, local-memory
-//!   races, divergent barriers (`K001`–`K009`);
+//!   paths, branch-target bounds, divergence depth, divergent barriers
+//!   (`K001`–`K009`) — plus the abstract interpreter ([`absint`]):
+//!   proven/possible out-of-bounds and misalignment, the
+//!   flow-sensitive local-memory race, and per-access coalescing /
+//!   bank-conflict summaries (`K010`–`K012`);
 //! * the **design linter** ([`design`]) checks netlist structure and
 //!   numerics — duplicate names, dangling references, SRAM compiler
 //!   range, activity sanity (`N001`–`N004`, `N007`), resilience
@@ -28,6 +31,8 @@
 //! assert!(report.denial_count() > 0);
 //! ```
 
+pub mod absint;
+pub mod cache;
 pub mod cfg;
 pub mod design;
 pub mod diag;
@@ -35,9 +40,16 @@ pub mod flow;
 pub mod kernel;
 pub mod shipped;
 
+pub use absint::{
+    analyze, AnalysisCtx, CoalescingClass, KernelAnalysis, MemAccessSummary, MemSpace,
+};
+pub use cache::{verify_cache_stats, verify_program_cached};
 pub use cfg::Cfg;
 pub use design::{lint_design, lint_resilience};
 pub use diag::{Code, Diagnostic, LintConfig, Report, Severity};
 pub use flow::{check_division, check_pipeline, FlowSnapshot};
-pub use kernel::{verify_asm, verify_program, DIVERGENCE_DEPTH_LIMIT};
+pub use kernel::{
+    verify_asm, verify_program, verify_program_classic, verify_program_with_ctx,
+    DIVERGENCE_DEPTH_LIMIT,
+};
 pub use shipped::{verify_shipped, SHIPPED_KERNELS};

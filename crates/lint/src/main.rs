@@ -147,9 +147,16 @@ fn collect_reports(opts: &Options) -> Result<Vec<Report>, String> {
             .map_err(|e| format!("invalid CU count {cus}: {e}"))?;
         let design =
             ggpu_rtl::generate(&config).map_err(|e| format!("generation ({cus} CUs): {e}"))?;
-        reports.push(lint_design(&design, &opts.config));
+        // Kernel reports come pre-sorted from the verifier; design
+        // reports are sorted here so the v2 JSON ordering guarantee
+        // holds for every report in the envelope.
+        let mut report = lint_design(&design, &opts.config);
+        report.sort_canonical();
+        reports.push(report);
         if let Some(policy) = &opts.resilience {
-            reports.push(lint_resilience(&design, policy, &opts.config));
+            let mut report = lint_resilience(&design, policy, &opts.config);
+            report.sort_canonical();
+            reports.push(report);
         }
     }
     Ok(reports)
@@ -175,7 +182,11 @@ fn main() -> ExitCode {
     };
     let denials: usize = reports.iter().map(Report::denial_count).sum();
     if opts.json {
-        let mut out = String::from("{\"reports\":[");
+        // schema_version history: 1 = the unversioned PR-2 envelope
+        // {"reports":[...],"denials":N}; 2 = adds this field and
+        // guarantees canonically-ordered diagnostics (program order,
+        // then code) within every report.
+        let mut out = String::from("{\"schema_version\":2,\"reports\":[");
         for (i, report) in reports.iter().enumerate() {
             if i > 0 {
                 out.push(',');

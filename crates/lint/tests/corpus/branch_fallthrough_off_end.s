@@ -3,5 +3,6 @@
 ; Expect: K004
 top:
     gid  r1
-    sw   r1, r1, 0
+    slli r2, r1, 2
+    sw   r2, r1, 0
     bne  r1, r0, top

@@ -1,0 +1,12 @@
+; Clean twin of misaligned_possible.s: the address is gid*4 plus a
+; word-aligned parameter — the alignment domain tracks the congruence
+; through the shift and the add, so no K011 fires even though the
+; exact addresses are launch-dependent.
+; Expect: clean under --deny warn
+    gid   r1
+    param r2, 1
+    slli  r3, r1, 2
+    add   r3, r3, r2
+    lw    r4, r3, 0
+    sw    r3, r4, 4
+    ret

@@ -1,0 +1,9 @@
+; Clean twin of racey_local_store.s: the address lid*4 gives every
+; work-item of a workgroup its own LRAM word, so the lane-varying
+; value is safe. The old syntactic K007 never flagged this; the
+; lane-affine domain proves it.
+; Expect: clean under --deny warn
+    lid  r1
+    slli r2, r1, 2
+    swl  r2, r1, 0
+    ret

@@ -1,0 +1,16 @@
+; Clean twin of local_race_possible.s — the mat_mul_local staging
+; idiom. The address is lid masked to a tile and scaled; colliding
+; work-items (same masked lid) load the *same* global word at a
+; convergent site and store the same value, so the collision is
+; benign: the value is determined by the address.
+; Expect: clean under --deny warn
+    lid   r1
+    param r2, 4
+    param r3, 2
+    addi  r4, r2, -1
+    and   r5, r1, r4
+    slli  r5, r5, 2
+    add   r6, r5, r3
+    lw    r7, r6, 0
+    swl   r5, r7, 0
+    ret

@@ -1,0 +1,11 @@
+; Clean twin of local_race_flow.s, pinning the retired K007's other
+; false-positive class: the stored value is loaded at a lane-convergent
+; site from a uniform address, so every lane writes the *same* word
+; with the *same* value — a benign broadcast the taint bit (which
+; marks every load lane-varying) used to flag.
+; Expect: clean under --deny warn
+    param r1, 0
+    lw    r2, r1, 0
+    addi  r3, r0, 64
+    swl   r3, r2, 0
+    ret

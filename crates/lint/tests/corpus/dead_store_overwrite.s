@@ -2,6 +2,6 @@
 ; Expect: K002
     gid  r1
     addi r2, r0, 1
-    addi r2, r1, 2
+    slli r2, r1, 2
     sw   r2, r1, 0
     ret

@@ -2,6 +2,7 @@
 ; instruction, i.e. one past the end of the program.
 ; Expect: K005
     gid  r1
-    sw   r1, r1, 0
+    slli r2, r1, 2
+    sw   r2, r1, 0
     jmp  past
 past:

@@ -1,0 +1,10 @@
+; Seeded bug: the address lid*64 stays inside the 16384-byte LRAM
+; only for local ids below 256; larger workgroups fault. The range is
+; bounded but crosses the limit, so this is a *possible* out-of-bounds
+; access: a warning at the default policy, a denial under --deny warn.
+; Expect: K010 (warn)
+    lid  r1
+    slli r2, r1, 6
+    lwl  r3, r2, 0
+    swl  r2, r3, 0
+    ret

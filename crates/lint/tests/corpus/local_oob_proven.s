@@ -1,0 +1,7 @@
+; Seeded bug: the store address is the constant 65536, past the
+; 16384-byte LRAM scratchpad on every lane — a proven out-of-bounds
+; access, denied at the default policy.
+; Expect: K010 (deny)
+    lui  r1, 1
+    swl  r1, r0, 0
+    ret

@@ -1,0 +1,12 @@
+; Seeded bug: the store address is loaded from memory at a
+; lane-convergent site and scaled — lane-uniform through the load,
+; which the old syntactic taint bit could not see. Every work-item
+; then stores its own lid through that shared address: a proven
+; flow-sensitive race.
+; Expect: K012 (deny)
+    param r1, 0
+    lw    r2, r1, 0
+    slli  r2, r2, 2
+    lid   r3
+    swl   r2, r3, 0
+    ret

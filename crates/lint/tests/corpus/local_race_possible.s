@@ -1,0 +1,12 @@
+; Seeded smell: the store address is lid masked by a runtime
+; parameter — lane-varying but not provably lane-distinct (a mask
+; like 0x3 folds many lids onto one word while the stored lid still
+; differs). Not provable either way: warn at the default policy,
+; denial under --deny warn.
+; Expect: K012 (warn)
+    lid   r1
+    param r2, 0
+    and   r3, r1, r2
+    slli  r3, r3, 2
+    swl   r3, r1, 0
+    ret

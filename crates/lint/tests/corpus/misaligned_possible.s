@@ -1,0 +1,10 @@
+; Seeded smell: the second load's address comes out of memory, so its
+; alignment is unknown — a *possible* misaligned word access: warn at
+; the default policy, denial under --deny warn. (Parameters follow the
+; word-aligned calling convention; loaded values promise nothing.)
+; Expect: K011 (warn)
+    param r1, 0
+    lw    r2, r1, 0
+    lw    r3, r2, 0
+    sw    r1, r3, 0
+    ret

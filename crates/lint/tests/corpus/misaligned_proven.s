@@ -1,0 +1,7 @@
+; Seeded bug: every access goes through the constant address 2 — a
+; proven misaligned word access, denied at the default policy.
+; Expect: K011 (deny)
+    addi r1, r0, 2
+    lwl  r2, r1, 0
+    swl  r1, r2, 0
+    ret

@@ -1,7 +1,7 @@
 ; Seeded bug: every work-item of the wavefront stores its own
 ; lane-varying value through the same lane-uniform local address —
 ; an unordered race on one LRAM word.
-; Expect: K007
+; Expect: K012 (proven: the address is a compile-time constant)
     lid  r1
     addi r2, r0, 64
     swl  r2, r1, 0

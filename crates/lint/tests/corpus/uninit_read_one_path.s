@@ -6,5 +6,6 @@
     addi r2, r0, 7
 skip:
     add  r3, r2, r1
-    sw   r1, r3, 0
+    slli r4, r1, 2
+    sw   r4, r3, 0
     ret

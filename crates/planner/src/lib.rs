@@ -39,7 +39,10 @@ pub mod spreadsheet;
 pub mod versions;
 
 pub use cache::{fingerprint, StaCache};
-pub use cycles::{kernel_cycles, price_at, total_runtime_us, KernelCycles, KernelRuntime};
+pub use cycles::{
+    kernel_cycles, kernel_mem_profiles, price_at, total_runtime_us, KernelCycles, KernelMemProfile,
+    KernelRuntime,
+};
 pub use datasheet::datasheet;
 pub use dse::{
     apply_plan, apply_plan_clone_dirty, apply_plan_dirty, optimize_for, optimize_for_clone,

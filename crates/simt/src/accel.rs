@@ -21,6 +21,7 @@ use crate::config::{AccelBackend, SimtConfig};
 use crate::engine::{run_launch, ScalarWave};
 use crate::gpu::{HardenState, RunStats, SimError, PARAM_SLOTS};
 use crate::soa::{SoaWave, MAX_WF};
+use crate::trace::ExecTrace;
 use ggpu_isa::inst::Inst;
 
 /// One fully-validated launch, ready for a backend to execute. Built
@@ -39,6 +40,8 @@ pub struct LaunchRequest<'a> {
     pub(crate) reference: bool,
     /// Fault-injection / watchdog harness; `None` for plain runs.
     pub(crate) hard: Option<&'a mut HardenState>,
+    /// Soundness-oracle trace sink; `None` for plain runs.
+    pub(crate) trace: Option<&'a mut ExecTrace>,
 }
 
 impl LaunchRequest<'_> {
@@ -97,6 +100,7 @@ impl Accelerator for ScalarAccelerator {
             req.memory,
             req.reference,
             req.hard,
+            req.trace,
         )
     }
 }
@@ -127,6 +131,7 @@ impl Accelerator for SoaAccelerator {
             req.memory,
             req.reference,
             req.hard,
+            req.trace,
         )
     }
 }

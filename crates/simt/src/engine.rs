@@ -23,6 +23,7 @@ use crate::config::SimtConfig;
 use crate::fault::{FaultEvent, FaultSite, Injection, InjectionOutcome, Protection};
 use crate::gpu::{HardenState, RunStats, SimError, LOCAL_WORDS, PARAM_SLOTS};
 use crate::memsys::{Dram, SharedCache};
+use crate::trace::ExecTrace;
 use ggpu_isa::inst::{AluOp, IdSource, Inst};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -95,6 +96,21 @@ pub(crate) trait Wave: Sized {
         now: u64,
         scratch: &mut Self::Scratch,
     ) -> Result<StepOut, SimError>;
+
+    /// Read-only replay of the *next* issue's lane selection,
+    /// recording per-lane addresses, store values and branch outcomes
+    /// into `trace`. Called immediately before [`Wave::step`] with the
+    /// same arguments' pre-state, so what it records is exactly what
+    /// the step is about to do — including accesses the step will
+    /// fault on. Must not mutate any architectural or lazy engine
+    /// state (the step that follows must be unaffected).
+    fn observe(
+        &self,
+        env: &IssueEnv<'_>,
+        memory_words: usize,
+        local_words: usize,
+        trace: &mut ExecTrace,
+    );
 
     /// Advances every active lane past a released barrier.
     fn release_from_barrier(&mut self, now: u64);
@@ -171,10 +187,13 @@ pub(crate) struct Sched<'a, W: Wave> {
     scratch: W::Scratch,
     /// Fault-injection / watchdog harness; `None` for plain runs.
     hard: Option<&'a mut HardenState>,
+    /// Soundness-oracle trace sink; `None` for plain runs.
+    trace: Option<&'a mut ExecTrace>,
 }
 
 /// Builds and runs one launch on wave engine `W`, under either the
 /// event-driven driver or the cycle-stepping reference driver.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_launch<W: Wave>(
     config: SimtConfig,
     program: &[Inst],
@@ -183,6 +202,7 @@ pub(crate) fn run_launch<W: Wave>(
     memory: &mut [u32],
     reference: bool,
     hard: Option<&mut HardenState>,
+    trace: Option<&mut ExecTrace>,
 ) -> Result<RunStats, SimError> {
     let total_groups = global_size.div_ceil(workgroup_size);
     let sched = Sched::<W> {
@@ -220,6 +240,7 @@ pub(crate) fn run_launch<W: Wave>(
         },
         scratch: W::Scratch::default(),
         hard,
+        trace,
     };
     if reference {
         sched.run_cycle_reference()
@@ -696,6 +717,7 @@ impl<'a, W: Wave> Sched<'a, W> {
                 min_other,
                 &mut self.stats,
                 &mut self.scratch,
+                self.trace.as_deref_mut(),
             )?;
             if retired {
                 cu.dispatch_hint = true;
@@ -728,7 +750,11 @@ impl<'a, W: Wave> Sched<'a, W> {
         min_other: u64,
         stats: &mut RunStats,
         scratch: &mut W::Scratch,
+        trace: Option<&mut ExecTrace>,
     ) -> Result<bool, SimError> {
+        if let Some(trace) = trace {
+            cu.wavefronts[idx].observe(env, memory.len(), cu.local_mem.len(), trace);
+        }
         let wf = &mut cu.wavefronts[idx];
         let (inst, lane_count, mem_ready) =
             match wf.step(env, memory, &mut cu.local_mem, cache, now, scratch)? {
@@ -816,6 +842,72 @@ impl<'a, W: Wave> Sched<'a, W> {
                 w.release_from_barrier(now);
             }
         }
+    }
+}
+
+/// Shared `observe` tail used by both engines once they have resolved
+/// the issuing PC and the ascending-ordered issue set: computes
+/// per-lane addresses, store values and branch outcomes from a
+/// register-read closure (`reg(ordinal, r)` reads register `r` of the
+/// ordinal-th issuing lane) and records them into the trace. Only
+/// memory and branch instructions leave observations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_issue(
+    trace: &mut ExecTrace,
+    env: &IssueEnv<'_>,
+    pc: u32,
+    lane_count: usize,
+    contiguous: bool,
+    memory_words: usize,
+    local_words: usize,
+    mut reg: impl FnMut(usize, ggpu_isa::inst::Reg) -> u32,
+) {
+    let Some(&inst) = env.program.get(pc as usize) else {
+        return;
+    };
+    let pcu = pc as usize;
+    let addr = |reg: &mut dyn FnMut(usize, ggpu_isa::inst::Reg) -> u32,
+                l: usize,
+                rs1: ggpu_isa::inst::Reg,
+                imm: i16| reg(l, rs1).wrapping_add(imm as i32 as u32);
+    match inst {
+        Inst::Lw { rs1, imm, .. } => {
+            let lanes: Vec<(u32, u32)> = (0..lane_count)
+                .map(|l| (addr(&mut reg, l, rs1, imm), 0))
+                .collect();
+            trace.record_access(pcu, false, false, contiguous, &lanes, memory_words);
+        }
+        Inst::Sw { rs1, rs2, imm } => {
+            let lanes: Vec<(u32, u32)> = (0..lane_count)
+                .map(|l| (addr(&mut reg, l, rs1, imm), reg(l, rs2)))
+                .collect();
+            trace.record_access(pcu, false, true, contiguous, &lanes, memory_words);
+        }
+        Inst::Lwl { rs1, imm, .. } => {
+            let lanes: Vec<(u32, u32)> = (0..lane_count)
+                .map(|l| (addr(&mut reg, l, rs1, imm), 0))
+                .collect();
+            trace.record_access(pcu, true, false, contiguous, &lanes, local_words);
+        }
+        Inst::Swl { rs1, rs2, imm } => {
+            let lanes: Vec<(u32, u32)> = (0..lane_count)
+                .map(|l| (addr(&mut reg, l, rs1, imm), reg(l, rs2)))
+                .collect();
+            trace.record_access(pcu, true, true, contiguous, &lanes, local_words);
+        }
+        Inst::Branch { cond, rs1, rs2, .. } => {
+            let mut any_taken = false;
+            let mut any_not = false;
+            for l in 0..lane_count {
+                if cond.test(reg(l, rs1), reg(l, rs2)) {
+                    any_taken = true;
+                } else {
+                    any_not = true;
+                }
+            }
+            trace.record_branch(pcu, any_taken, any_not);
+        }
+        _ => {}
     }
 }
 
@@ -1082,6 +1174,34 @@ impl Wave for ScalarWave {
             lane_count,
             mem_ready,
         })
+    }
+
+    fn observe(
+        &self,
+        env: &IssueEnv<'_>,
+        memory_words: usize,
+        local_words: usize,
+        trace: &mut ExecTrace,
+    ) {
+        // Mirrors the selection at the top of `step`: min active PC,
+        // then every active lane parked there, in ascending order.
+        let Some(pc) = self.min_active_pc() else {
+            return;
+        };
+        let lanes: Vec<usize> = (0..self.pcs.len())
+            .filter(|&l| self.active[l] && self.pcs[l] == pc)
+            .collect();
+        let contiguous = lanes.iter().enumerate().all(|(i, &l)| i == l);
+        observe_issue(
+            trace,
+            env,
+            pc,
+            lanes.len(),
+            contiguous,
+            memory_words,
+            local_words,
+            |i, r| self.reg(lanes[i], r),
+        );
     }
 
     fn release_from_barrier(&mut self, now: u64) {

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod gpu;
 pub mod memsys;
 mod soa;
+pub mod trace;
 
 pub use accel::{Accelerator, LaunchRequest, ScalarAccelerator, SoaAccelerator};
 pub use config::{AccelBackend, CacheConfig, DramConfig, SimtConfig};
@@ -47,3 +48,4 @@ pub use fault::{
 };
 pub use gpu::{Gpu, Kernel, KernelVerifyError, Launch, RunStats, SimError, LOCAL_WORDS};
 pub use memsys::MemStats;
+pub use trace::{ExecTrace, InstTrace};

@@ -35,9 +35,10 @@
 //! suite; every lane visit with an observable side effect happens in
 //! ascending lane order exactly as in the reference.
 
-use crate::engine::{IssueEnv, StepOut, Wave};
+use crate::engine::{observe_issue, IssueEnv, StepOut, Wave};
 use crate::gpu::SimError;
 use crate::memsys::SharedCache;
+use crate::trace::ExecTrace;
 use ggpu_isa::inst::{AluOp, BranchCond, IdSource, Inst};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::Hash;
@@ -901,6 +902,61 @@ impl Wave for SoaWave {
             lane_count,
             mem_ready,
         })
+    }
+
+    fn observe(
+        &self,
+        env: &IssueEnv<'_>,
+        memory_words: usize,
+        local_words: usize,
+        trace: &mut ExecTrace,
+    ) {
+        if self.exec == 0 {
+            return;
+        }
+        // Mirrors the issue-set selection at the top of `step`, but
+        // strictly read-only: a reconvergence scan result is *not*
+        // cached back into the `uniform`/`lazy_pc` hint here — the
+        // step that follows will redo the scan and cache it itself.
+        let (pc, issue) = if self.uniform {
+            (self.lazy_pc, self.exec)
+        } else {
+            let mut pc = u32::MAX;
+            let mut issue = 0u64;
+            let mut m = self.exec;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let p = self.pcs[l];
+                if p < pc {
+                    pc = p;
+                    issue = 1u64 << l;
+                } else if p == pc {
+                    issue |= 1u64 << l;
+                }
+            }
+            (pc, issue)
+        };
+        let contiguous = (issue & issue.wrapping_add(1)) == 0;
+        // Ascending-ordered issue lane list, matching the side-effect
+        // visit order of the lane loops in `step`.
+        let mut lanes: Vec<usize> = Vec::with_capacity(issue.count_ones() as usize);
+        let mut m = issue;
+        while m != 0 {
+            lanes.push(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        let wf = self.wf as usize;
+        observe_issue(
+            trace,
+            env,
+            pc,
+            lanes.len(),
+            contiguous,
+            memory_words,
+            local_words,
+            |i, r| self.regs[r.index() * wf + lanes[i]],
+        );
     }
 
     fn release_from_barrier(&mut self, now: u64) {

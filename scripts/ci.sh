@@ -69,4 +69,11 @@ echo "== smoke (SIMT backend agreement + throughput) =="
 # checked-in BENCH_simt.json from the full (non-smoke) run.
 cargo run --release -p ggpu-bench --bin simt_bench -- --smoke --out target/BENCH_simt_smoke.json
 
+echo "== smoke (static analyzer cost vs syntactic baseline) =="
+# Times the abstract interpreter (verify_program, K010-K012) against
+# the PR-2 syntactic pass (verify_program_classic) on the 8 shipped
+# kernels, asserting both leave every kernel deny-free. Tracked
+# baseline is the checked-in BENCH_lint.json from the full run.
+cargo run --release -p ggpu-bench --bin lint_bench -- --smoke --out target/BENCH_lint_smoke.json
+
 echo "== ci green =="
