@@ -1,0 +1,275 @@
+//! Tracked performance baseline for the physical-synthesis flow.
+//!
+//! Two measurements, written to `BENCH_pnr.json` (override with
+//! `--out PATH`; `--smoke` runs a reduced grid sized for CI):
+//!
+//! * **HPWL quality** — legacy shelf packer vs the analytical
+//!   electrostatic placer on the same floorplans, at 8/16/32/64 CUs
+//!   (the extended geometries are the paper's listed future work).
+//!   The analytical placer must reduce the weighted macro
+//!   half-perimeter wirelength at 8 CUs — asserted as it measures.
+//! * **scratch vs incremental** — a cold [`place_and_route`] per
+//!   candidate vs [`IncrementalPnr`]'s delta path re-solving exactly
+//!   one dirtied partition (a single-module mutation, the DSE inner
+//!   loop's shape). The delta path must be at least 5x faster —
+//!   asserted — and its rate is reported as `placements_per_second`,
+//!   the number of candidate layouts the DSE loop can evaluate per
+//!   second.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin pnr_bench
+//! cargo run --release -p ggpu-bench --bin pnr_bench -- --smoke --out target/BENCH_pnr_smoke.json
+//! ```
+
+use ggpu_netlist::module::MemoryRole;
+use ggpu_pnr::{
+    build_floorplan, macro_hpwl, place_and_route, place_macros_pooled, DensityTargets,
+    IncrementalPnr, PlacementDelta, Placer, PnrOptions, Pool,
+};
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn config(cus: u32) -> GgpuConfig {
+    GgpuConfig {
+        compute_units: cus,
+        memory_controllers: if cus > 8 { 2 } else { 1 },
+        allow_extended_cus: cus > 8,
+        ..GgpuConfig::default()
+    }
+}
+
+fn analytical_options() -> PnrOptions {
+    PnrOptions {
+        placer: Placer::Analytical,
+        ..PnrOptions::default()
+    }
+}
+
+/// HPWL of both placers on one geometry, plus the analytical placer's
+/// cold placement wall-clock (best of `iters`).
+#[derive(Debug)]
+struct HpwlPoint {
+    cus: u32,
+    legacy_um: f64,
+    analytical_um: f64,
+    analytical_wall_ms: f64,
+}
+
+impl HpwlPoint {
+    fn improvement_pct(&self) -> f64 {
+        (1.0 - self.analytical_um / self.legacy_um) * 100.0
+    }
+}
+
+fn hpwl_point(cus: u32, iters: u32, tech: &Tech) -> HpwlPoint {
+    let design = generate(&config(cus)).expect("valid config");
+    let fp = build_floorplan(&design, tech, DensityTargets::default()).expect("floorplan");
+    let legacy = place_macros_pooled(&design, &fp, tech, &PnrOptions::default(), Pool::global())
+        .expect("legacy placement");
+    let options = analytical_options();
+    let mut best_ms = f64::MAX;
+    let mut analytical = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let placed =
+            place_macros_pooled(&design, &fp, tech, &options, Pool::global()).expect("analytical");
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        analytical = Some(placed);
+    }
+    let analytical = analytical.expect("at least one iteration");
+    HpwlPoint {
+        cus,
+        legacy_um: macro_hpwl(&fp, &legacy, &options.net_weights).value(),
+        analytical_um: macro_hpwl(&fp, &analytical, &options.net_weights).value(),
+        analytical_wall_ms: best_ms,
+    }
+}
+
+/// Scratch-vs-incremental comparison: one dirtied partition per
+/// candidate, full layouts out of both paths.
+#[derive(Debug)]
+struct Incremental {
+    scratch_wall_ms: f64,
+    delta_wall_ms: f64,
+}
+
+impl Incremental {
+    fn speedup(&self) -> f64 {
+        if self.delta_wall_ms > 0.0 {
+            self.scratch_wall_ms / self.delta_wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Candidate layouts per second the incremental session sustains.
+    fn placements_per_second(&self) -> f64 {
+        if self.delta_wall_ms > 0.0 {
+            1e3 / self.delta_wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn incremental_scenario(iters: u32, tech: &Tech) -> Incremental {
+    let target = Mhz::new(500.0);
+    let options = analytical_options();
+    let mut design = generate(&config(8)).expect("valid config");
+    let gmc = build_floorplan(&design, tech, options.densities)
+        .expect("floorplan")
+        .gmc()
+        .expect("design has a controller")
+        .module;
+    // Candidate mutations: single-module role changes (fingerprint-
+    // visible, geometry-neutral — the cheapest genuine dirty set).
+    let roles = [
+        MemoryRole::ScratchRam,
+        MemoryRole::Fifo,
+        MemoryRole::RuntimeMemory,
+        MemoryRole::CacheTag,
+        MemoryRole::SchedulerState,
+        MemoryRole::InstructionRam,
+        MemoryRole::RegisterFile,
+        MemoryRole::Other,
+    ];
+
+    let mut session = IncrementalPnr::new(options);
+    session
+        .place_and_route(&design, tech, target)
+        .expect("warm-up run");
+
+    let mut scratch_best = f64::MAX;
+    let mut delta_best = f64::MAX;
+    let mut last_pair = None;
+    for i in 0..iters.max(1) as usize {
+        design.module_mut(gmc).macros[0].role = roles[i % roles.len()];
+
+        let t0 = Instant::now();
+        let scratch = place_and_route(&design, tech, target, options).expect("scratch flow");
+        scratch_best = scratch_best.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        let delta = session
+            .place_and_route_delta(&design, tech, target, &PlacementDelta::of(vec![gmc]))
+            .expect("delta flow");
+        delta_best = delta_best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last_pair = Some((scratch, delta));
+    }
+    let (scratch, delta) = last_pair.expect("at least one iteration");
+    assert_eq!(scratch, delta, "delta layout must equal the scratch flow");
+    assert_eq!(
+        session.stats().undeclared_dirty,
+        0,
+        "every mutation was declared"
+    );
+
+    Incremental {
+        scratch_wall_ms: scratch_best,
+        delta_wall_ms: delta_best,
+    }
+}
+
+fn render_json(points: &[HpwlPoint], inc: &Incremental, smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"pnr\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},",
+        std::env::var("GGPU_THREADS").unwrap_or_else(|_| "0".into())
+    );
+    let _ = writeln!(
+        out,
+        "  \"placements_per_second\": {:.1},",
+        inc.placements_per_second()
+    );
+    out.push_str("  \"hpwl\": [\n");
+    for (idx, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cus\": {}, \"legacy_hpwl_um\": {:.0}, \"analytical_hpwl_um\": {:.0}, \
+             \"improvement_pct\": {:.1}, \"analytical_wall_ms\": {:.3}}}",
+            p.cus,
+            p.legacy_um,
+            p.analytical_um,
+            p.improvement_pct(),
+            p.analytical_wall_ms
+        );
+        out.push_str(if idx + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"incremental\": {{\"scratch_wall_ms\": {:.3}, \"delta_wall_ms\": {:.3}, \
+         \"speedup\": {:.2}, \"placements_per_second\": {:.1}}}",
+        inc.scratch_wall_ms,
+        inc.delta_wall_ms,
+        inc.speedup(),
+        inc.placements_per_second()
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pnr.json".into());
+
+    let tech = Tech::l65();
+    let iters: u32 = std::env::var("GGPU_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 8 });
+
+    let cu_grid: &[u32] = if smoke { &[8, 16] } else { &[8, 16, 32, 64] };
+    let mut points = Vec::new();
+    for &cus in cu_grid {
+        eprintln!("placing {cus} CUs (legacy vs analytical) ...");
+        let p = hpwl_point(cus, iters, &tech);
+        eprintln!(
+            "  HPWL {:.1} mm -> {:.1} mm ({:+.1} %), analytical wall {:.1} ms",
+            p.legacy_um / 1e3,
+            p.analytical_um / 1e3,
+            -p.improvement_pct(),
+            p.analytical_wall_ms
+        );
+        points.push(p);
+    }
+    let eight = points.iter().find(|p| p.cus == 8).expect("8-CU point");
+    assert!(
+        eight.analytical_um < eight.legacy_um,
+        "analytical HPWL {:.0} um must beat legacy {:.0} um at 8 CUs",
+        eight.analytical_um,
+        eight.legacy_um
+    );
+
+    eprintln!("running scratch vs incremental (8 CUs, one dirty partition) ...");
+    let inc = incremental_scenario(iters, &tech);
+    eprintln!(
+        "  scratch {:.1} ms -> delta {:.1} ms ({:.1}x, {:.1} placements/s)",
+        inc.scratch_wall_ms,
+        inc.delta_wall_ms,
+        inc.speedup(),
+        inc.placements_per_second()
+    );
+    assert!(
+        inc.speedup() >= 5.0,
+        "incremental re-place must be at least 5x faster than scratch (got {:.2}x)",
+        inc.speedup()
+    );
+
+    let json = render_json(&points, &inc, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -88,6 +88,15 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
     for (layer, wl) in layout.wirelength.iter() {
         let _ = writeln!(out, "    {layer:<4}        : {:>9.0} um", wl.value());
     }
+    // Gated on the analytical placer so datasheets of the default
+    // (legacy) flow stay byte-identical across releases.
+    if layout.placer == ggpu_pnr::Placer::Analytical {
+        let _ = writeln!(
+            out,
+            "  macro HPWL    : {:>9.1} mm (analytical placer)",
+            layout.macro_hpwl.to_mm()
+        );
+    }
     let _ = writeln!(out, "  achieved clock: {:.0}", layout.achieved_clock);
     let _ = writeln!(
         out,
@@ -157,6 +166,55 @@ mod tests {
             )
             .unwrap();
         assert!(!datasheet(&plain).contains("resilience:"));
+    }
+
+    #[test]
+    fn legacy_datasheet_is_bit_identical_across_placer_wiring() {
+        // The macro-HPWL line is the only placer-dependent datasheet
+        // content, and it only appears under the analytical placer:
+        // stripping it from the analytical sheet must reproduce the
+        // legacy sheet byte for byte.
+        use ggpu_pnr::Placer;
+        let legacy = GpuPlanner::new(Tech::l65());
+        let planned = legacy
+            .plan(&Specification::new(2, Mhz::new(500.0)))
+            .unwrap();
+        let shelf_text = datasheet(&legacy.implement(&planned).unwrap());
+        assert!(!shelf_text.contains("macro HPWL"));
+        let analytic = GpuPlanner::new(Tech::l65()).with_placer(Placer::Analytical);
+        let analytic_text = datasheet(&analytic.implement(&planned).unwrap());
+        assert!(analytic_text.contains("macro HPWL"));
+        let stripped: String = analytic_text
+            .lines()
+            .filter(|l| !l.contains("macro HPWL"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, shelf_text);
+    }
+
+    #[test]
+    fn paper_layout_datasheets_pin_wirelength_and_route_summary() {
+        // Regression fence for the paper's four physical versions: the
+        // per-layer wirelength ordering of Table II and the route-delay
+        // summary must not drift when placement internals change.
+        let planner = GpuPlanner::new(Tech::l65());
+        for spec in crate::versions::physical_versions() {
+            let imp = planner.implement(&planner.plan(&spec).unwrap()).unwrap();
+            let text = datasheet(&imp);
+            let wl = &imp.layout.wirelength;
+            // Table II shape: M3 dominates, upper layers taper off.
+            assert!(wl.layer("M3") > wl.layer("M2"), "{spec}");
+            assert!(wl.layer("M2") > wl.layer("M6"), "{spec}");
+            assert!(wl.layer("M6") > wl.layer("M7"), "{spec}");
+            assert!(wl.layer("M7").value() > 0.0, "{spec}");
+            // Route-delay summary: one line per CU, last one present.
+            let cus = spec.compute_units as usize;
+            assert_eq!(imp.layout.cu_route_delays.len(), cus, "{spec}");
+            assert!(text.contains(&format!("cu{}", cus - 1)), "{spec}");
+            // Only 8cu@667 misses timing post-route (closes near 600).
+            let expect_met = !(spec.compute_units == 8 && spec.frequency.value() > 600.0);
+            assert_eq!(text.contains("post-route    : MET"), expect_met, "{spec}");
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod versions;
 
 pub use cache::{fingerprint, StaCache};
 pub use cycles::{
-    kernel_cycles, kernel_mem_profiles, price_at, total_runtime_us, KernelCycles, KernelMemProfile,
-    KernelRuntime,
+    dataflow_net_weights, kernel_cycles, kernel_mem_profiles, price_at, total_runtime_us,
+    KernelCycles, KernelMemProfile, KernelRuntime,
 };
 pub use datasheet::datasheet;
 pub use dse::{
@@ -50,7 +50,8 @@ pub use dse::{
     OptimizationPlan, Optimized,
 };
 pub use flow::{
-    worker_threads, GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PpaEstimate,
+    worker_threads, GpuPlanner, ImplementedVersion, PlanError, PlannedVersion, PnrSession,
+    PpaEstimate,
 };
 pub use journal::{Checkpoint, TransformJournal};
 pub use map::{advise, advise_candidates, advise_delta, advise_with, Advice};

@@ -1,0 +1,811 @@
+//! Electrostatic analytical placement core (ePlace/RePlAce style,
+//! after DG-RePlAce's data-parallel formulation).
+//!
+//! Each partition is solved independently in **local coordinates**
+//! (origin at the partition's bottom-left corner): macros are modeled
+//! as positive charges whose density over a bin grid must flatten out,
+//! while a weighted-average-smoothed half-perimeter wirelength pulls
+//! connected macros together and toward the partition's fixed I/O
+//! anchors. The combined objective
+//!
+//! ```text
+//!   f(v) = Σ_nets w_n · WA_n(v)  +  λ · Σ_i q_i · ψ(v_i)
+//! ```
+//!
+//! is minimized with Nesterov-accelerated descent
+//! ([`crate::nesterov`]); the electrostatic potential `ψ` comes from a
+//! bin-based Poisson solve (Gauss–Seidel, Neumann boundaries — no FFT
+//! needed at SRAM-macro counts), and `λ` grows geometrically so
+//! wirelength dominates early and spreading dominates late, exactly as
+//! in ePlace's multiplier schedule.
+//!
+//! The net model is dataflow-derived rather than extracted from a
+//! detailed netlist: macro roles identify the CU↔GMC interface
+//! memories (FIFOs, cache arrays) which are pulled toward the
+//! GMC-facing partition edge with the [`NetWeights::io`] weight — the
+//! planner derives that weight from the kernels' measured traffic
+//! classes (`gpuplanner::cycles::dataflow_net_weights`) — while
+//! control memories (CRAM, scheduler state) are pulled toward the
+//! dispatcher's top strip and hierarchical groups (one per PE) are
+//! held together by local star nets.
+//!
+//! Everything here is deterministic: the initial state is seeded
+//! splitmix64 jitter, the Poisson sweep order is fixed, and the
+//! parallel gradient/density evaluation ([`crate::pool::Pool::map`])
+//! reduces partial results in input order.
+
+use crate::nesterov::{self, Bounds, NesterovOptions};
+use crate::pool::Pool;
+use ggpu_netlist::module::MemoryRole;
+
+/// Dataflow-derived net weights of the analytical placer's three net
+/// classes. Carried in [`crate::PnrOptions`]; the defaults reproduce a
+/// generic memory-bound workload, `gpuplanner::cycles::
+/// dataflow_net_weights` derives sharper values from the shipped
+/// kernels' proven traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetWeights {
+    /// Weight of the CU↔GMC interface net (FIFOs and cache arrays
+    /// pulled toward the memory-controller-facing edge). Scales with
+    /// measured global-memory traffic.
+    pub io: f64,
+    /// Weight of the control net (instruction RAM and scheduler state
+    /// pulled toward the dispatcher's top strip).
+    pub control: f64,
+    /// Weight of the hierarchical-group star nets (register-file and
+    /// scratchpad clusters held together).
+    pub local: f64,
+}
+
+impl Default for NetWeights {
+    fn default() -> Self {
+        Self {
+            io: 2.0,
+            control: 1.2,
+            local: 1.0,
+        }
+    }
+}
+
+impl NetWeights {
+    /// Stable bit pattern for cache keys.
+    pub(crate) fn key_bits(&self) -> [u64; 3] {
+        [
+            self.io.to_bits(),
+            self.control.to_bits(),
+            self.local.to_bits(),
+        ]
+    }
+}
+
+/// Which partition edge faces the memory controller — the fixed
+/// anchor of the I/O net in local coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum IoSide {
+    /// GMC is to the left of this partition (right CU column).
+    Left,
+    /// GMC is to the right of this partition (left CU column).
+    Right,
+    /// CU columns flank this partition on both sides (the GMC itself).
+    Both,
+}
+
+impl IoSide {
+    pub(crate) fn key_code(self) -> u64 {
+        match self {
+            IoSide::Left => 0,
+            IoSide::Right => 1,
+            IoSide::Both => 2,
+        }
+    }
+}
+
+/// One macro to place: outline only, in its natural orientation.
+#[derive(Debug, Clone)]
+pub(crate) struct MacroShape {
+    pub name: String,
+    pub role: MemoryRole,
+    pub w: f64,
+    pub h: f64,
+}
+
+/// A pin of the net model: a movable macro (by index) or a fixed
+/// anchor point in local coordinates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Pin {
+    Movable(usize),
+    Fixed(f64, f64),
+}
+
+/// A weighted multi-pin net.
+#[derive(Debug, Clone)]
+pub(crate) struct Net {
+    pub pins: Vec<Pin>,
+    pub weight: f64,
+}
+
+/// Roles that talk across the CU↔GMC bus.
+fn is_io_role(role: MemoryRole) -> bool {
+    matches!(
+        role,
+        MemoryRole::Fifo | MemoryRole::CacheData | MemoryRole::CacheTag | MemoryRole::RuntimeMemory
+    )
+}
+
+/// Roles fed by the top-strip dispatcher.
+fn is_control_role(role: MemoryRole) -> bool {
+    matches!(
+        role,
+        MemoryRole::InstructionRam | MemoryRole::SchedulerState
+    )
+}
+
+/// Hierarchical group of a macro: the prefix before the last `/`
+/// (`"pe3/rf_bank_d1"` → `"pe3"`), or the empty group for flat names.
+fn group_of(name: &str) -> &str {
+    name.rfind('/').map_or("", |i| &name[..i])
+}
+
+/// Builds the dataflow net model for one partition's macros.
+///
+/// Three net classes:
+/// 1. one star net per hierarchical group (members + the partition
+///    center as a weak fixed pin) — holds PE clusters together,
+/// 2. one I/O net over interface roles, anchored on the GMC-facing
+///    edge midpoint(s),
+/// 3. one control net over CRAM/scheduler roles, anchored at the top
+///    edge midpoint (the dispatcher lives in the top strip).
+pub(crate) fn build_nets(
+    shapes: &[MacroShape],
+    w: f64,
+    h: f64,
+    side: IoSide,
+    weights: &NetWeights,
+) -> Vec<Net> {
+    use std::collections::BTreeMap;
+    let mut nets = Vec::new();
+
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, s) in shapes.iter().enumerate() {
+        groups.entry(group_of(&s.name)).or_default().push(i);
+    }
+    for (_, members) in groups {
+        let mut pins: Vec<Pin> = members.into_iter().map(Pin::Movable).collect();
+        pins.push(Pin::Fixed(w / 2.0, h / 2.0));
+        nets.push(Net {
+            pins,
+            weight: weights.local,
+        });
+    }
+
+    let io_members: Vec<usize> = shapes
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| is_io_role(s.role))
+        .map(|(i, _)| i)
+        .collect();
+    if !io_members.is_empty() {
+        let mut pins: Vec<Pin> = io_members.into_iter().map(Pin::Movable).collect();
+        match side {
+            IoSide::Left => pins.push(Pin::Fixed(0.0, h / 2.0)),
+            IoSide::Right => pins.push(Pin::Fixed(w, h / 2.0)),
+            IoSide::Both => {
+                pins.push(Pin::Fixed(0.0, h / 2.0));
+                pins.push(Pin::Fixed(w, h / 2.0));
+            }
+        }
+        nets.push(Net {
+            pins,
+            weight: weights.io,
+        });
+    }
+
+    let ctl_members: Vec<usize> = shapes
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| is_control_role(s.role))
+        .map(|(i, _)| i)
+        .collect();
+    if !ctl_members.is_empty() {
+        let mut pins: Vec<Pin> = ctl_members.into_iter().map(Pin::Movable).collect();
+        pins.push(Pin::Fixed(w / 2.0, h));
+        nets.push(Net {
+            pins,
+            weight: weights.control,
+        });
+    }
+    nets
+}
+
+/// Exact weighted half-perimeter wirelength of the net model at the
+/// given macro-center positions.
+pub(crate) fn exact_hpwl(nets: &[Net], pos: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for net in nets {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for pin in &net.pins {
+            let (x, y) = match *pin {
+                Pin::Movable(i) => pos[i],
+                Pin::Fixed(x, y) => (x, y),
+            };
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        if max_x >= min_x {
+            total += net.weight * ((max_x - min_x) + (max_y - min_y));
+        }
+    }
+    total
+}
+
+/// One axis of a pin, for the axis-separable WA model.
+fn axis(pin: Pin, pos: &[(f64, f64)], x_axis: bool) -> (Option<usize>, f64) {
+    match pin {
+        Pin::Movable(i) => (Some(i), if x_axis { pos[i].0 } else { pos[i].1 }),
+        Pin::Fixed(x, y) => (None, if x_axis { x } else { y }),
+    }
+}
+
+/// Adds the weighted-average smoothed HPWL gradient of one net/axis
+/// into `grad`, returning the smoothed span.
+///
+/// WA(x) = Σxᵢe^{xᵢ/γ}/Σe^{xᵢ/γ} − Σxᵢe^{−xᵢ/γ}/Σe^{−xᵢ/γ}; the
+/// exponentials are max-shifted for stability and the closed-form
+/// gradient is accumulated only on movable pins.
+fn wa_axis_grad(
+    net: &Net,
+    pos: &[(f64, f64)],
+    x_axis: bool,
+    gamma: f64,
+    grad: &mut [(f64, f64)],
+) -> f64 {
+    let coords: Vec<(Option<usize>, f64)> =
+        net.pins.iter().map(|&p| axis(p, pos, x_axis)).collect();
+    let hi = coords.iter().fold(f64::NEG_INFINITY, |m, &(_, x)| m.max(x));
+    let lo = coords.iter().fold(f64::INFINITY, |m, &(_, x)| m.min(x));
+    if !hi.is_finite() || !lo.is_finite() {
+        return 0.0;
+    }
+    // Positive (max) side, shifted by hi; negative (min) side, by lo.
+    let mut sp = 0.0;
+    let mut ap = 0.0;
+    let mut sn = 0.0;
+    let mut an = 0.0;
+    for &(_, x) in &coords {
+        let ep = ((x - hi) / gamma).exp();
+        let en = ((lo - x) / gamma).exp();
+        sp += ep;
+        ap += x * ep;
+        sn += en;
+        an += x * en;
+    }
+    let wa = ap / sp - an / sn;
+    for &(idx, x) in &coords {
+        let Some(i) = idx else { continue };
+        let ep = ((x - hi) / gamma).exp();
+        let en = ((lo - x) / gamma).exp();
+        let dp = ep * ((1.0 + x / gamma) * sp - ap / gamma) / (sp * sp);
+        let dn = en * ((1.0 - x / gamma) * sn + an / gamma) / (sn * sn);
+        let d = net.weight * (dp - dn);
+        if x_axis {
+            grad[i].0 += d;
+        } else {
+            grad[i].1 += d;
+        }
+    }
+    net.weight * wa
+}
+
+/// Evaluates the smoothed wirelength and accumulates its gradient,
+/// mapping nets over the worker pool in deterministic chunks.
+fn wirelength_grad(
+    nets: &[Net],
+    pos: &[(f64, f64)],
+    gamma: f64,
+    pool: &Pool,
+    grad: &mut [(f64, f64)],
+) -> f64 {
+    // Below this many nets the chunk bookkeeping costs more than it
+    // saves; the threshold is a constant so the split is deterministic.
+    const PAR_THRESHOLD: usize = 64;
+    const CHUNK: usize = 16;
+    if nets.len() < PAR_THRESHOLD || pool.threads() <= 1 {
+        let mut wl = 0.0;
+        for net in nets {
+            wl += wa_axis_grad(net, pos, true, gamma, grad);
+            wl += wa_axis_grad(net, pos, false, gamma, grad);
+        }
+        return wl;
+    }
+    let chunks: Vec<Vec<Net>> = nets.chunks(CHUNK).map(<[Net]>::to_vec).collect();
+    let pos_shared: std::sync::Arc<Vec<(f64, f64)>> = std::sync::Arc::new(pos.to_vec());
+    let n = pos.len();
+    let partials = pool.map(chunks, move |chunk| {
+        let mut g = vec![(0.0, 0.0); n];
+        let mut wl = 0.0;
+        for net in &chunk {
+            wl += wa_axis_grad(net, &pos_shared, true, gamma, &mut g);
+            wl += wa_axis_grad(net, &pos_shared, false, gamma, &mut g);
+        }
+        (wl, g)
+    });
+    let mut wl = 0.0;
+    for (partial_wl, g) in partials {
+        wl += partial_wl;
+        for (acc, d) in grad.iter_mut().zip(g) {
+            acc.0 += d.0;
+            acc.1 += d.1;
+        }
+    }
+    wl
+}
+
+/// Bin grid of the electrostatic system. Kept small and fixed-size:
+/// at SRAM-macro counts (≤ a few hundred charges) a 16×16 grid
+/// resolves density at macro granularity and a Gauss–Seidel Poisson
+/// solve converges in a few dozen sweeps.
+const BINS: usize = 16;
+const POISSON_SWEEPS: usize = 40;
+
+struct Field {
+    /// Bin density ρ (area overlap / bin area), row-major.
+    rho: Vec<f64>,
+    /// Electrostatic potential ψ from ∇²ψ = −(ρ − ρ̄).
+    psi: Vec<f64>,
+    bw: f64,
+    bh: f64,
+}
+
+/// Deposits one macro's area into the density grid, overlap-weighted.
+fn deposit(rho: &mut [f64], shape: &MacroShape, center: (f64, f64), bw: f64, bh: f64) {
+    let x0 = center.0 - shape.w / 2.0;
+    let x1 = center.0 + shape.w / 2.0;
+    let y0 = center.1 - shape.h / 2.0;
+    let y1 = center.1 + shape.h / 2.0;
+    let i0 = ((x0 / bw).floor().max(0.0)) as usize;
+    let i1 = ((x1 / bw).ceil().min(BINS as f64)) as usize;
+    let j0 = ((y0 / bh).floor().max(0.0)) as usize;
+    let j1 = ((y1 / bh).ceil().min(BINS as f64)) as usize;
+    for j in j0..j1.max(j0) {
+        for i in i0..i1.max(i0) {
+            let bx0 = i as f64 * bw;
+            let by0 = j as f64 * bh;
+            let ox = (x1.min(bx0 + bw) - x0.max(bx0)).max(0.0);
+            let oy = (y1.min(by0 + bh) - y0.max(by0)).max(0.0);
+            rho[j * BINS + i] += ox * oy / (bw * bh);
+        }
+    }
+}
+
+impl Field {
+    /// Accumulates macro-area density over the grid, one deterministic
+    /// partial grid per chunk of macros.
+    fn build(shapes: &[MacroShape], pos: &[(f64, f64)], w: f64, h: f64, pool: &Pool) -> Field {
+        const PAR_THRESHOLD: usize = 128;
+        const CHUNK: usize = 32;
+        let bw = w / BINS as f64;
+        let bh = h / BINS as f64;
+        let mut rho = vec![0.0; BINS * BINS];
+        if shapes.len() < PAR_THRESHOLD || pool.threads() <= 1 {
+            for (shape, &center) in shapes.iter().zip(pos) {
+                deposit(&mut rho, shape, center, bw, bh);
+            }
+        } else {
+            let items: Vec<Vec<(MacroShape, (f64, f64))>> = shapes
+                .iter()
+                .cloned()
+                .zip(pos.iter().copied())
+                .collect::<Vec<_>>()
+                .chunks(CHUNK)
+                .map(<[(MacroShape, (f64, f64))]>::to_vec)
+                .collect();
+            let partials = pool.map(items, move |chunk| {
+                let mut partial = vec![0.0; BINS * BINS];
+                for (shape, center) in &chunk {
+                    deposit(&mut partial, shape, *center, bw, bh);
+                }
+                partial
+            });
+            for partial in partials {
+                for (acc, d) in rho.iter_mut().zip(partial) {
+                    *acc += d;
+                }
+            }
+        }
+
+        // Poisson: ∇²ψ = −(ρ − ρ̄), Gauss–Seidel with Neumann
+        // (mirrored) boundaries; the fixed sweep order keeps the solve
+        // bit-deterministic. The mean is subtracted so the Neumann
+        // problem is consistent, and ψ is re-centred afterwards (the
+        // gauge does not affect the field).
+        let mean = rho.iter().sum::<f64>() / (BINS * BINS) as f64;
+        let scale = bw * bh; // grid-step normalization of the RHS
+        let mut psi = vec![0.0; BINS * BINS];
+        for _ in 0..POISSON_SWEEPS {
+            for j in 0..BINS {
+                for i in 0..BINS {
+                    let at = |ii: isize, jj: isize| -> f64 {
+                        let ii = ii.clamp(0, BINS as isize - 1) as usize;
+                        let jj = jj.clamp(0, BINS as isize - 1) as usize;
+                        psi[jj * BINS + ii]
+                    };
+                    let (i_, j_) = (i as isize, j as isize);
+                    let neighbors =
+                        at(i_ - 1, j_) + at(i_ + 1, j_) + at(i_, j_ - 1) + at(i_, j_ + 1);
+                    psi[j * BINS + i] = (neighbors + (rho[j * BINS + i] - mean) * scale) / 4.0;
+                }
+            }
+        }
+        let psi_mean = psi.iter().sum::<f64>() / (BINS * BINS) as f64;
+        for p in &mut psi {
+            *p -= psi_mean;
+        }
+        Field { rho, psi, bw, bh }
+    }
+
+    /// Electric field −∇ψ at bin `(i, j)` by central differences.
+    fn e_at(&self, i: usize, j: usize) -> (f64, f64) {
+        let at = |ii: isize, jj: isize| -> f64 {
+            let ii = ii.clamp(0, BINS as isize - 1) as usize;
+            let jj = jj.clamp(0, BINS as isize - 1) as usize;
+            self.psi[jj * BINS + ii]
+        };
+        let (i_, j_) = (i as isize, j as isize);
+        let ex = -(at(i_ + 1, j_) - at(i_ - 1, j_)) / (2.0 * self.bw);
+        let ey = -(at(i_, j_ + 1) - at(i_, j_ - 1)) / (2.0 * self.bh);
+        (ex, ey)
+    }
+
+    /// Overlap-weighted mean field over a macro's footprint.
+    fn field_on(&self, shape: &MacroShape, center: (f64, f64)) -> (f64, f64) {
+        let x0 = center.0 - shape.w / 2.0;
+        let x1 = center.0 + shape.w / 2.0;
+        let y0 = center.1 - shape.h / 2.0;
+        let y1 = center.1 + shape.h / 2.0;
+        let i0 = ((x0 / self.bw).floor().max(0.0)) as usize;
+        let i1 = (((x1 / self.bw).ceil()).min(BINS as f64)) as usize;
+        let j0 = ((y0 / self.bh).floor().max(0.0)) as usize;
+        let j1 = (((y1 / self.bh).ceil()).min(BINS as f64)) as usize;
+        let mut ex = 0.0;
+        let mut ey = 0.0;
+        let mut total = 0.0;
+        for j in j0..j1.max(j0) {
+            for i in i0..i1.max(i0) {
+                let bx0 = i as f64 * self.bw;
+                let by0 = j as f64 * self.bh;
+                let ox = (x1.min(bx0 + self.bw) - x0.max(bx0)).max(0.0);
+                let oy = (y1.min(by0 + self.bh) - y0.max(by0)).max(0.0);
+                let wgt = ox * oy;
+                let (bex, bey) = self.e_at(i, j);
+                ex += wgt * bex;
+                ey += wgt * bey;
+                total += wgt;
+            }
+        }
+        if total > 0.0 {
+            (ex / total, ey / total)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+
+    /// Density overflow: macro area in bins filled beyond 100 %,
+    /// normalized by total macro area. A bin over full fill implies
+    /// physical overlap, so 0 means the placement is spread enough to
+    /// legalize without displacement pile-ups.
+    fn overflow(&self, total_macro_area: f64) -> f64 {
+        if total_macro_area <= 0.0 {
+            return 0.0;
+        }
+        let over: f64 = self
+            .rho
+            .iter()
+            .map(|&r| (r - 1.0).max(0.0) * self.bw * self.bh)
+            .sum();
+        over / total_macro_area
+    }
+}
+
+/// splitmix64 — the repo's standard deterministic mixer (same scheme
+/// as `ggpu-prop` and the fault campaign's per-trial keys).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform f64 in `[0, 1)` from the mixer.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Result of one partition's global placement.
+#[derive(Debug, Clone)]
+pub(crate) struct SolveResult {
+    /// Macro centers in local coordinates, same order as the input
+    /// shapes.
+    pub pos: Vec<(f64, f64)>,
+    /// Nesterov iterations actually run.
+    pub iterations: usize,
+    /// Final density overflow.
+    pub overflow: f64,
+}
+
+/// Solves the global placement of one partition: Nesterov descent on
+/// WA wirelength + electrostatic density, in local coordinates.
+pub(crate) fn solve(
+    shapes: &[MacroShape],
+    w: f64,
+    h: f64,
+    side: IoSide,
+    weights: &NetWeights,
+    seed: u64,
+    pool: &Pool,
+) -> SolveResult {
+    let n = shapes.len();
+    if n == 0 {
+        return SolveResult {
+            pos: Vec::new(),
+            iterations: 0,
+            overflow: 0.0,
+        };
+    }
+    let nets = build_nets(shapes, w, h, side, weights);
+    let total_area: f64 = shapes.iter().map(|s| s.w * s.h).sum();
+
+    // Initial state: every macro at the partition center, plus seeded
+    // jitter (±12 % of each dimension) to break the symmetry that
+    // would otherwise leave the density force directionless.
+    let mut rng = seed ^ 0x6a09_e667_f3bc_c909;
+    let mut x = vec![0.0; 2 * n];
+    let mut lo = vec![0.0; 2 * n];
+    let mut hi = vec![0.0; 2 * n];
+    for (i, s) in shapes.iter().enumerate() {
+        let jx = (unit_f64(&mut rng) - 0.5) * 0.24 * w;
+        let jy = (unit_f64(&mut rng) - 0.5) * 0.24 * h;
+        lo[2 * i] = (s.w / 2.0).min(w / 2.0);
+        hi[2 * i] = (w - s.w / 2.0).max(w / 2.0);
+        lo[2 * i + 1] = (s.h / 2.0).min(h / 2.0);
+        hi[2 * i + 1] = (h - s.h / 2.0).max(h / 2.0);
+        x[2 * i] = (w / 2.0 + jx).clamp(lo[2 * i], hi[2 * i]);
+        x[2 * i + 1] = (h / 2.0 + jy).clamp(lo[2 * i + 1], hi[2 * i + 1]);
+    }
+    let bounds = Bounds { lo, hi };
+    let gamma = 0.06 * w.max(h);
+
+    // The density multiplier: auto-balanced against the wirelength
+    // gradient on the first evaluation, then grown geometrically so
+    // the spreading force wins in the endgame.
+    let mut lambda = f64::NAN;
+    const LAMBDA_GROWTH: f64 = 1.05;
+
+    let opts = NesterovOptions {
+        max_iters: 350,
+        min_iters: 40,
+        stop_overflow: 0.08,
+    };
+    let shapes_vec = shapes.to_vec();
+    let outcome = nesterov::minimize(&mut x, &bounds, &opts, |v, g| {
+        let pos: Vec<(f64, f64)> = (0..n).map(|i| (v[2 * i], v[2 * i + 1])).collect();
+        let mut wl_grad = vec![(0.0, 0.0); n];
+        wirelength_grad(&nets, &pos, gamma, pool, &mut wl_grad);
+        let field = Field::build(&shapes_vec, &pos, w, h, pool);
+        let mut density_grad = vec![(0.0, 0.0); n];
+        for (i, s) in shapes_vec.iter().enumerate() {
+            let (ex, ey) = field.field_on(s, pos[i]);
+            let q = s.w * s.h;
+            // ∇(q·ψ) = −q·E: descending this pushes charges apart.
+            density_grad[i] = (-q * ex, -q * ey);
+        }
+        if !lambda.is_finite() {
+            let wl_norm: f64 = wl_grad.iter().map(|g| g.0.abs() + g.1.abs()).sum();
+            let d_norm: f64 = density_grad.iter().map(|g| g.0.abs() + g.1.abs()).sum();
+            lambda = if d_norm > 0.0 { wl_norm / d_norm } else { 0.0 };
+        } else {
+            lambda *= LAMBDA_GROWTH;
+        }
+        for i in 0..n {
+            g[2 * i] = wl_grad[i].0 + lambda * density_grad[i].0;
+            g[2 * i + 1] = wl_grad[i].1 + lambda * density_grad[i].1;
+        }
+        field.overflow(total_area)
+    });
+
+    SolveResult {
+        pos: (0..n).map(|i| (x[2 * i], x[2 * i + 1])).collect(),
+        iterations: outcome.iterations,
+        overflow: outcome.overflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(name: &str, role: MemoryRole, w: f64, h: f64) -> MacroShape {
+        MacroShape {
+            name: name.into(),
+            role,
+            w,
+            h,
+        }
+    }
+
+    fn cu_like_shapes() -> Vec<MacroShape> {
+        let mut shapes = Vec::new();
+        for pe in 0..8 {
+            for b in 0..4 {
+                shapes.push(shape(
+                    &format!("pe{pe}/rf_bank{b}"),
+                    MemoryRole::RegisterFile,
+                    60.0,
+                    40.0,
+                ));
+            }
+        }
+        shapes.push(shape("cram0", MemoryRole::InstructionRam, 120.0, 80.0));
+        shapes.push(shape("lram0", MemoryRole::ScratchRam, 100.0, 90.0));
+        shapes.push(shape("fifo_req", MemoryRole::Fifo, 50.0, 30.0));
+        shapes.push(shape("fifo_rsp", MemoryRole::Fifo, 50.0, 30.0));
+        shapes.push(shape("sched0", MemoryRole::SchedulerState, 40.0, 40.0));
+        shapes
+    }
+
+    #[test]
+    fn net_model_covers_every_macro() {
+        let shapes = cu_like_shapes();
+        let nets = build_nets(
+            &shapes,
+            1000.0,
+            1000.0,
+            IoSide::Right,
+            &NetWeights::default(),
+        );
+        let mut covered = vec![false; shapes.len()];
+        for net in &nets {
+            assert!(net.weight > 0.0);
+            for pin in &net.pins {
+                if let Pin::Movable(i) = pin {
+                    covered[*i] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every macro is on some net");
+        // 8 PE groups + 1 flat group + io + control.
+        assert_eq!(nets.len(), 8 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn wa_gradient_matches_finite_differences() {
+        let shapes = cu_like_shapes();
+        let nets = build_nets(&shapes, 800.0, 800.0, IoSide::Left, &NetWeights::default());
+        let mut rng = 42u64;
+        let pos: Vec<(f64, f64)> = (0..shapes.len())
+            .map(|_| {
+                (
+                    100.0 + 600.0 * unit_f64(&mut rng),
+                    100.0 + 600.0 * unit_f64(&mut rng),
+                )
+            })
+            .collect();
+        let gamma = 48.0;
+        let pool = Pool::new(1);
+        let mut grad = vec![(0.0, 0.0); pos.len()];
+        let wl = wirelength_grad(&nets, &pos, gamma, &pool, &mut grad);
+        assert!(wl > 0.0);
+        let eps = 1e-4;
+        for probe in [0usize, 7, 20, pos.len() - 1] {
+            let mut plus = pos.clone();
+            plus[probe].0 += eps;
+            let mut minus = pos.clone();
+            minus[probe].0 -= eps;
+            let mut scratch = vec![(0.0, 0.0); pos.len()];
+            let f_plus = wirelength_grad(&nets, &plus, gamma, &pool, &mut scratch);
+            let mut scratch = vec![(0.0, 0.0); pos.len()];
+            let f_minus = wirelength_grad(&nets, &minus, gamma, &pool, &mut scratch);
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (grad[probe].0 - numeric).abs() < 1e-3 * (1.0 + numeric.abs()),
+                "macro {probe}: analytic {} vs numeric {numeric}",
+                grad[probe].0
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_field_pushes_charges_apart() {
+        // Two identical macros stacked at the same spot: the field at
+        // each must point away from the shared density peak once they
+        // are separated slightly.
+        let shapes = vec![
+            shape("a", MemoryRole::Other, 100.0, 100.0),
+            shape("b", MemoryRole::Other, 100.0, 100.0),
+        ];
+        let pool = Pool::new(1);
+        let pos = [(450.0, 500.0), (550.0, 500.0)];
+        let field = Field::build(&shapes, &pos, 1000.0, 1000.0, &pool);
+        let (ex_a, _) = field.field_on(&shapes[0], pos[0]);
+        let (ex_b, _) = field.field_on(&shapes[1], pos[1]);
+        assert!(ex_a < 0.0, "left charge pushed left, got {ex_a}");
+        assert!(ex_b > 0.0, "right charge pushed right, got {ex_b}");
+        // Stacked on one spot the bins overfill; separated they do not.
+        let stacked = Field::build(
+            &shapes,
+            &[(500.0, 500.0), (500.0, 500.0)],
+            1000.0,
+            1000.0,
+            &pool,
+        );
+        assert!(stacked.overflow(2.0 * 100.0 * 100.0) > 0.0);
+        assert!(field.overflow(2.0 * 100.0 * 100.0) < stacked.overflow(2.0 * 100.0 * 100.0));
+    }
+
+    #[test]
+    fn solve_spreads_and_anchors_io_macros() {
+        let shapes = cu_like_shapes();
+        let w = 900.0;
+        let h = 900.0;
+        let pool = Pool::new(1);
+        let solved = solve(
+            &shapes,
+            w,
+            h,
+            IoSide::Right,
+            &NetWeights::default(),
+            0,
+            &pool,
+        );
+        assert_eq!(solved.pos.len(), shapes.len());
+        // Density must end substantially flatter than the all-centered
+        // start (overflow ~0.9 at the center start).
+        assert!(solved.overflow < 0.5, "overflow {}", solved.overflow);
+        // The I/O FIFOs must end on the GMC-facing half.
+        for (s, &(x, _)) in shapes.iter().zip(&solved.pos) {
+            if s.role == MemoryRole::Fifo {
+                assert!(x > w / 2.0, "{} at x={x}, expected right half", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic_per_seed_and_varies_across_seeds() {
+        let shapes = cu_like_shapes();
+        let pool = Pool::new(1);
+        let a = solve(
+            &shapes,
+            900.0,
+            900.0,
+            IoSide::Left,
+            &NetWeights::default(),
+            7,
+            &pool,
+        );
+        let b = solve(
+            &shapes,
+            900.0,
+            900.0,
+            IoSide::Left,
+            &NetWeights::default(),
+            7,
+            &pool,
+        );
+        assert_eq!(a.pos, b.pos, "same seed must be bit-identical");
+        let c = solve(
+            &shapes,
+            900.0,
+            900.0,
+            IoSide::Left,
+            &NetWeights::default(),
+            8,
+            &pool,
+        );
+        assert_ne!(a.pos, c.pos, "different seed should explore differently");
+    }
+}

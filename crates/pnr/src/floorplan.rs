@@ -93,16 +93,11 @@ pub struct Floorplan {
 }
 
 impl Floorplan {
-    /// The (first) memory-controller partition.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the floorplan has no memory controller (never the
-    /// case for floorplans produced by [`build_floorplan`]).
-    pub fn gmc(&self) -> &Partition {
-        self.gmcs()
-            .next()
-            .expect("floorplan has a memory controller")
+    /// The (first) memory-controller partition, or `None` for
+    /// hand-built floorplans without one (floorplans produced by
+    /// [`build_floorplan`] always have it).
+    pub fn gmc(&self) -> Option<&Partition> {
+        self.gmcs().next()
     }
 
     /// All memory-controller partitions (more than one when the design
@@ -127,7 +122,7 @@ impl Floorplan {
         let cu = self.cus().nth(i)?;
         self.gmcs()
             .map(|g| cu.rect.center_distance(&g.rect))
-            .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite"))
+            .min_by(|a, b| a.value().total_cmp(&b.value()))
     }
 }
 

@@ -1,0 +1,317 @@
+//! Incremental place-and-route for the DSE inner loop.
+//!
+//! [`IncrementalPnr`] keeps two content-addressed caches warm across
+//! the candidate versions a design-space exploration evaluates:
+//!
+//! * **partition solves** — the analytical placer's per-partition
+//!   results, keyed by `(module fingerprint, partition shape, I/O
+//!   side, net weights, seed)` ([`crate::place`]'s solve key). A
+//!   DivideMemory or PipelineInsert candidate changes one partition
+//!   module's fingerprint; its clones miss the cache and are re-solved,
+//!   every untouched partition is a lookup.
+//! * **module timing** — an embedded [`ggpu_sta::IncrementalSta`], fed
+//!   through `analyze_delta` with the caller's dirty set (the PR 4
+//!   transform journal's dirty modules) plus the top module, which
+//!   route annotation always rewrites.
+//!
+//! Like the STA engine, the dirty set is *advisory*: content
+//! addressing keeps results exact even when a caller under-reports,
+//! and the [`PnrStats::undeclared_dirty`] counter surfaces the
+//! instrumentation bug. [`IncrementalPnr::place_and_route_delta`]
+//! therefore returns layouts bit-identical to a from-scratch
+//! [`crate::place_and_route`] under the same options — only faster.
+
+use crate::floorplan::build_floorplan;
+use crate::place::{place_macros_impl, PlaceStats, PlacedMacro};
+use crate::pool::Pool;
+use crate::route::{annotate_routes, estimate_wirelength};
+use crate::{Layout, PnrError, PnrOptions};
+use ggpu_netlist::{Design, ModuleId};
+use ggpu_sta::{EngineStats, IncrementalSta};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The dirty set of one DSE transform, in the journal's terms: the
+/// modules whose contents changed since the last placement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementDelta {
+    /// Modules mutated by the transform (e.g. the divided memory's
+    /// owner and every module on its hierarchy path). Advisory — see
+    /// the module docs.
+    pub dirty: Vec<ModuleId>,
+}
+
+impl PlacementDelta {
+    /// A delta dirtying exactly the given modules.
+    pub fn of(dirty: Vec<ModuleId>) -> Self {
+        Self { dirty }
+    }
+}
+
+/// Cumulative counters of an incremental session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PnrStats {
+    /// Placement-side counters (solves, cache hits, shelf fallbacks).
+    pub place: PlaceStats,
+    /// Full `place_and_route` calls.
+    pub full_runs: u64,
+    /// `place_and_route_delta` calls.
+    pub delta_runs: u64,
+    /// Partitions whose module fingerprint changed although no delta
+    /// declared them dirty. Nonzero flags a transform that forgot to
+    /// journal a mutation; results stay exact regardless.
+    pub undeclared_dirty: u64,
+}
+
+/// A persistent place-and-route session: construct once, then feed it
+/// the candidate designs of a DSE sweep. See the
+/// [module docs](crate::incremental) for the caching scheme.
+#[derive(Debug)]
+pub struct IncrementalPnr {
+    options: PnrOptions,
+    sta: IncrementalSta,
+    solves: HashMap<u64, Arc<Vec<PlacedMacro>>>,
+    /// Last-seen module fingerprint per partition module, for the
+    /// undeclared-dirty audit.
+    fingerprints: HashMap<ModuleId, u64>,
+    stats: PnrStats,
+}
+
+impl IncrementalPnr {
+    /// Creates an empty session with the given flow options.
+    pub fn new(options: PnrOptions) -> Self {
+        Self {
+            options,
+            sta: IncrementalSta::new(),
+            solves: HashMap::new(),
+            fingerprints: HashMap::new(),
+            stats: PnrStats::default(),
+        }
+    }
+
+    /// The options this session places under.
+    pub fn options(&self) -> &PnrOptions {
+        &self.options
+    }
+
+    /// Places and routes `design` from scratch (warming both caches).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::place_and_route`].
+    pub fn place_and_route(
+        &mut self,
+        design: &Design,
+        tech: &Tech,
+        target: Mhz,
+    ) -> Result<Layout, PnrError> {
+        self.stats.full_runs += 1;
+        self.run(design, tech, target, None)
+    }
+
+    /// Re-places and re-times `design` after a transform whose dirty
+    /// set is `delta`. Bit-identical to [`Self::place_and_route`] on
+    /// the same design; only the dirtied partitions are re-solved and
+    /// re-timed.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::place_and_route`].
+    pub fn place_and_route_delta(
+        &mut self,
+        design: &Design,
+        tech: &Tech,
+        target: Mhz,
+        delta: &PlacementDelta,
+    ) -> Result<Layout, PnrError> {
+        self.stats.delta_runs += 1;
+        self.run(design, tech, target, Some(delta))
+    }
+
+    fn run(
+        &mut self,
+        design: &Design,
+        tech: &Tech,
+        target: Mhz,
+        delta: Option<&PlacementDelta>,
+    ) -> Result<Layout, PnrError> {
+        // The floorplan is cheap (statistics only) and must track the
+        // design exactly, so it is always rebuilt.
+        let floorplan = build_floorplan(design, tech, self.options.densities)?;
+
+        // Audit the dirty set against the partition fingerprints
+        // before placement refreshes them.
+        if let Some(delta) = delta {
+            for part in &floorplan.partitions {
+                let fp = design.module_fingerprint(part.module);
+                if let Some(&seen) = self.fingerprints.get(&part.module) {
+                    if seen != fp && !delta.dirty.contains(&part.module) {
+                        self.stats.undeclared_dirty += 1;
+                    }
+                }
+            }
+        }
+        for part in &floorplan.partitions {
+            self.fingerprints
+                .insert(part.module, design.module_fingerprint(part.module));
+        }
+
+        let placements = place_macros_impl(
+            design,
+            &floorplan,
+            tech,
+            &self.options,
+            Pool::global(),
+            &mut self.solves,
+            &mut self.stats.place,
+        )?;
+        let wirelength = estimate_wirelength(design, &floorplan, tech)?;
+        let macro_hpwl =
+            crate::place::macro_hpwl(&floorplan, &placements, &self.options.net_weights);
+
+        let mut annotated = design.clone();
+        let cu_route_delays = annotate_routes(&mut annotated, &floorplan, tech)?;
+        // Route annotation rewrites the top module's paths, so the top
+        // is dirty on every run regardless of what the caller declared.
+        let post_route = match delta {
+            Some(delta) => {
+                let mut dirty = delta.dirty.clone();
+                let top = annotated.top();
+                if !dirty.contains(&top) {
+                    dirty.push(top);
+                }
+                self.sta.analyze_delta(&annotated, tech, target, &dirty)?
+            }
+            None => self.sta.analyze(&annotated, tech, target)?,
+        };
+        let fmax = self
+            .sta
+            .max_frequency(&annotated, tech)?
+            .unwrap_or(Mhz::new(f64::INFINITY));
+        let meets_timing = post_route.meets_timing();
+        let achieved_clock = if meets_timing { target } else { fmax };
+
+        Ok(Layout {
+            design: design.name().to_string(),
+            target,
+            floorplan,
+            placements,
+            wirelength,
+            macro_hpwl,
+            placer: self.options.placer,
+            post_route,
+            fmax,
+            cu_route_delays,
+            meets_timing,
+            achieved_clock,
+        })
+    }
+
+    /// Snapshot of the session counters.
+    pub fn stats(&self) -> PnrStats {
+        self.stats
+    }
+
+    /// Counters of the embedded STA engine.
+    pub fn sta_stats(&self) -> EngineStats {
+        self.sta.stats()
+    }
+
+    /// Number of cached partition solves.
+    pub fn cached_solves(&self) -> usize {
+        self.solves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::Placer;
+    use crate::place_and_route;
+    use ggpu_rtl::{generate, GgpuConfig};
+
+    fn analytical_options() -> PnrOptions {
+        PnrOptions {
+            placer: Placer::Analytical,
+            ..PnrOptions::default()
+        }
+    }
+
+    #[test]
+    fn session_matches_scratch_flow_bit_for_bit() {
+        let d = generate(&GgpuConfig::with_cus(2).unwrap()).unwrap();
+        let tech = Tech::l65();
+        let target = Mhz::new(500.0);
+        let options = analytical_options();
+        let scratch = place_and_route(&d, &tech, target, options).unwrap();
+        let mut session = IncrementalPnr::new(options);
+        let warm = session.place_and_route(&d, &tech, target).unwrap();
+        assert_eq!(scratch, warm);
+        // A delta run on the unchanged design is also identical.
+        let delta = session
+            .place_and_route_delta(&d, &tech, target, &PlacementDelta::default())
+            .unwrap();
+        assert_eq!(scratch, delta);
+    }
+
+    #[test]
+    fn unchanged_delta_is_all_cache_hits() {
+        let d = generate(&GgpuConfig::with_cus(4).unwrap()).unwrap();
+        let tech = Tech::l65();
+        let target = Mhz::new(500.0);
+        let mut session = IncrementalPnr::new(analytical_options());
+        session.place_and_route(&d, &tech, target).unwrap();
+        let solves_after_warmup = session.stats().place.solves;
+        session
+            .place_and_route_delta(&d, &tech, target, &PlacementDelta::default())
+            .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.place.solves, solves_after_warmup, "no new solves");
+        assert_eq!(stats.undeclared_dirty, 0);
+    }
+
+    #[test]
+    fn dirty_partition_is_resolved_and_audited() {
+        let mut d = generate(&GgpuConfig::with_cus(2).unwrap()).unwrap();
+        let tech = Tech::l65();
+        let target = Mhz::new(500.0);
+        let mut session = IncrementalPnr::new(analytical_options());
+        session.place_and_route(&d, &tech, target).unwrap();
+        let warm_solves = session.stats().place.solves;
+
+        // Mutate the memory controller: change one macro's role,
+        // which changes the module fingerprint (and the net model)
+        // but not the geometry or any timing path.
+        let gmc_id = build_floorplan(&d, &tech, Default::default())
+            .unwrap()
+            .gmc()
+            .unwrap()
+            .module;
+        use ggpu_netlist::module::MemoryRole;
+        let macro_name = d.module(gmc_id).macros[0].name.clone();
+        d.module_mut(gmc_id).macros[0].role = MemoryRole::ScratchRam;
+
+        // Declared dirty: one fresh solve, no audit hit.
+        let layout = session
+            .place_and_route_delta(&d, &tech, target, &PlacementDelta::of(vec![gmc_id]))
+            .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.place.solves, warm_solves + 1);
+        assert_eq!(stats.undeclared_dirty, 0);
+        assert!(layout.placements.iter().any(|p| p
+            .macros
+            .iter()
+            .any(|m| m.name == macro_name && m.role == MemoryRole::ScratchRam)));
+
+        // Mutate again without declaring: still exact, but audited.
+        d.module_mut(gmc_id).macros[0].role = MemoryRole::Other;
+        let sneaky = session
+            .place_and_route_delta(&d, &tech, target, &PlacementDelta::default())
+            .unwrap();
+        assert_eq!(session.stats().undeclared_dirty, 1);
+        let scratch = place_and_route(&d, &tech, target, analytical_options()).unwrap();
+        assert_eq!(sneaky, scratch, "under-reported delta must stay exact");
+    }
+}

@@ -25,24 +25,48 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Placers
+//!
+//! Macro placement inside the partitions runs one of two engines,
+//! selected by [`PnrOptions::placer`]: the seed-era shelf packer
+//! ([`Placer::Legacy`], the bit-stable default that all Table-I
+//! datasheets pin), or the electrostatic analytical placer
+//! ([`Placer::Analytical`], [`eplace`]) whose gradient evaluation runs
+//! data-parallel on the `GGPU_THREADS`-sized global worker pool
+//! ([`pool::Pool::global`]). [`incremental::IncrementalPnr`] keeps the
+//! analytical solves and the STA module cache warm across DSE
+//! candidates.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod eplace;
 pub mod floorplan;
 pub mod geometry;
+pub mod incremental;
+mod nesterov;
 pub mod place;
+pub mod pool;
 pub mod route;
 pub mod svg;
 
 use ggpu_netlist::Design;
 use ggpu_sta::{analyze, max_frequency, StaError, TimingReport};
 use ggpu_tech::sram::CompileSramError;
-use ggpu_tech::units::{Mhz, Ns};
+use ggpu_tech::units::{Mhz, Ns, Um};
 use ggpu_tech::Tech;
 use std::error::Error;
 use std::fmt;
 
+pub use eplace::NetWeights;
 pub use floorplan::{build_floorplan, DensityTargets, Floorplan, Partition, PartitionKind};
 pub use geometry::Rect;
-pub use place::{place_macros, PlacedMacro, PlacedPartition, MAX_CELL_UTILIZATION};
+pub use incremental::{IncrementalPnr, PlacementDelta, PnrStats};
+pub use place::{
+    macro_hpwl, place_macros, place_macros_pooled, place_macros_with, PlaceStats, PlacedMacro,
+    PlacedPartition, Placer, MAX_CELL_UTILIZATION,
+};
+pub use pool::{configured_threads, Pool};
 pub use route::{annotate_routes, estimate_wirelength, LayerWirelength};
 pub use svg::{role_color, to_placement_report, to_svg};
 
@@ -51,6 +75,15 @@ pub use svg::{role_color, to_placement_report, to_svg};
 pub struct PnrOptions {
     /// Partition density targets.
     pub densities: DensityTargets,
+    /// Which macro placer fills the partitions.
+    pub placer: Placer,
+    /// Net weights of the analytical placer's dataflow net model
+    /// (ignored by the legacy placer). The planner derives these from
+    /// kernel traffic profiles; the defaults model a generic
+    /// memory-bound workload.
+    pub net_weights: NetWeights,
+    /// Seed of the analytical placer's deterministic initial jitter.
+    pub seed: u64,
 }
 
 /// Errors of the physical flow.
@@ -58,6 +91,8 @@ pub struct PnrOptions {
 pub enum PnrError {
     /// The design lacks an expected partition module.
     MissingPartition(&'static str),
+    /// The technology's metal stack lacks an expected routing layer.
+    MissingLayer(&'static str),
     /// A macro geometry is outside the memory-compiler range.
     Sram(CompileSramError),
     /// A partition cannot physically hold its macros.
@@ -82,6 +117,7 @@ impl fmt::Display for PnrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PnrError::MissingPartition(p) => write!(f, "design has no {p} partition"),
+            PnrError::MissingLayer(l) => write!(f, "metal stack has no {l} layer"),
             PnrError::Sram(e) => write!(f, "memory compiler: {e}"),
             PnrError::MacrosDoNotFit {
                 partition,
@@ -128,6 +164,13 @@ pub struct Layout {
     pub placements: Vec<PlacedPartition>,
     /// Per-layer signal wirelength (Table II).
     pub wirelength: LayerWirelength,
+    /// Exact weighted macro half-perimeter wirelength of the placement
+    /// under the dataflow net model — the analytical placer's figure
+    /// of merit, also evaluated for legacy placements so the two are
+    /// comparable.
+    pub macro_hpwl: Um,
+    /// Which placer produced [`Layout::placements`].
+    pub placer: Placer,
     /// Post-route timing at the requested clock.
     pub post_route: TimingReport,
     /// Post-route maximum frequency.
@@ -157,13 +200,14 @@ pub fn place_and_route(
     options: PnrOptions,
 ) -> Result<Layout, PnrError> {
     let floorplan = build_floorplan(design, tech, options.densities)?;
-    let placements = place_macros(design, &floorplan, tech)?;
+    let placements = place_macros_with(design, &floorplan, tech, &options)?;
     let wirelength = estimate_wirelength(design, &floorplan, tech)?;
+    let hpwl = macro_hpwl(&floorplan, &placements, &options.net_weights);
 
     // Route annotation happens on a copy: PnR must not mutate the
     // caller's netlist.
     let mut annotated = design.clone();
-    let cu_route_delays = annotate_routes(&mut annotated, &floorplan, tech);
+    let cu_route_delays = annotate_routes(&mut annotated, &floorplan, tech)?;
     let post_route = analyze(&annotated, tech, target)?;
     let fmax = max_frequency(&annotated, tech)?.unwrap_or(Mhz::new(f64::INFINITY));
     let meets_timing = post_route.meets_timing();
@@ -175,6 +219,8 @@ pub fn place_and_route(
         floorplan,
         placements,
         wirelength,
+        macro_hpwl: hpwl,
+        placer: options.placer,
         post_route,
         fmax,
         cu_route_delays,

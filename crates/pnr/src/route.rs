@@ -138,27 +138,35 @@ pub fn estimate_wirelength(
 /// routing wires introduce a significant capacitance because of the
 /// long distance between the peripheral CUs and the general memory
 /// controller"*.
-pub fn annotate_routes(design: &mut Design, floorplan: &Floorplan, tech: &Tech) -> Vec<Ns> {
+///
+/// # Errors
+///
+/// Returns [`PnrError::MissingLayer`] if the technology has no M6
+/// routing layer, or [`PnrError::MissingPartition`] if the floorplan
+/// has no memory controller.
+pub fn annotate_routes(
+    design: &mut Design,
+    floorplan: &Floorplan,
+    tech: &Tech,
+) -> Result<Vec<Ns>, PnrError> {
     let m6 = tech
         .metal_stack
         .by_name("M6")
-        .expect("l65 stack has M6")
+        .ok_or(PnrError::MissingLayer("M6"))?
         .clone();
     let wire = BufferedWire::on_layer(&m6);
-    let cu_delays: Vec<(String, Ns)> = floorplan
-        .cus()
-        .map(|cu| {
-            let dist = floorplan
-                .gmcs()
-                .map(|g| cu.rect.center_distance(&g.rect))
-                .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite"))
-                .expect("floorplan has a controller");
-            (
-                cu.name.clone(),
-                wire.delay(dist * ROUTE_DETOUR) + ROUTE_OVERHEAD,
-            )
-        })
-        .collect();
+    let mut cu_delays: Vec<(String, Ns)> = Vec::new();
+    for cu in floorplan.cus() {
+        let dist = floorplan
+            .gmcs()
+            .map(|g| cu.rect.center_distance(&g.rect))
+            .min_by(|a, b| a.value().total_cmp(&b.value()))
+            .ok_or(PnrError::MissingPartition("memory_controller"))?;
+        cu_delays.push((
+            cu.name.clone(),
+            wire.delay(dist * ROUTE_DETOUR) + ROUTE_OVERHEAD,
+        ));
+    }
 
     let top_id = design.top();
     let top = design.module_mut(top_id);
@@ -179,7 +187,7 @@ pub fn annotate_routes(design: &mut Design, floorplan: &Floorplan, tech: &Tech) 
     if let Some(path) = top.paths.iter_mut().find(|p| p.name == "dispatch") {
         path.route_delay = max_delay * 0.6;
     }
-    delays
+    Ok(delays)
 }
 
 #[cfg(test)]
@@ -244,7 +252,7 @@ mod tests {
     fn annotation_sets_per_cu_route_delays() {
         let (mut d, fp, tech) = setup(8);
         let before = max_frequency(&d, &tech).unwrap().unwrap();
-        let delays = annotate_routes(&mut d, &fp, &tech);
+        let delays = annotate_routes(&mut d, &fp, &tech).unwrap();
         assert_eq!(delays.len(), 8);
         // On the *unoptimized* design the memory paths still dominate,
         // so the baseline fmax must not change (the paper's routes only
@@ -272,7 +280,7 @@ mod tests {
     #[test]
     fn one_cu_routes_are_short() {
         let (mut d, fp, tech) = setup(1);
-        let delays = annotate_routes(&mut d, &fp, &tech);
+        let delays = annotate_routes(&mut d, &fp, &tech).unwrap();
         assert_eq!(delays.len(), 1);
         assert!(
             delays[0].value() < 0.5,

@@ -1,0 +1,58 @@
+//! Renders the extended-geometry layouts the analytical placer
+//! unlocks: 16- and 32-CU machines (past the paper's 8-CU ceiling,
+//! its listed future work) placed by the electrostatic solver with
+//! kernel-derived net weights, as SVG files with macros coloured by
+//! role.
+//!
+//! ```text
+//! cargo run --release --example analytical_layouts [out_dir]
+//! ```
+//!
+//! The checked-in `examples/analytical_16cu.svg` and
+//! `examples/analytical_32cu.svg` were produced by this example.
+
+use g_gpu::planner::dataflow_net_weights;
+use g_gpu::pnr::{place_and_route, to_svg, Placer, PnrOptions};
+use g_gpu::rtl::{generate, GgpuConfig};
+use g_gpu::tech::units::Mhz;
+use g_gpu::tech::Tech;
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples".into())
+        .into();
+    fs::create_dir_all(&out_dir)?;
+    let tech = Tech::l65();
+    let options = PnrOptions {
+        placer: Placer::Analytical,
+        net_weights: dataflow_net_weights()?,
+        ..PnrOptions::default()
+    };
+
+    for cus in [16u32, 32] {
+        let config = GgpuConfig {
+            compute_units: cus,
+            memory_controllers: 2,
+            allow_extended_cus: true,
+            ..GgpuConfig::default()
+        };
+        let design = generate(&config)?;
+        let layout = place_and_route(&design, &tech, Mhz::new(500.0), options)?;
+        let path = out_dir.join(format!("analytical_{cus}cu.svg"));
+        fs::write(&path, to_svg(&layout))?;
+        let macros: usize = layout.placements.iter().map(|p| p.macros.len()).sum();
+        println!(
+            "{cus} CUs: {} macros, chip {:.2} mm2, HPWL {:.1} mm, fmax {:.0} -> {}",
+            macros,
+            layout.floorplan.chip.area().to_mm2(),
+            layout.macro_hpwl.to_mm(),
+            layout.fmax,
+            path.display()
+        );
+    }
+    Ok(())
+}

@@ -47,6 +47,14 @@ echo "== smoke (STA perf baseline, 1-CU scenarios) =="
 # candidate on the journal path.
 cargo run --release -p ggpu-bench --bin sta_bench -- --smoke --out target/BENCH_sta_smoke.json
 
+echo "== smoke (analytical placer quality + incremental PnR) =="
+# Legacy vs analytical HPWL on shared floorplans (asserts the
+# analytical placer wins at 8 CUs) and the scratch-vs-incremental
+# comparison (asserts the one-dirty-partition delta path is >= 5x
+# faster while producing bit-identical layouts). Tracked baseline is
+# the checked-in BENCH_pnr.json from the full (non-smoke) run.
+cargo run --release -p ggpu-bench --bin pnr_bench -- --smoke --out target/BENCH_pnr_smoke.json
+
 echo "== smoke (transform engine baseline) =="
 # Journal replay vs deep-clone replay, revert-walk fidelity and the
 # beam-width comparison; the tracked baseline is BENCH_journal.json
