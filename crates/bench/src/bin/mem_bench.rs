@@ -1,0 +1,207 @@
+//! Memory-geometry benchmark: what LRAM banking buys (and costs)
+//! across the shipped kernel suite, plus the planner's banking
+//! co-optimization outcome.
+//!
+//! Two sections, both asserted as CI gates while they measure:
+//!
+//! 1. **Per-kernel conflict profile** — every shipped kernel runs
+//!    under the ideal LRAM model and under 4- and 8-bank conflict
+//!    models. Banking may only add cycles, never change results (the
+//!    kernel harness golden-checks every run), and the ideal model
+//!    never charges conflict beats. `mat_mul_local` — the one kernel
+//!    with LRAM traffic — must conflict on 4 banks and run
+//!    conflict-free on 8, the asymmetry the `BankMemory` transform
+//!    exploits.
+//! 2. **Co-optimization** — [`gpuplanner::co_optimize_memory`] at
+//!    1 CU / 500 MHz over bank factors {2, 4}: the winner must be a
+//!    banked, timing-met plan with a strictly better `mat_mul_local`
+//!    runtime than the unbanked frequency-map plan.
+//!
+//! Results go to `BENCH_mem.json` (override with `--out PATH`);
+//! `--smoke` runs the CI-sized grid.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin mem_bench
+//! cargo run --release -p ggpu-bench --bin mem_bench -- --smoke --out target/BENCH_mem_smoke.json
+//! ```
+
+use ggpu_kernels::bench::{self, Bench};
+use ggpu_rtl::{generate, GgpuConfig};
+use ggpu_simt::{LramModel, RunStats, SimtConfig};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use gpuplanner::{co_optimize_memory, MemOptConfig, MemoryCoOptimized};
+use std::fmt::Write as _;
+
+struct Row {
+    kernel: &'static str,
+    n: u32,
+    ideal_cycles: u64,
+    banked4_cycles: u64,
+    banked4_conflicts: u64,
+    banked8_cycles: u64,
+    banked8_conflicts: u64,
+}
+
+fn run_lram(bench: &Bench, n: u32, lram: LramModel) -> RunStats {
+    let config = SimtConfig {
+        lram,
+        ..SimtConfig::default()
+    };
+    bench
+        .run_gpu_with(n, config)
+        .unwrap_or_else(|e| panic!("{} under {lram:?} failed: {e:?}", bench.name))
+}
+
+fn profile(bench: &Bench, n: u32) -> Row {
+    let ideal = run_lram(bench, n, LramModel::Ideal);
+    let b4 = run_lram(bench, n, LramModel::Banked { banks: 4 });
+    let b8 = run_lram(bench, n, LramModel::Banked { banks: 8 });
+    // Banking is a timing model: it may only add beats (results are
+    // golden-checked inside run_gpu_with), and the ideal LRAM never
+    // charges conflicts.
+    assert_eq!(ideal.lram_conflict_cycles, 0, "{}", bench.name);
+    assert!(b4.cycles >= ideal.cycles, "{}", bench.name);
+    assert!(b8.cycles >= ideal.cycles, "{}", bench.name);
+    assert!(
+        b8.lram_conflict_cycles <= b4.lram_conflict_cycles,
+        "{}: more banks must not conflict more",
+        bench.name
+    );
+    Row {
+        kernel: bench.name,
+        n,
+        ideal_cycles: ideal.cycles,
+        banked4_cycles: b4.cycles,
+        banked4_conflicts: b4.lram_conflict_cycles,
+        banked8_cycles: b8.cycles,
+        banked8_conflicts: b8.lram_conflict_cycles,
+    }
+}
+
+fn render_json(rows: &[Row], co: &MemoryCoOptimized, target: Mhz, n: u32, smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"mem\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"kernels\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"ideal_cycles\": {}, \
+             \"banked4\": {{\"cycles\": {}, \"conflict_cycles\": {}}}, \
+             \"banked8\": {{\"cycles\": {}, \"conflict_cycles\": {}}}}}",
+            r.kernel,
+            r.n,
+            r.ideal_cycles,
+            r.banked4_cycles,
+            r.banked4_conflicts,
+            r.banked8_cycles,
+            r.banked8_conflicts,
+        );
+        out.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"co_optimization\": {{");
+    let _ = writeln!(out, "    \"kernel\": \"mat_mul_local\",");
+    let _ = writeln!(out, "    \"n\": {n},");
+    let _ = writeln!(out, "    \"target_mhz\": {:.0},", target.value());
+    out.push_str("    \"candidates\": [\n");
+    for (idx, c) in co.candidates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"banks_per_macro\": {}, \"group_banks\": {}, \
+             \"fmax_mhz\": {:.1}, \"meets_timing\": {}, \"cycles\": {}, \
+             \"conflict_cycles\": {}, \"runtime_us\": {:.3}, \
+             \"parity_check_bits\": {}}}",
+            c.banks_per_macro,
+            c.group_banks,
+            c.fmax.value(),
+            c.meets_timing,
+            c.cycles,
+            c.conflict_cycles,
+            c.runtime_us,
+            c.ecc_check_bits,
+        );
+        out.push_str(if idx + 1 < co.candidates.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ],\n");
+    let winner = co.winner();
+    let unbanked = &co.candidates[0];
+    let _ = writeln!(
+        out,
+        "    \"winner_banks_per_macro\": {},",
+        winner.banks_per_macro
+    );
+    let _ = writeln!(
+        out,
+        "    \"runtime_improvement_pct\": {:.2}",
+        100.0 * (unbanked.runtime_us - winner.runtime_us) / unbanked.runtime_us
+    );
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mem.json".into());
+
+    let mut kernels: Vec<Bench> = bench::all().to_vec();
+    kernels.push(bench::mat_mul_local());
+
+    let mut rows = Vec::new();
+    for b in &kernels {
+        // mat_mul_local needs full wavefronts; 256 satisfies both.
+        let n = if smoke { 256 } else { b.gpu_n };
+        eprintln!("profiling {} (n={n}) ...", b.name);
+        let row = profile(b, n);
+        eprintln!(
+            "  ideal {} cyc; 4 banks +{} conflict cyc; 8 banks +{}",
+            row.ideal_cycles, row.banked4_conflicts, row.banked8_conflicts
+        );
+        rows.push(row);
+    }
+    // The asymmetry the BankMemory transform exploits: the LRAM-tiled
+    // kernel conflicts on the baseline 4-bank group and runs clean on 8.
+    let local = rows
+        .iter()
+        .find(|r| r.kernel == "mat_mul_local")
+        .expect("local kernel profiled");
+    assert!(local.banked4_conflicts > 0, "4 banks must conflict");
+    assert_eq!(local.banked8_conflicts, 0, "8 banks must be conflict-free");
+
+    let target = Mhz::new(500.0);
+    let n = 256;
+    eprintln!("co-optimizing LRAM banking (1 CU @ {target:.0}, n={n}) ...");
+    let base = generate(&GgpuConfig::with_cus(1).expect("1 CU")).expect("generates");
+    let co = co_optimize_memory(&base, &Tech::l65(), target, &MemOptConfig::new(1, n))
+        .expect("co-optimization succeeds");
+    // The acceptance gate: the DSE must *choose* banking, and the
+    // banked plan must beat the unbanked frequency-map plan on the
+    // cycle objective while still meeting timing.
+    let winner = co.winner();
+    let unbanked = &co.candidates[0];
+    assert!(winner.banks_per_macro > 1, "banking must win the objective");
+    assert!(winner.meets_timing, "winner must still close timing");
+    assert!(winner.cycles < unbanked.cycles, "winner must save cycles");
+    assert!(winner.runtime_us < unbanked.runtime_us);
+    assert!(!co.plan.bankings.is_empty(), "plan must carry the banking");
+    eprintln!(
+        "  winner: {} banks/macro ({} group banks), {:.3} us vs {:.3} us unbanked",
+        winner.banks_per_macro, winner.group_banks, winner.runtime_us, unbanked.runtime_us
+    );
+
+    let json = render_json(&rows, &co, target, n, smoke);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

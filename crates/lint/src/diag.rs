@@ -100,11 +100,14 @@ pub enum Code {
     /// resolves its role to `none`). Only emitted by the resilience
     /// lint, which callers invoke when a target exists.
     N008,
+    /// Flow invariant: memory banking must preserve total macro bits
+    /// and grow the port budget by exactly the added banks' ports.
+    N009,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 21] = [
         Code::K001,
         Code::K002,
         Code::K003,
@@ -125,6 +128,7 @@ impl Code {
         Code::N006,
         Code::N007,
         Code::N008,
+        Code::N009,
     ];
 
     /// The stable textual form (`"K001"`, …).
@@ -150,6 +154,7 @@ impl Code {
             Code::N006 => "N006",
             Code::N007 => "N007",
             Code::N008 => "N008",
+            Code::N009 => "N009",
         }
     }
 
@@ -181,7 +186,8 @@ impl Code {
             | Code::N004
             | Code::N005
             | Code::N006
-            | Code::N007 => Severity::Deny,
+            | Code::N007
+            | Code::N009 => Severity::Deny,
         }
     }
 
@@ -217,6 +223,7 @@ impl Code {
             Code::N006 => "pipeline insertion broke timing endpoints",
             Code::N007 => "missing top module or instantiation cycle",
             Code::N008 => "SRAM macro without ECC/parity under a resilience target",
+            Code::N009 => "memory banking changed stored bits or port budget",
         }
     }
 }

@@ -32,6 +32,7 @@
 pub mod design;
 pub mod ecc;
 pub mod export;
+pub mod geometry;
 pub mod ids;
 pub mod module;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod timing;
 pub use design::{design_clone_count, module_copy_count, Design, MacroIter, ModuleSnapshot};
 pub use ecc::EccPolicy;
 pub use export::to_structural_verilog;
+pub use geometry::{BankGroupId, MemGeometry};
 pub use ids::ModuleId;
 pub use module::{CellGroup, Instance, MacroInst, MemoryRole, Module};
 pub use stats::{design_stats, NetlistStats};

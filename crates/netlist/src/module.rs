@@ -114,6 +114,10 @@ pub struct MacroInst {
     /// Average accesses per clock cycle (0.0–1.0 per port), used by the
     /// dynamic-power rollup.
     pub access_activity: f64,
+    /// Structural bank group: macros implementing the banks of one
+    /// logical memory carry the same id (see [`crate::geometry`]).
+    /// `None` for a standalone macro.
+    pub bank_group: Option<crate::geometry::BankGroupId>,
 }
 
 /// Structural hash; the access activity participates via its IEEE-754
@@ -124,6 +128,7 @@ impl Hash for MacroInst {
         self.config.hash(state);
         self.role.hash(state);
         state.write_u64(self.access_activity.to_bits());
+        self.bank_group.hash(state);
     }
 }
 
@@ -148,7 +153,14 @@ impl MacroInst {
             config,
             role,
             access_activity,
+            bank_group: None,
         }
+    }
+
+    /// Assigns the structural bank group (builder style).
+    pub fn with_bank_group(mut self, group: crate::geometry::BankGroupId) -> Self {
+        self.bank_group = Some(group);
+        self
     }
 }
 

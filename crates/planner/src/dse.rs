@@ -14,10 +14,10 @@
 use crate::cache::StaCache;
 use crate::journal::TransformJournal;
 use crate::map::{advise_delta, advise_with, Advice};
-use ggpu_lint::{check_division, check_pipeline, FlowSnapshot, LintConfig, Report};
+use ggpu_lint::{check_banking, check_division, check_pipeline, FlowSnapshot, LintConfig, Report};
 use ggpu_netlist::{Design, ModuleId};
 use ggpu_sta::StaError;
-use ggpu_synth::{bank_base, divide_macro, insert_pipeline, DivideAxis, TransformError};
+use ggpu_synth::{bank_macro, divide_macro, insert_pipeline, DivideAxis, TransformError};
 use ggpu_tech::units::Mhz;
 use ggpu_tech::Tech;
 use std::collections::{BTreeMap, BTreeSet};
@@ -39,6 +39,16 @@ pub enum Action {
         /// Division axis.
         axis: DivideAxis,
     },
+    /// Re-bank the named macro's structural group into `banks`
+    /// word-interleaved banks each.
+    Bank {
+        /// Module owning the macro.
+        module: String,
+        /// Macro name (one representative member of the group).
+        macro_name: String,
+        /// Banks per member macro (power of two, >= 2).
+        banks: u32,
+    },
     /// Insert a pipeline register at the midpoint of the named path.
     Pipeline {
         /// Module owning the path.
@@ -58,6 +68,11 @@ impl fmt::Display for Action {
                 factor,
                 axis,
             } => write!(f, "divide {module}/{macro_name} x{factor} ({axis})"),
+            Action::Bank {
+                module,
+                macro_name,
+                banks,
+            } => write!(f, "bank {module}/{macro_name} x{banks}"),
             Action::Pipeline { module, path } => write!(f, "pipeline {module}/{path}"),
         }
     }
@@ -72,6 +87,12 @@ impl fmt::Display for Action {
 pub struct OptimizationPlan {
     /// Total division factor per `(module, macro)`.
     pub divisions: BTreeMap<(String, String), u32>,
+    /// Banks per member macro for each banked `(module, macro)` group.
+    /// Keys name post-division macros (banking composes after the
+    /// divisions of the same plan). Empty on every legacy plan — the
+    /// frequency-map loop never banks; only the memory co-optimizer
+    /// ([`crate::memopt`]) fills this in.
+    pub bankings: BTreeMap<(String, String), u32>,
     /// Pipeline insertions in application order.
     pub pipelines: Vec<(String, String)>,
 }
@@ -79,12 +100,13 @@ pub struct OptimizationPlan {
 impl OptimizationPlan {
     /// `true` if the plan performs no work.
     pub fn is_empty(&self) -> bool {
-        self.divisions.is_empty() && self.pipelines.is_empty()
+        self.divisions.is_empty() && self.bankings.is_empty() && self.pipelines.is_empty()
     }
 
     /// All actions of the plan in canonical application order:
-    /// divisions in `BTreeMap` key order, then pipelines in insertion
-    /// order. The journal's rebase diffs exactly this list.
+    /// divisions in `BTreeMap` key order, then bankings in key order,
+    /// then pipelines in insertion order. The journal's rebase diffs
+    /// exactly this list.
     pub fn actions(&self) -> Vec<Action> {
         let mut out: Vec<Action> = self
             .divisions
@@ -96,6 +118,15 @@ impl OptimizationPlan {
                 axis: DivideAxis::Words,
             })
             .collect();
+        out.extend(
+            self.bankings
+                .iter()
+                .map(|((module, macro_name), banks)| Action::Bank {
+                    module: module.clone(),
+                    macro_name: macro_name.clone(),
+                    banks: *banks,
+                }),
+        );
         out.extend(
             self.pipelines
                 .iter()
@@ -256,14 +287,7 @@ pub fn apply_plan_clone_dirty(
                     name: macro_name.clone(),
                 })
             })?;
-        let base_name = bank_base(macro_name).to_string();
-        let siblings: Vec<String> = design
-            .module(id)
-            .macros
-            .iter()
-            .filter(|m| bank_base(&m.name) == base_name && m.config == target.config)
-            .map(|m| m.name.clone())
-            .collect();
+        let siblings = design.module(id).sibling_macro_names(&target);
         let before = FlowSnapshot::of(&design);
         for name in siblings {
             divide_macro(&mut design, id, &name, *factor, DivideAxis::Words)?;
@@ -273,6 +297,35 @@ pub fn apply_plan_clone_dirty(
             before,
             after,
             &format!("{module}/{macro_name} x{factor}"),
+            &lint_config,
+            &mut invariants,
+        );
+        if invariants.denial_count() > 0 {
+            return Err(DseError::FlowInvariant(invariants));
+        }
+    }
+    for ((module, macro_name), banks) in &plan.bankings {
+        let id = module_id(&design, module)?;
+        dirty.insert(id);
+        let group_ports = design
+            .module(id)
+            .find_macro(macro_name)
+            .map(|m| m.config.port_count())
+            .ok_or_else(|| {
+                DseError::Transform(TransformError::MacroNotFound {
+                    module: module.clone(),
+                    name: macro_name.clone(),
+                })
+            })?;
+        let before = FlowSnapshot::of(&design);
+        bank_macro(&mut design, id, macro_name, *banks)?;
+        let after = FlowSnapshot::of(&design);
+        check_banking(
+            before,
+            after,
+            *banks,
+            group_ports,
+            &format!("{module}/{macro_name} x{banks}"),
             &lint_config,
             &mut invariants,
         );
@@ -685,6 +738,24 @@ mod tests {
     fn target_667_is_reachable() {
         let opt = optimize_for(&base(), &Tech::l65(), Mhz::new(667.0)).unwrap();
         assert!(opt.fmax.value() >= 667.0, "fmax {}", opt.fmax);
+    }
+
+    #[test]
+    fn legacy_plans_never_bank() {
+        // The frequency-map exploration only divides and pipelines;
+        // `bankings` stays empty unless `co_optimize_memory` is asked
+        // for. This is what keeps all 12 Table-I versions (and their
+        // datasheets) byte-identical to the pre-banking flow.
+        let tech = Tech::l65();
+        let b = base();
+        for mhz in [500.0, 590.0, 667.0] {
+            let opt = optimize_for(&b, &tech, Mhz::new(mhz)).unwrap();
+            assert!(
+                opt.plan.bankings.is_empty(),
+                "{mhz} MHz plan banked: {:?}",
+                opt.plan.bankings
+            );
+        }
     }
 
     #[test]

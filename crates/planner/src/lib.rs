@@ -34,6 +34,7 @@ pub mod dse;
 pub mod flow;
 pub mod journal;
 pub mod map;
+pub mod memopt;
 pub mod spec;
 pub mod spreadsheet;
 pub mod versions;
@@ -55,6 +56,9 @@ pub use flow::{
 };
 pub use journal::{Checkpoint, TransformJournal};
 pub use map::{advise, advise_candidates, advise_delta, advise_with, Advice};
+pub use memopt::{
+    co_optimize_memory, MemOptConfig, MemOptError, MemoryCandidate, MemoryCoOptimized,
+};
 pub use spec::Specification;
 pub use spreadsheet::{frequency_map, frequency_map_with_policy, map_to_csv, render_map, MapRow};
 pub use versions::{paper_versions, physical_versions};

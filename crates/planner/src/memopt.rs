@@ -1,0 +1,400 @@
+//! Memory-geometry co-optimization: banking on top of the frequency
+//! map.
+//!
+//! The frequency-map DSE ([`crate::dse`]) optimizes *fmax* alone; the
+//! paper's end metric is kernel runtime. The LRAM is where the two
+//! couple: splitting the scratchpad into more word-interleaved banks
+//! removes simulator-visible bank-conflict beats on local traffic
+//! ([`ggpu_simt::LramModel`]), but adds crossbar mux stages to the
+//! macro's launching paths, pushing fmax down — so the right bank
+//! count depends on both the timing plan *and* the kernels.
+//!
+//! [`co_optimize_memory`] searches that trade-off: it first runs the
+//! regular DSE (greedy or beam, per [`DseConfig`]) to a timing-met
+//! plan, then evaluates each candidate banking of the compute unit's
+//! LRAM group as a journal transaction on top of it — N009-gated like
+//! every DSE step — pricing each candidate as simulated
+//! `mat_mul_local` cycles (the only shipped kernel with LRAM traffic)
+//! over the achieved clock, with the ECC check-bit cost of the banked
+//! geometry reported alongside. The winner's banking (if any beats
+//! the unbanked plan) is folded into the returned
+//! [`OptimizationPlan::bankings`].
+
+use crate::cache::StaCache;
+use crate::dse::{optimize_with_config, Action, DseConfig, DseError, OptimizationPlan, Optimized};
+use crate::journal::TransformJournal;
+use ggpu_kernels::bench::{self, BenchError};
+use ggpu_netlist::Design;
+use ggpu_simt::{LramModel, SimtConfig};
+use ggpu_sta::{max_frequency, StaError};
+use ggpu_tech::sram::{banked_ecc_check_bits, EccScheme};
+use ggpu_tech::units::Mhz;
+use ggpu_tech::Tech;
+use std::error::Error;
+use std::fmt;
+
+/// The compute-unit macro the co-optimizer banks (one representative
+/// member; the transform re-banks the whole structural group).
+const LRAM_MACRO: &str = "lram0";
+
+/// Errors of the memory co-optimization.
+#[derive(Debug)]
+pub enum MemOptError {
+    /// The underlying frequency-map DSE failed.
+    Dse(DseError),
+    /// A candidate's timing analysis failed.
+    Sta(StaError),
+    /// Simulating the local kernel failed.
+    Bench(BenchError),
+    /// The optimized design has no LRAM group to bank.
+    NoLram,
+}
+
+impl fmt::Display for MemOptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOptError::Dse(e) => write!(f, "dse: {e}"),
+            MemOptError::Sta(e) => write!(f, "timing: {e}"),
+            MemOptError::Bench(e) => write!(f, "kernel simulation: {e}"),
+            MemOptError::NoLram => f.write_str("design has no LRAM bank group"),
+        }
+    }
+}
+
+impl Error for MemOptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemOptError::Dse(e) => Some(e),
+            MemOptError::Sta(e) => Some(e),
+            MemOptError::Bench(e) => Some(e),
+            MemOptError::NoLram => None,
+        }
+    }
+}
+
+impl From<DseError> for MemOptError {
+    fn from(e: DseError) -> Self {
+        MemOptError::Dse(e)
+    }
+}
+
+impl From<StaError> for MemOptError {
+    fn from(e: StaError) -> Self {
+        MemOptError::Sta(e)
+    }
+}
+
+impl From<BenchError> for MemOptError {
+    fn from(e: BenchError) -> Self {
+        MemOptError::Bench(e)
+    }
+}
+
+/// Knobs of [`co_optimize_memory`]: the launch being priced and the
+/// geometries to try.
+#[derive(Debug, Clone)]
+pub struct MemOptConfig {
+    /// CU count of the simulated machine (match the design).
+    pub compute_units: u32,
+    /// Grid size the local kernel is priced at.
+    pub n: u32,
+    /// Banks-per-macro factors to evaluate (values `< 2` are skipped;
+    /// the unbanked plan is always candidate 0).
+    pub bank_factors: Vec<u32>,
+    /// ECC scheme whose banked check-bit cost rides along.
+    pub ecc: EccScheme,
+    /// How the base frequency-map DSE runs (greedy or beam).
+    pub dse: DseConfig,
+}
+
+impl MemOptConfig {
+    /// Greedy DSE, factors {2, 4}, parity cost — the shipping default.
+    pub fn new(compute_units: u32, n: u32) -> Self {
+        Self {
+            compute_units,
+            n,
+            bank_factors: vec![2, 4],
+            ecc: EccScheme::Parity,
+            dse: DseConfig::greedy(),
+        }
+    }
+}
+
+/// One evaluated memory-geometry candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryCandidate {
+    /// Banks per LRAM member macro (1 = the unbanked plan).
+    pub banks_per_macro: u32,
+    /// Total interleaved banks the lanes arbitrate over (the group's
+    /// member count after the transform — what the simulator models).
+    pub group_banks: u32,
+    /// Post-transform fmax of the candidate netlist.
+    pub fmax: Mhz,
+    /// The clock the candidate actually runs at: `min(target, fmax)`.
+    pub achieved: Mhz,
+    /// `true` if the candidate still meets the target frequency.
+    pub meets_timing: bool,
+    /// Simulated `mat_mul_local` cycles under the candidate's banked
+    /// LRAM model.
+    pub cycles: u64,
+    /// Of which, extra beats serializing bank conflicts.
+    pub conflict_cycles: u64,
+    /// Kernel runtime at the achieved clock, microseconds — the
+    /// objective.
+    pub runtime_us: f64,
+    /// ECC check bits the scheme adds across the banked LRAM group
+    /// (per CU) — the resilience cost of the geometry.
+    pub ecc_check_bits: u64,
+}
+
+/// The outcome of [`co_optimize_memory`].
+#[derive(Debug, Clone)]
+pub struct MemoryCoOptimized {
+    /// The timing-met exploration the candidates build on.
+    pub base: Optimized,
+    /// Every evaluated candidate, unbanked first, then ascending bank
+    /// factors.
+    pub candidates: Vec<MemoryCandidate>,
+    /// Index into `candidates` of the winner (lowest runtime among
+    /// timing-met candidates; ties go to fewer banks).
+    pub best: usize,
+    /// The base plan, plus the winning banking when it beats the
+    /// unbanked plan.
+    pub plan: OptimizationPlan,
+}
+
+impl MemoryCoOptimized {
+    /// The winning candidate.
+    pub fn winner(&self) -> &MemoryCandidate {
+        &self.candidates[self.best]
+    }
+}
+
+/// Runs `mat_mul_local` at grid size `n` and returns (cycles,
+/// conflict cycles).
+fn local_kernel_cycles(
+    compute_units: u32,
+    n: u32,
+    lram: LramModel,
+) -> Result<(u64, u64), BenchError> {
+    let config = SimtConfig {
+        compute_units,
+        lram,
+        ..SimtConfig::default()
+    };
+    let stats = bench::mat_mul_local().run_gpu_with(n, config)?;
+    Ok((stats.cycles, stats.lram_conflict_cycles))
+}
+
+/// Prices one candidate design.
+fn evaluate(
+    design: &Design,
+    tech: &Tech,
+    target: Mhz,
+    compute_units: u32,
+    n: u32,
+    banks_per_macro: u32,
+    ecc: EccScheme,
+) -> Result<MemoryCandidate, MemOptError> {
+    let cu_id = design
+        .module_by_name(ggpu_rtl::CU_MODULE)
+        .ok_or(MemOptError::NoLram)?;
+    let cu = design.module(cu_id);
+    let group = cu.bank_group_of(LRAM_MACRO).map_or_else(
+        || {
+            cu.macros
+                .iter()
+                .find(|m| m.name.starts_with("lram"))
+                .and_then(|m| m.bank_group)
+                .ok_or(MemOptError::NoLram)
+        },
+        Ok,
+    )?;
+    let geometry = cu.bank_group_geometry(group).ok_or(MemOptError::NoLram)?;
+    let bank_config = cu
+        .bank_group_members(group)
+        .first()
+        .map(|m| m.config)
+        .ok_or(MemOptError::NoLram)?;
+    let fmax = max_frequency(design, tech)?.unwrap_or(Mhz::new(0.0));
+    let meets_timing = fmax.value() >= target.value();
+    let achieved = if meets_timing { target } else { fmax };
+    let (cycles, conflict_cycles) = local_kernel_cycles(
+        compute_units,
+        n,
+        LramModel::Banked {
+            banks: geometry.banks,
+        },
+    )?;
+    let runtime_us = cycles as f64 * achieved.period().value() * 1e-3;
+    Ok(MemoryCandidate {
+        banks_per_macro,
+        group_banks: geometry.banks,
+        fmax,
+        achieved,
+        meets_timing,
+        cycles,
+        conflict_cycles,
+        runtime_us,
+        ecc_check_bits: banked_ecc_check_bits(ecc, bank_config, geometry.banks),
+    })
+}
+
+/// Co-optimizes LRAM banking with the frequency-map plan.
+///
+/// First meets `target` through the regular DSE under `config.dse`
+/// (greedy or beam), then evaluates banking the compute unit's LRAM
+/// group by each factor in `config.bank_factors` as an N009-gated
+/// journal transaction on the optimized netlist. Candidates are
+/// priced as `mat_mul_local` cycles (simulated under the candidate's
+/// bank-conflict model, grid size `config.n`) over the achieved
+/// clock; the ECC check-bit cost of each geometry under `config.ecc`
+/// rides along. A candidate that fails its lint gate or falls outside
+/// the SRAM compiler's range is skipped, not fatal.
+///
+/// # Errors
+///
+/// Returns [`MemOptError`] if the base DSE fails, the design has no
+/// LRAM group, or analysis/simulation of a surviving candidate fails.
+pub fn co_optimize_memory(
+    base: &Design,
+    tech: &Tech,
+    target: Mhz,
+    config: &MemOptConfig,
+) -> Result<MemoryCoOptimized, MemOptError> {
+    let MemOptConfig {
+        compute_units,
+        n,
+        ref bank_factors,
+        ecc,
+        ref dse,
+    } = *config;
+    let opt = optimize_with_config(base, tech, target, &StaCache::new(), dse)?;
+    let mut candidates = vec![evaluate(
+        &opt.design,
+        tech,
+        target,
+        compute_units,
+        n,
+        1,
+        ecc,
+    )?];
+    let mut journal = TransformJournal::new(&opt.design);
+    let unbanked = journal.checkpoint("unbanked");
+    for &banks in bank_factors.iter() {
+        if banks < 2 {
+            continue;
+        }
+        let action = Action::Bank {
+            module: ggpu_rtl::CU_MODULE.into(),
+            macro_name: LRAM_MACRO.into(),
+            banks,
+        };
+        if journal.apply(&action).is_err() {
+            // Out of compiler range or lint-denied: not a candidate.
+            continue;
+        }
+        candidates.push(evaluate(
+            journal.design(),
+            tech,
+            target,
+            compute_units,
+            n,
+            banks,
+            ecc,
+        )?);
+        journal.rollback_to(&unbanked);
+    }
+    let best = candidates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            b.meets_timing
+                .cmp(&a.meets_timing)
+                .then(a.runtime_us.total_cmp(&b.runtime_us))
+                .then(a.banks_per_macro.cmp(&b.banks_per_macro))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut plan = opt.plan.clone();
+    if candidates[best].banks_per_macro > 1 {
+        plan.bankings.insert(
+            (ggpu_rtl::CU_MODULE.into(), LRAM_MACRO.into()),
+            candidates[best].banks_per_macro,
+        );
+    }
+    Ok(MemoryCoOptimized {
+        base: opt,
+        candidates,
+        best,
+        plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_rtl::{generate, GgpuConfig};
+
+    #[test]
+    fn banking_wins_the_local_kernel_objective() {
+        // The acceptance demo: at 1 CU / 500 MHz the baseline LRAM
+        // group has 4 interleaved banks, and `mat_mul_local`'s 8-lane
+        // beats hit 2 distinct words per bank (conflict degree 2).
+        // Doubling the banks makes the unit-stride traffic
+        // conflict-free while the crossbar still closes 500 MHz, so
+        // the co-optimizer must pick a banked plan.
+        let base = generate(&GgpuConfig::with_cus(1).unwrap()).unwrap();
+        let out = co_optimize_memory(
+            &base,
+            &Tech::l65(),
+            Mhz::new(500.0),
+            &MemOptConfig::new(1, 256),
+        )
+        .unwrap();
+        assert!(out.candidates.len() >= 2, "banked candidates evaluated");
+        let unbanked = &out.candidates[0];
+        assert_eq!(unbanked.banks_per_macro, 1);
+        assert_eq!(unbanked.group_banks, 4);
+        assert!(unbanked.conflict_cycles > 0, "4-bank LRAM conflicts");
+        let winner = out.winner();
+        assert!(winner.banks_per_macro > 1, "banking must win");
+        assert!(winner.meets_timing);
+        assert_eq!(winner.conflict_cycles, 0, "8+ banks are conflict-free");
+        assert!(winner.cycles < unbanked.cycles);
+        assert!(winner.runtime_us < unbanked.runtime_us);
+        assert_eq!(
+            out.plan
+                .bankings
+                .get(&(ggpu_rtl::CU_MODULE.to_string(), LRAM_MACRO.to_string())),
+            Some(&winner.banks_per_macro)
+        );
+        // ECC cost scales with bank count: same words, more banks,
+        // same per-word parity — total check bits are conserved under
+        // parity (1 bit/word regardless of geometry).
+        assert_eq!(winner.ecc_check_bits, unbanked.ecc_check_bits);
+        // The banked plan replays reproducibly through the journal.
+        let replayed = crate::dse::apply_plan(&base, &out.plan).unwrap();
+        let cu = replayed
+            .module(replayed.module_by_name(ggpu_rtl::CU_MODULE).unwrap())
+            .clone();
+        assert!(cu.find_macro("lram0_b0").is_some(), "banked parts exist");
+        assert!(cu.find_macro("lram0").is_none());
+    }
+
+    #[test]
+    fn empty_bank_factors_keep_the_plan_unbanked() {
+        let base = generate(&GgpuConfig::with_cus(1).unwrap()).unwrap();
+        let config = MemOptConfig {
+            bank_factors: vec![],
+            ecc: EccScheme::None,
+            ..MemOptConfig::new(1, 256)
+        };
+        let out = co_optimize_memory(&base, &Tech::l65(), Mhz::new(500.0), &config).unwrap();
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.best, 0);
+        assert!(out.plan.bankings.is_empty());
+        assert_eq!(out.plan, out.base.plan);
+        assert_eq!(out.winner().ecc_check_bits, 0, "no scheme, no check bits");
+    }
+}

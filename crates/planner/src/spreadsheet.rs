@@ -142,11 +142,13 @@ pub fn map_to_csv(rows: &[MapRow]) -> String {
             .partial_cmp(&b.slack.value())
             .expect("finite slack")
     });
-    let mut out = String::from("module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc\n");
+    let mut out = String::from(
+        "module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc,ecc_overhead_pct\n",
+    );
     for r in sorted {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.3},{},{}",
+            "{},{},{},{},{},{:.3},{:.3},{},{},{}",
             r.module,
             r.macro_name,
             r.config.words,
@@ -158,6 +160,15 @@ pub fn map_to_csv(rows: &[MapRow]) -> String {
                 .map(|f| f.to_string())
                 .unwrap_or_else(|| "unreachable".into()),
             r.ecc.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            r.ecc
+                .map(|s| {
+                    // Check bits stored next to every word, as a
+                    // fraction of the data bits — per bank, so the
+                    // figure is invariant under banking/division.
+                    let check = s.check_bits(r.config.bits);
+                    format!("{:.2}", 100.0 * f64::from(check) / f64::from(r.config.bits))
+                })
+                .unwrap_or_else(|| "-".into()),
         );
     }
     out
@@ -225,7 +236,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
             lines[0],
-            "module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc"
+            "module,macro,words,bits,ports,access_ns,slack_ns,divide_by,ecc,ecc_overhead_pct"
         );
         assert_eq!(lines.len(), rows.len() + 1);
         // Worst slack first.
@@ -255,14 +266,27 @@ mod tests {
         let fifo = rows.iter().find(|r| r.macro_name == "axi_fifo0").unwrap();
         assert_eq!(fifo.ecc, Some(EccScheme::Parity));
         let csv = map_to_csv(&rows);
-        assert!(csv.contains(",secded") && csv.contains(",parity"), "{csv}");
-        // Without a policy the column renders `-`.
+        assert!(
+            csv.contains(",secded,") && csv.contains(",parity,"),
+            "{csv}"
+        );
+        // Overhead column: SEC-DED on the 48-bit rf_bank words is
+        // 7/48 = 14.58 %; parity on a 36-bit fifo word is 1/36 = 2.78 %.
+        let row_for = |name: &str| -> String {
+            csv.lines()
+                .find(|l| l.contains(&format!(",{name},")))
+                .unwrap()
+                .to_string()
+        };
+        assert!(row_for("rf_bank").ends_with(",secded,14.58"), "{csv}");
+        assert!(row_for("axi_fifo0").ends_with(",parity,2.78"), "{csv}");
+        // Without a policy both ECC columns render `-`.
         let plain = frequency_map(&base(), &Tech::l65(), Mhz::new(590.0)).unwrap();
         assert!(plain.iter().all(|r| r.ecc.is_none()));
         assert!(map_to_csv(&plain)
             .lines()
             .skip(1)
-            .all(|l| l.ends_with(",-")));
+            .all(|l| l.ends_with(",-,-")));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::calib::{self, activity};
 use crate::config::{ConfigError, GgpuConfig};
 use ggpu_netlist::module::{CellGroup, Instance, MacroInst, MemoryRole, Module};
 use ggpu_netlist::timing::{LogicStage, PathEndpoint, TimingPath};
-use ggpu_netlist::Design;
+use ggpu_netlist::{BankGroupId, Design};
 use ggpu_tech::sram::SramConfig;
 use ggpu_tech::stdcell::CellClass;
 
@@ -65,12 +65,15 @@ fn build_pe() -> Module {
             calib::PE_MISC_GATES,
             activity::PE_COMB,
         ))
-        .with_macro(MacroInst::new(
-            "rf_bank",
-            SramConfig::dual(calib::RF_WORDS, calib::RF_BITS),
-            MemoryRole::RegisterFile,
-            activity::RF,
-        ));
+        .with_macro(
+            MacroInst::new(
+                "rf_bank",
+                SramConfig::dual(calib::RF_WORDS, calib::RF_BITS),
+                MemoryRole::RegisterFile,
+                activity::RF,
+            )
+            .with_bank_group(BankGroupId(0)),
+        );
     // The unoptimized design's critical path: a register-file read
     // into the operand-routing logic (the paper: "the critical path
     // ... has its starting point at a memory block" inside the CU).
@@ -137,60 +140,81 @@ fn build_cu(pe: ggpu_netlist::ModuleId, cfg: &GgpuConfig) -> Module {
     }
 
     for i in 0..2 {
-        cu.macros.push(MacroInst::new(
-            format!("cram{i}"),
-            SramConfig::dual(calib::CRAM_WORDS, calib::CRAM_BITS),
-            MemoryRole::InstructionRam,
-            activity::CRAM,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("cram{i}"),
+                SramConfig::dual(calib::CRAM_WORDS, calib::CRAM_BITS),
+                MemoryRole::InstructionRam,
+                activity::CRAM,
+            )
+            .with_bank_group(BankGroupId(0)),
+        );
     }
     for i in 0..4 {
-        cu.macros.push(MacroInst::new(
-            format!("lram{i}"),
-            SramConfig::dual(calib::LRAM_WORDS, calib::LRAM_BITS),
-            MemoryRole::ScratchRam,
-            activity::LRAM,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("lram{i}"),
+                SramConfig::dual(calib::LRAM_WORDS, calib::LRAM_BITS),
+                MemoryRole::ScratchRam,
+                activity::LRAM,
+            )
+            .with_bank_group(BankGroupId(1)),
+        );
     }
     for i in 0..4 {
-        cu.macros.push(MacroInst::new(
-            format!("wf_state{i}"),
-            SramConfig::dual(calib::WF_STATE_WORDS, calib::WF_STATE_BITS),
-            MemoryRole::SchedulerState,
-            activity::WF_STATE,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("wf_state{i}"),
+                SramConfig::dual(calib::WF_STATE_WORDS, calib::WF_STATE_BITS),
+                MemoryRole::SchedulerState,
+                activity::WF_STATE,
+            )
+            .with_bank_group(BankGroupId(2)),
+        );
     }
     for i in 0..2 {
-        cu.macros.push(MacroInst::new(
-            format!("div_stack{i}"),
-            SramConfig::dual(calib::DIV_STACK_WORDS, calib::DIV_STACK_BITS),
-            MemoryRole::SchedulerState,
-            activity::DIV_STACK,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("div_stack{i}"),
+                SramConfig::dual(calib::DIV_STACK_WORDS, calib::DIV_STACK_BITS),
+                MemoryRole::SchedulerState,
+                activity::DIV_STACK,
+            )
+            .with_bank_group(BankGroupId(3)),
+        );
     }
     for i in 0..cfg.pes_per_cu {
-        cu.macros.push(MacroInst::new(
-            format!("op_fifo{i}"),
-            SramConfig::dual(calib::OP_FIFO_WORDS, calib::OP_FIFO_BITS),
-            MemoryRole::Fifo,
-            activity::OP_FIFO,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("op_fifo{i}"),
+                SramConfig::dual(calib::OP_FIFO_WORDS, calib::OP_FIFO_BITS),
+                MemoryRole::Fifo,
+                activity::OP_FIFO,
+            )
+            .with_bank_group(BankGroupId(4)),
+        );
     }
     for i in 0..calib::LSU_BUF_COUNT {
-        cu.macros.push(MacroInst::new(
-            format!("lsu_buf{i}"),
-            SramConfig::dual(calib::LSU_BUF_WORDS, calib::LSU_BUF_BITS),
-            MemoryRole::Fifo,
-            activity::LSU_BUF,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("lsu_buf{i}"),
+                SramConfig::dual(calib::LSU_BUF_WORDS, calib::LSU_BUF_BITS),
+                MemoryRole::Fifo,
+                activity::LSU_BUF,
+            )
+            .with_bank_group(BankGroupId(5)),
+        );
     }
     for i in 0..cfg.pes_per_cu {
-        cu.macros.push(MacroInst::new(
-            format!("accum{i}"),
-            SramConfig::dual(calib::ACCUM_WORDS, calib::ACCUM_BITS),
-            MemoryRole::ScratchRam,
-            activity::ACCUM,
-        ));
+        cu.macros.push(
+            MacroInst::new(
+                format!("accum{i}"),
+                SramConfig::dual(calib::ACCUM_WORDS, calib::ACCUM_BITS),
+                MemoryRole::ScratchRam,
+                activity::ACCUM,
+            )
+            .with_bank_group(BankGroupId(6)),
+        );
     }
 
     cu.paths.push(macro_path(
@@ -263,34 +287,46 @@ fn build_gmc(cfg: &GgpuConfig) -> Module {
     let cache_words =
         cfg.cache_kib * 1024 * 8 / (calib::CACHE_DATA_BANKS as u32 * calib::CACHE_DATA_BITS);
     for i in 0..calib::CACHE_DATA_BANKS {
-        gmc.macros.push(MacroInst::new(
-            format!("cache_data{i}"),
-            SramConfig::dual(cache_words, calib::CACHE_DATA_BITS),
-            MemoryRole::CacheData,
-            activity::CACHE_DATA,
-        ));
+        gmc.macros.push(
+            MacroInst::new(
+                format!("cache_data{i}"),
+                SramConfig::dual(cache_words, calib::CACHE_DATA_BITS),
+                MemoryRole::CacheData,
+                activity::CACHE_DATA,
+            )
+            .with_bank_group(BankGroupId(0)),
+        );
     }
-    gmc.macros.push(MacroInst::new(
-        "cache_tag",
-        SramConfig::dual(calib::CACHE_TAG_WORDS, calib::CACHE_TAG_BITS),
-        MemoryRole::CacheTag,
-        activity::CACHE_TAG,
-    ));
+    gmc.macros.push(
+        MacroInst::new(
+            "cache_tag",
+            SramConfig::dual(calib::CACHE_TAG_WORDS, calib::CACHE_TAG_BITS),
+            MemoryRole::CacheTag,
+            activity::CACHE_TAG,
+        )
+        .with_bank_group(BankGroupId(1)),
+    );
     for i in 0..calib::RTM_BANKS {
-        gmc.macros.push(MacroInst::new(
-            format!("rtm{i}"),
-            SramConfig::dual(calib::RTM_WORDS, calib::RTM_BITS),
-            MemoryRole::RuntimeMemory,
-            activity::RTM,
-        ));
+        gmc.macros.push(
+            MacroInst::new(
+                format!("rtm{i}"),
+                SramConfig::dual(calib::RTM_WORDS, calib::RTM_BITS),
+                MemoryRole::RuntimeMemory,
+                activity::RTM,
+            )
+            .with_bank_group(BankGroupId(2)),
+        );
     }
     for i in 0..cfg.axi_data_interfaces.min(2) {
-        gmc.macros.push(MacroInst::new(
-            format!("axi_fifo{i}"),
-            SramConfig::dual(calib::AXI_FIFO_WORDS, calib::AXI_FIFO_BITS),
-            MemoryRole::Fifo,
-            activity::AXI_FIFO,
-        ));
+        gmc.macros.push(
+            MacroInst::new(
+                format!("axi_fifo{i}"),
+                SramConfig::dual(calib::AXI_FIFO_WORDS, calib::AXI_FIFO_BITS),
+                MemoryRole::Fifo,
+                activity::AXI_FIFO,
+            )
+            .with_bank_group(BankGroupId(3)),
+        );
     }
 
     gmc.paths.push(macro_path(

@@ -272,6 +272,10 @@ pub struct RunStats {
     /// CU-cycles spent with the issue stage occupied (vector beats,
     /// including serialized divides).
     pub busy_cycles: u64,
+    /// Extra issue-stage beats spent serializing LRAM bank conflicts
+    /// (zero under [`crate::LramModel::Ideal`]). Architectural: both
+    /// backends must charge identical conflict cycles.
+    pub lram_conflict_cycles: u64,
     /// Memory-system counters.
     pub mem: MemStats,
     /// Host wall-clock time spent inside the simulator for this run.
@@ -295,6 +299,7 @@ impl PartialEq for RunStats {
             && self.workgroups == other.workgroups
             && self.stall_cycles == other.stall_cycles
             && self.busy_cycles == other.busy_cycles
+            && self.lram_conflict_cycles == other.lram_conflict_cycles
             && self.mem == other.mem
     }
 }
@@ -1539,6 +1544,72 @@ mod barrier_tests {
         let mut gpu = Gpu::new(SimtConfig::with_cus(1), 1 << 12);
         let stats = gpu.launch(&kernel, &Launch::new(32, 32, vec![])).unwrap();
         assert!(stats.cycles > 0, "must not deadlock");
+    }
+
+    #[test]
+    fn banked_lram_charges_conflicts_identically_on_both_backends() {
+        use crate::config::{AccelBackend, LramModel};
+        // Stride-8 words: with 8 banks every lane of a beat lands in
+        // bank 0 at a distinct word — worst-case serialization (8 PEs
+        // per beat -> 7 extra beats each). Unit stride is conflict-free.
+        let strided = "
+            lid  r1
+            slli r2, r1, 5       ; byte address = lid * 32 (word stride 8)
+            swl  r2, r1, 0
+            lwl  r3, r2, 0
+            param r4, 0
+            gid  r5
+            slli r5, r5, 2
+            add  r4, r4, r5
+            sw   r4, r3, 0
+            ret
+        ";
+        let kernel = Kernel::from_asm("stride8", strided).unwrap();
+        let launch = Launch::new(64, 64, vec![0x800]);
+        let run = |lram: LramModel, backend: AccelBackend| {
+            let cfg = SimtConfig::with_cus(1)
+                .with_lram(lram)
+                .with_backend(backend);
+            let mut gpu = Gpu::new(cfg, 1 << 16);
+            let stats = gpu.launch(&kernel, &launch).unwrap();
+            (stats, gpu.read_words(0x800, 64).unwrap())
+        };
+        let (ideal, out_ideal) = run(LramModel::Ideal, AccelBackend::Scalar);
+        let (scalar, out_scalar) = run(LramModel::Banked { banks: 8 }, AccelBackend::Scalar);
+        let (soa, out_soa) = run(LramModel::Banked { banks: 8 }, AccelBackend::Soa);
+        // Banking is architecturally invisible to data.
+        assert_eq!(out_ideal, out_scalar);
+        assert_eq!(out_ideal, out_soa);
+        // Both backends charge the identical conflict cost (RunStats
+        // equality includes lram_conflict_cycles).
+        assert_eq!(scalar, soa);
+        assert_eq!(ideal.lram_conflict_cycles, 0);
+        // swl + lwl, 8 beats each, 7 extra beats per beat.
+        assert_eq!(scalar.lram_conflict_cycles, 2 * 8 * 7);
+        assert!(scalar.cycles > ideal.cycles, "conflicts must cost cycles");
+    }
+
+    #[test]
+    fn unit_stride_lram_is_conflict_free_under_banking() {
+        use crate::config::LramModel;
+        let unit = "
+            lid  r1
+            slli r2, r1, 2
+            swl  r2, r1, 0
+            lwl  r3, r2, 0
+            ret
+        ";
+        let kernel = Kernel::from_asm("unit", unit).unwrap();
+        let launch = Launch::new(64, 64, vec![]);
+        let run = |lram: LramModel| {
+            Gpu::new(SimtConfig::with_cus(1).with_lram(lram), 1 << 12)
+                .launch(&kernel, &launch)
+                .unwrap()
+        };
+        let ideal = run(LramModel::Ideal);
+        let banked = run(LramModel::Banked { banks: 8 });
+        assert_eq!(banked.lram_conflict_cycles, 0);
+        assert_eq!(ideal, banked, "conflict-free banking costs nothing");
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod soa;
 pub mod trace;
 
 pub use accel::{Accelerator, LaunchRequest, ScalarAccelerator, SoaAccelerator};
-pub use config::{AccelBackend, CacheConfig, DramConfig, SimtConfig};
+pub use config::{AccelBackend, CacheConfig, DramConfig, LramModel, SimtConfig};
 pub use fault::{
     FaultEvent, FaultLog, FaultPlan, FaultReport, FaultSite, HardenedOptions, HardenedRun,
     Injection, InjectionOutcome, Protection, WatchdogConfig,

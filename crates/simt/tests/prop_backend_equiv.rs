@@ -8,7 +8,7 @@
 use ggpu_isa::inst::{AluOp, BranchCond, IdSource, Inst, Reg};
 use ggpu_prop::{cases, Rng};
 use ggpu_simt::{
-    FaultPlan, FaultSite, Gpu, HardenedOptions, Injection, Kernel, Launch, Protection,
+    FaultPlan, FaultSite, Gpu, HardenedOptions, Injection, Kernel, Launch, LramModel, Protection,
     ScalarAccelerator, SimtConfig, SoaAccelerator, WatchdogConfig,
 };
 
@@ -189,6 +189,64 @@ fn template_kernels_bit_identical() {
         let launch = template_launch(rng, &config);
         let mem = seed_mem(rng);
         assert_equiv(&kernel, &launch, config, &mem, None);
+    });
+}
+
+/// Banked LRAM geometries: the conflict-aware arbitration model must
+/// stay bit-identical between backends — same outputs, same cycle
+/// count, same conflict tally (`RunStats` equality covers
+/// `lram_conflict_cycles`) — across randomized bank counts, including
+/// degenerate single-bank and wider-than-wavefront geometries.
+#[test]
+fn banked_geometries_bit_identical() {
+    cases(120, |rng| {
+        let mut config = small_config(rng);
+        config.lram = LramModel::Banked {
+            banks: rng.pick_copy(&[1, 2, 3, 4, 8, 16]),
+        };
+        let kernel = template_kernel(rng);
+        let launch = template_launch(rng, &config);
+        let mem = seed_mem(rng);
+        assert_equiv(&kernel, &launch, config, &mem, None);
+    });
+}
+
+/// Banking is a timing model, never a functional one: switching from
+/// the ideal LRAM to any banked geometry may slow a run down but must
+/// leave the architectural results — memory image and instruction
+/// tallies — untouched.
+#[test]
+fn banking_shifts_cycles_never_bits() {
+    cases(80, |rng| {
+        let ideal_config = small_config(rng);
+        let mut banked_config = ideal_config;
+        banked_config.lram = LramModel::Banked {
+            banks: rng.pick_copy(&[2, 4, 8]),
+        };
+        let kernel = template_kernel(rng);
+        let launch = template_launch(rng, &ideal_config);
+        let mem = seed_mem(rng);
+
+        let mut ideal_gpu = Gpu::new(ideal_config, MEM_WORDS);
+        let mut banked_gpu = Gpu::new(banked_config, MEM_WORDS);
+        ideal_gpu.write_words(0, &mem).expect("seed ideal");
+        banked_gpu.write_words(0, &mem).expect("seed banked");
+        let ideal = ideal_gpu
+            .launch_with(&ScalarAccelerator, &kernel, &launch)
+            .expect("template kernels complete");
+        let banked = banked_gpu
+            .launch_with(&ScalarAccelerator, &kernel, &launch)
+            .expect("template kernels complete");
+
+        assert_eq!(ideal.lram_conflict_cycles, 0, "ideal model never stalls");
+        assert!(banked.cycles >= ideal.cycles, "conflicts only add beats");
+        assert_eq!(ideal.vector_instructions, banked.vector_instructions);
+        assert_eq!(ideal.lane_ops, banked.lane_ops);
+        assert_eq!(ideal.wavefronts, banked.wavefronts);
+        assert_eq!(ideal.workgroups, banked.workgroups);
+        let ma = ideal_gpu.read_words(0, MEM_WORDS).expect("read ideal");
+        let mb = banked_gpu.read_words(0, MEM_WORDS).expect("read banked");
+        assert_eq!(ma, mb, "banking altered results on {}", kernel.name);
     });
 }
 

@@ -103,19 +103,17 @@ pub trait Transform: fmt::Display {
     }
 }
 
-/// Strips a trailing bank index (`"cram0"` → `"cram"`), grouping the
-/// identically-sized banks of one memory structure.
+/// Memory division as a [`Transform`]: divides the named macro — and
+/// every structural sibling of the same logical memory (same
+/// [`ggpu_netlist::BankGroupId`], same geometry) — into `factor` parts
+/// along `axis`.
 ///
 /// A division names one macro (the one on the representative timing
-/// path) but the flow divides the *structure*: every sibling bank with
-/// the same name stem and geometry fails timing identically.
-pub fn bank_base(name: &str) -> &str {
-    name.trim_end_matches(|c: char| c.is_ascii_digit())
-}
-
-/// Memory division as a [`Transform`]: divides the named macro — and
-/// every sibling bank of the same structure (same [`bank_base`] stem,
-/// same geometry) — into `factor` parts along `axis`.
+/// path) but the flow divides the *structure*: every sibling bank
+/// fails timing identically. Sibling membership is the structural
+/// group id assigned by the RTL generator, never the instance name —
+/// the retired name-stem matching (`bank_base`) misgrouped user macros
+/// whose names merely looked like sibling banks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DivideMemory {
     /// Owning module name.
@@ -161,14 +159,7 @@ impl Transform for DivideMemory {
                 module: self.module.clone(),
                 name: self.macro_name.clone(),
             })?;
-        let stem = bank_base(&self.macro_name).to_string();
-        let siblings: Vec<String> = design
-            .module(id)
-            .macros
-            .iter()
-            .filter(|m| bank_base(&m.name) == stem && m.config == target.config)
-            .map(|m| m.name.clone())
-            .collect();
+        let siblings = design.module(id).sibling_macro_names(&target);
         let snapshot = design.snapshot_module(id);
         for name in siblings {
             if let Err(e) = divide_macro(design, id, &name, self.factor, self.axis) {
@@ -216,6 +207,176 @@ impl Transform for PipelineInsert {
             snapshots: vec![snapshot],
         })
     }
+}
+
+/// Memory banking as a [`Transform`]: splits the named macro — and
+/// every structural sibling of its logical memory — into `banks`
+/// word-interleaved banks (`{name}_b0` …), adding the crossbar and
+/// arbitration logic that lets different SIMT lanes hit different
+/// banks in the same beat.
+///
+/// Physically a bank split prices like a word division (each bank is
+/// `words / banks` deep), but the semantics differ: a division steers
+/// by address MSBs and still serves one access per port per cycle,
+/// while banking interleaves consecutive words round-robin so a
+/// wavefront's lanes spread across banks — the cycle-side win the
+/// simulator's conflict-aware LRAM model measures. The new banks keep
+/// (or, for a lone macro, found) a structural bank group, so
+/// [`ggpu_netlist::Module::bank_group_geometry`] reports the post-
+/// transform bank count to every consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankMemory {
+    /// Owning module name.
+    pub module: String,
+    /// The macro to bank (any member of the structure).
+    pub macro_name: String,
+    /// Bank count (power of two ≥ 2).
+    pub banks: u32,
+}
+
+impl fmt::Display for BankMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bank {}/{} x{}",
+            self.module, self.macro_name, self.banks
+        )
+    }
+}
+
+impl Transform for BankMemory {
+    fn dirty_modules(&self, design: &Design) -> Result<Vec<ModuleId>, TransformError> {
+        Ok(vec![resolve_module(design, &self.module)?])
+    }
+
+    fn apply(&self, design: &mut Design) -> Result<Undo, TransformError> {
+        let id = resolve_module(design, &self.module)?;
+        let target = design
+            .module(id)
+            .find_macro(&self.macro_name)
+            .cloned()
+            .ok_or_else(|| TransformError::MacroNotFound {
+                module: self.module.clone(),
+                name: self.macro_name.clone(),
+            })?;
+        let siblings = design.module(id).sibling_macro_names(&target);
+        let snapshot = design.snapshot_module(id);
+        for name in siblings {
+            if let Err(e) = bank_macro(design, id, &name, self.banks) {
+                design.restore_module(snapshot);
+                return Err(e);
+            }
+        }
+        Ok(Undo {
+            snapshots: vec![snapshot],
+        })
+    }
+}
+
+/// What a banking did to the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankOutcome {
+    /// Names of the replacement banks.
+    pub bank_names: Vec<String>,
+    /// The geometry of each bank.
+    pub bank_config: SramConfig,
+    /// Crossbar/arbiter cells added to the owning module.
+    pub xbar_cells_added: u64,
+}
+
+/// Splits the named macro of `module` into `banks` word-interleaved
+/// banks, adding the lane-to-bank crossbar and per-bank arbitration
+/// logic and rewiring every timing path that references it.
+///
+/// The banks inherit the macro's structural group id (a lone macro
+/// founds a fresh group), so the logical memory's
+/// [`ggpu_netlist::MemGeometry`] grows its bank count by the split
+/// factor.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] if the macro does not exist or the
+/// per-bank geometry is outside the compiler range.
+pub fn bank_macro(
+    design: &mut Design,
+    module: ModuleId,
+    macro_name: &str,
+    banks: u32,
+) -> Result<BankOutcome, TransformError> {
+    let module_name = design.module(module).name.clone();
+    let original = design
+        .module(module)
+        .find_macro(macro_name)
+        .cloned()
+        .ok_or_else(|| TransformError::MacroNotFound {
+            module: module_name.clone(),
+            name: macro_name.to_string(),
+        })?;
+
+    let bank_configs = original.config.banked(banks)?;
+    let bank_config = bank_configs[0];
+    let group = original
+        .bank_group
+        .unwrap_or_else(|| design.module(module).next_bank_group_id());
+
+    // Word-interleaved banks: a conflict-free wavefront beat touches
+    // each bank once, so per-bank activity is the original's share.
+    let per_bank_activity = original.access_activity / f64::from(banks);
+    let m = design.module_mut(module);
+    m.remove_macro(macro_name);
+    let mut bank_names = Vec::with_capacity(banks as usize);
+    for (i, cfg) in bank_configs.into_iter().enumerate() {
+        let name = format!("{macro_name}_b{i}");
+        m.macros.push(
+            MacroInst::new(name.clone(), cfg, original.role, per_bank_activity)
+                .with_bank_group(group),
+        );
+        bank_names.push(name);
+    }
+
+    // Crossbar: unlike a division's one-of-N read select, banking
+    // routes any lane to any bank, so both the data return path and
+    // the address fan-in carry a full MUX tree per bank; the grant
+    // arbitration adds an AOI node per bank and address bit.
+    let select_levels = (banks as f64).log2().ceil() as usize;
+    let xbar_cells = 2 * u64::from(bank_config.bits) * u64::from(banks - 1);
+    let addr_bits = 32 - bank_config.words.leading_zeros().max(1);
+    let arb_cells = u64::from(addr_bits) * u64::from(banks);
+    m.groups.push(CellGroup::new(
+        format!("{macro_name}_xbar"),
+        CellClass::Mux2,
+        xbar_cells,
+        original.access_activity.min(1.0),
+    ));
+    m.groups.push(CellGroup::new(
+        format!("{macro_name}_arb"),
+        CellClass::Aoi21,
+        arb_cells,
+        original.access_activity.min(1.0),
+    ));
+
+    // Rewire timing paths: launching paths gain the return-crossbar
+    // MUX levels, capturing paths gain the arbiter grant stage.
+    let first = bank_names[0].clone();
+    for path in &mut design.module_mut(module).paths {
+        if matches!(&path.start, PathEndpoint::Macro(n) if n == macro_name) {
+            path.start = PathEndpoint::Macro(first.clone());
+            for _ in 0..select_levels {
+                path.stages.insert(0, LogicStage::new(CellClass::Mux2, 1));
+            }
+        }
+        if matches!(&path.end, PathEndpoint::Macro(n) if n == macro_name) {
+            path.end = PathEndpoint::Macro(first.clone());
+            path.stages
+                .push(LogicStage::new(CellClass::Aoi21, banks.min(4)));
+        }
+    }
+
+    Ok(BankOutcome {
+        bank_names,
+        bank_config,
+        xbar_cells_added: xbar_cells + arb_cells,
+    })
 }
 
 /// Which extent of the macro a division splits.
@@ -366,12 +527,15 @@ pub fn divide_macro(
     let mut part_names = Vec::with_capacity(parts as usize);
     for (i, cfg) in part_configs.into_iter().enumerate() {
         let name = format!("{macro_name}_d{i}");
-        m.macros.push(MacroInst::new(
-            name.clone(),
-            cfg,
-            original.role,
-            per_part_activity,
-        ));
+        let mut part = MacroInst::new(name.clone(), cfg, original.role, per_part_activity);
+        // Parts stay members of the parent's logical memory: the
+        // structural group id is how every downstream consumer (fault
+        // maps, geometry queries, further transforms) keeps treating
+        // the divided structure as one memory.
+        if let Some(group) = original.bank_group {
+            part = part.with_bank_group(group);
+        }
+        m.macros.push(part);
         part_names.push(name);
     }
 
@@ -481,6 +645,7 @@ mod tests {
     use super::*;
     use ggpu_netlist::module::{MemoryRole, Module};
     use ggpu_netlist::timing::TimingPath;
+    use ggpu_netlist::BankGroupId;
     use ggpu_sta::max_frequency;
     use ggpu_tech::Tech;
 
@@ -668,20 +833,22 @@ mod tests {
         let mut d = Design::new("t");
         let mut m = Module::new("m");
         for i in 0..4 {
-            m.macros.push(MacroInst::new(
-                format!("bank{i}"),
-                SramConfig::dual(1024, 32),
-                MemoryRole::RegisterFile,
-                0.5,
-            ));
+            m.macros.push(
+                MacroInst::new(
+                    format!("bank{i}"),
+                    SramConfig::dual(1024, 32),
+                    MemoryRole::RegisterFile,
+                    0.5,
+                )
+                .with_bank_group(BankGroupId(0)),
+            );
         }
-        // Different geometry: not a sibling, must stay untouched.
-        m.macros.push(MacroInst::new(
-            "bankx",
-            SramConfig::dual(2048, 32),
-            MemoryRole::Other,
-            0.5,
-        ));
+        // Same group id but different geometry: not a sibling, must
+        // stay untouched.
+        m.macros.push(
+            MacroInst::new("bankx", SramConfig::dual(2048, 32), MemoryRole::Other, 0.5)
+                .with_bank_group(BankGroupId(0)),
+        );
         let id = d.add_module(m);
         d.set_top(id);
         let t = DivideMemory {
@@ -699,6 +866,155 @@ mod tests {
             assert!(m.find_macro(&format!("bank{i}")).is_none());
         }
         assert!(m.find_macro("bankx").is_some());
+        // The parts remain members of the original logical memory.
+        assert_eq!(
+            m.bank_group_of("bank0_d0"),
+            Some(BankGroupId(0)),
+            "division parts must inherit the structural group"
+        );
+    }
+
+    #[test]
+    fn user_macro_with_bank_like_name_is_never_misgrouped() {
+        // Regression for the retired `bank_base()` stem matching: a
+        // user macro named `lsu_b12` has the same stem (`lsu_b`) and
+        // geometry as the real sibling banks `lsu_b0`/`lsu_b1`, so the
+        // old code divided it along with the structure. Structural
+        // group ids make membership explicit: the lone macro is
+        // untouched.
+        let mut d = Design::new("t");
+        let mut m = Module::new("m");
+        for i in 0..2 {
+            m.macros.push(
+                MacroInst::new(
+                    format!("lsu_b{i}"),
+                    SramConfig::dual(1024, 32),
+                    MemoryRole::Fifo,
+                    0.5,
+                )
+                .with_bank_group(BankGroupId(7)),
+            );
+        }
+        m.macros.push(MacroInst::new(
+            "lsu_b12",
+            SramConfig::dual(1024, 32),
+            MemoryRole::Other,
+            0.5,
+        ));
+        let id = d.add_module(m);
+        d.set_top(id);
+        let t = DivideMemory {
+            module: "m".into(),
+            macro_name: "lsu_b0".into(),
+            factor: 2,
+            axis: DivideAxis::Words,
+        };
+        t.apply(&mut d).unwrap();
+        let m = d.module(id);
+        assert!(m.find_macro("lsu_b0_d0").is_some());
+        assert!(m.find_macro("lsu_b1_d0").is_some());
+        assert!(
+            m.find_macro("lsu_b12").is_some() && m.find_macro("lsu_b12_d0").is_none(),
+            "macro outside the bank group must not be divided"
+        );
+    }
+
+    #[test]
+    fn banking_splits_into_interleaved_banks_and_improves_fmax() {
+        let (mut d, id) = test_design();
+        let tech = Tech::l65();
+        let before = max_frequency(&d, &tech).unwrap().unwrap();
+        let out = bank_macro(&mut d, id, "ram", 4).unwrap();
+        assert_eq!(out.bank_names.len(), 4);
+        assert_eq!(out.bank_config.words, 512);
+        assert_eq!(out.bank_config.bits, 32);
+        let after = max_frequency(&d, &tech).unwrap().unwrap();
+        assert!(after > before, "fmax {before} -> {after}");
+        let m = d.module(id);
+        assert!(m.find_macro("ram").is_none());
+        assert!(m.find_macro("ram_b3").is_some());
+        assert!(m.groups.iter().any(|g| g.name == "ram_xbar"));
+        assert!(m.groups.iter().any(|g| g.name == "ram_arb"));
+        // A lone macro founds a fresh group holding all its banks.
+        let group = m.bank_group_of("ram_b0").unwrap();
+        let geom = m.bank_group_geometry(group).unwrap();
+        assert_eq!(geom.banks, 4);
+        assert_eq!(geom.words_per_bank, 512);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn banking_a_grouped_structure_grows_the_group() {
+        let mut d = Design::new("t");
+        let mut m = Module::new("m");
+        for i in 0..4 {
+            m.macros.push(
+                MacroInst::new(
+                    format!("lram{i}"),
+                    SramConfig::dual(4096, 32),
+                    MemoryRole::ScratchRam,
+                    0.5,
+                )
+                .with_bank_group(BankGroupId(1)),
+            );
+        }
+        let id = d.add_module(m);
+        d.set_top(id);
+        let t = BankMemory {
+            module: "m".into(),
+            macro_name: "lram0".into(),
+            banks: 2,
+        };
+        t.apply(&mut d).unwrap();
+        let m = d.module(id);
+        // All 4 members split: 8 banks now carry the same group id.
+        let geom = m.bank_group_geometry(BankGroupId(1)).unwrap();
+        assert_eq!(geom.banks, 8);
+        assert_eq!(geom.words_per_bank, 2048);
+        assert_eq!(geom.total_words(), 4 * 4096);
+        assert_eq!(geom.total_ports(), 16);
+    }
+
+    #[test]
+    fn banking_apply_revert_round_trips_bit_identically() {
+        let (mut d, id) = test_design();
+        let fp0 = fingerprint(&d);
+        let mfp0 = d.module_fingerprint(id);
+        let t = BankMemory {
+            module: "m".into(),
+            macro_name: "ram".into(),
+            banks: 4,
+        };
+        let undo = t.apply(&mut d).unwrap();
+        assert_eq!(undo.dirty_modules(), vec![id]);
+        assert_ne!(fingerprint(&d), fp0, "banking must change the design");
+        t.revert(&mut d, undo);
+        assert_eq!(fingerprint(&d), fp0);
+        assert_eq!(d.module_fingerprint(id), mfp0);
+    }
+
+    #[test]
+    fn failed_banking_leaves_design_untouched() {
+        let (mut d, _) = test_design();
+        let fp0 = fingerprint(&d);
+        // Factor 3 is an uneven split; the snapshot rollback restores.
+        let t = BankMemory {
+            module: "m".into(),
+            macro_name: "ram".into(),
+            banks: 3,
+        };
+        assert!(matches!(t.apply(&mut d), Err(TransformError::Sram(_))));
+        assert_eq!(fingerprint(&d), fp0);
+        let t = BankMemory {
+            module: "m".into(),
+            macro_name: "ghost".into(),
+            banks: 2,
+        };
+        assert!(matches!(
+            t.apply(&mut d),
+            Err(TransformError::MacroNotFound { .. })
+        ));
+        assert_eq!(fingerprint(&d), fp0);
     }
 
     #[test]
@@ -746,13 +1062,6 @@ mod tests {
     }
 
     #[test]
-    fn bank_base_groups_banks() {
-        assert_eq!(bank_base("cram0"), "cram");
-        assert_eq!(bank_base("rf_bank12"), "rf_bank");
-        assert_eq!(bank_base("dram_device"), "dram_device");
-    }
-
-    #[test]
     fn transform_display_names_the_edit() {
         let t = DivideMemory {
             module: "pe".into(),
@@ -766,6 +1075,12 @@ mod tests {
             path: "sched".into(),
         };
         assert_eq!(p.to_string(), "pipeline pe/sched");
+        let b = BankMemory {
+            module: "cu".into(),
+            macro_name: "lram0".into(),
+            banks: 4,
+        };
+        assert_eq!(b.to_string(), "bank cu/lram0 x4");
     }
 
     #[test]

@@ -77,6 +77,15 @@ echo "== smoke (SIMT backend agreement + throughput) =="
 # checked-in BENCH_simt.json from the full (non-smoke) run.
 cargo run --release -p ggpu-bench --bin simt_bench -- --smoke --out target/BENCH_simt_smoke.json
 
+echo "== smoke (memory geometry: conflict profile + banking co-opt) =="
+# Profiles every shipped kernel under ideal vs banked LRAM models
+# (asserting banking never changes results and only mat_mul_local
+# pays conflicts) and runs the planner's banking co-optimization,
+# asserting the DSE chooses a banked plan that meets timing and beats
+# the unbanked plan on kernel runtime. Tracked baseline is the
+# checked-in BENCH_mem.json from the full (non-smoke) run.
+cargo run --release -p ggpu-bench --bin mem_bench -- --smoke --out target/BENCH_mem_smoke.json
+
 echo "== smoke (static analyzer cost vs syntactic baseline) =="
 # Times the abstract interpreter (verify_program, K010-K012) against
 # the PR-2 syntactic pass (verify_program_classic) on the 8 shipped
