@@ -1,0 +1,275 @@
+//! Tracked baseline for the flow supervisor: the cost of wrapping the
+//! end-to-end pipeline (verify → plan → implement) in supervision —
+//! panic isolation, degradation ladders, retry bookkeeping — measured
+//! against the identical unsupervised stage sequence on the paper's
+//! 12 Table-I specifications.
+//!
+//! Two gates are *asserted* as the numbers are taken:
+//!
+//! * **byte identity** — with no fault firing, every supervised
+//!   datasheet must equal the plain flow's byte for byte, and every
+//!   degradation report must be clean;
+//! * **chaos zero-loss** — a seeded chaos sweep re-runs the flow under
+//!   injected panics / delays / I/O errors; every campaign must either
+//!   survive with a bit-identical result or die with a structured,
+//!   retryable [`gpuplanner::FlowError`] after a full retry budget.
+//!   Nothing is ever lost or silently corrupted.
+//!
+//! Results go to `BENCH_flow.json` (override with `--out PATH`);
+//! `--smoke` runs 3 specs, fewer repetitions and a smaller chaos
+//! sweep, sized for CI.
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin flow_bench
+//! cargo run --release -p ggpu-bench --bin flow_bench -- --smoke --out target/BENCH_flow_smoke.json
+//! ```
+
+use ggpu_simt::AccelBackend;
+use ggpu_tech::Tech;
+use gpuplanner::{
+    datasheet, paper_versions, verify_kernels, FailurePlan, GpuPlanner, Specification, Supervisor,
+    SupervisorConfig,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock per spec for one full pass, plain vs supervised.
+struct SpecTiming {
+    name: String,
+    plain_ms: f64,
+    supervised_ms: f64,
+}
+
+struct ChaosStats {
+    campaigns: u64,
+    survived: u64,
+    killed: u64,
+    degraded_runs: u64,
+    retried_runs: u64,
+}
+
+/// A supervision policy pinned against the host environment: no
+/// deadline (stages run inline), deterministic retry budget, no chaos.
+fn pinned_config() -> SupervisorConfig {
+    SupervisorConfig {
+        stage_timeout: None,
+        max_retries: 2,
+        backoff_base_ms: 0,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// One unsupervised pass over `spec`: the exact stage bodies the
+/// supervisor runs (verify → plan → implement), with none of the
+/// supervision machinery around them.
+fn plain_flow(
+    planner: &GpuPlanner,
+    spec: &Specification,
+) -> Result<gpuplanner::ImplementedVersion, String> {
+    verify_kernels(AccelBackend::Soa).map_err(|e| format!("verify: {e}"))?;
+    let planned = planner.plan(spec).map_err(|e| format!("plan: {e}"))?;
+    planner
+        .implement(&planned)
+        .map_err(|e| format!("implement: {e}"))
+}
+
+/// Seeded chaos sweep: `campaigns` supervised runs under fault
+/// injection. Asserts the zero-loss contract while counting outcomes.
+fn chaos_sweep(planner: &GpuPlanner, campaigns: u64) -> ChaosStats {
+    let spec = Specification::new(1, ggpu_tech::units::Mhz::new(500.0));
+    let baseline = plain_flow(planner, &spec).expect("plain flow runs");
+    let mut stats = ChaosStats {
+        campaigns,
+        survived: 0,
+        killed: 0,
+        degraded_runs: 0,
+        retried_runs: 0,
+    };
+    // The injected panics are caught by the supervisor; mute the
+    // default hook so they don't spray backtraces over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for seed in 0..campaigns {
+        let mut cfg = pinned_config();
+        cfg.seed = seed;
+        cfg.chaos = FailurePlan::seeded(seed);
+        match Supervisor::new(planner.clone())
+            .with_config(cfg)
+            .run_spec(&spec)
+        {
+            Ok(out) => {
+                stats.survived += 1;
+                assert_eq!(
+                    out.version, baseline,
+                    "chaos seed {seed} corrupted the result"
+                );
+                if !out.degradations.steps.is_empty() {
+                    stats.degraded_runs += 1;
+                }
+                if out.degradations.retries > 0 {
+                    stats.retried_runs += 1;
+                }
+            }
+            Err(err) => {
+                stats.killed += 1;
+                assert!(
+                    err.retryable(),
+                    "chaos seed {seed}: transient injections must classify retryable: {err}"
+                );
+            }
+        }
+    }
+    std::panic::set_hook(hook);
+    assert_eq!(
+        stats.survived + stats.killed,
+        campaigns,
+        "a campaign vanished"
+    );
+    assert!(stats.survived > 0, "no chaos campaign survived");
+    stats
+}
+
+fn render_json(
+    smoke: bool,
+    reps: u32,
+    timings: &[SpecTiming],
+    plain_ms: f64,
+    supervised_ms: f64,
+    overhead_pct: f64,
+    chaos: &ChaosStats,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"flow\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"specs\": {},", timings.len());
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"plain_ms\": {plain_ms:.2},");
+    let _ = writeln!(out, "  \"supervised_ms\": {supervised_ms:.2},");
+    let _ = writeln!(out, "  \"overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(out, "  \"datasheets_identical\": true,");
+    let _ = writeln!(
+        out,
+        "  \"chaos\": {{\"campaigns\": {}, \"survived\": {}, \"killed\": {}, \
+         \"degraded_runs\": {}, \"retried_runs\": {}, \"zero_loss\": true}},",
+        chaos.campaigns, chaos.survived, chaos.killed, chaos.degraded_runs, chaos.retried_runs
+    );
+    out.push_str("  \"per_spec\": [\n");
+    for (idx, t) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"spec\": \"{}\", \"plain_ms\": {:.3}, \"supervised_ms\": {:.3}}}",
+            t.name, t.plain_ms, t.supervised_ms
+        );
+        out.push_str(if idx + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_flow.json".into());
+
+    let planner = GpuPlanner::new(Tech::l65());
+    let specs: Vec<Specification> = if smoke {
+        paper_versions().into_iter().take(3).collect()
+    } else {
+        paper_versions()
+    };
+    let reps: u32 = if smoke { 3 } else { 7 };
+    let chaos_campaigns: u64 = if smoke { 40 } else { 200 };
+
+    // Byte-identity gate: with no fault firing, supervision is
+    // invisible — clean degradation reports, datasheets byte-identical
+    // to the plain flow on every spec.
+    let supervisor = Supervisor::new(planner.clone()).with_config(pinned_config());
+    for spec in &specs {
+        let plain = plain_flow(&planner, spec).expect("plain flow runs");
+        let supervised = supervisor
+            .run_spec(spec)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(
+            supervised.degradations.is_clean(),
+            "{spec}: clean run must not degrade"
+        );
+        assert_eq!(
+            datasheet(&supervised.version),
+            datasheet(&plain),
+            "{spec}: supervision changed the datasheet"
+        );
+    }
+    eprintln!(
+        "byte-identity gate: {} supervised datasheets match the plain flow",
+        specs.len()
+    );
+
+    // Overhead: best-of-`reps` full passes over the spec list, per
+    // mode, timed per spec. Single-threaded in both modes so the
+    // comparison isolates the supervision machinery.
+    let mut timings: Vec<SpecTiming> = specs
+        .iter()
+        .map(|s| SpecTiming {
+            name: s.version_name(),
+            plain_ms: f64::INFINITY,
+            supervised_ms: f64::INFINITY,
+        })
+        .collect();
+    for _ in 0..reps {
+        for (i, spec) in specs.iter().enumerate() {
+            let t0 = Instant::now();
+            let plain = plain_flow(&planner, spec).expect("plain flow runs");
+            let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let supervised = supervisor.run_spec(spec).expect("supervised flow runs");
+            let supervised_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(supervised.version, plain, "{spec}: results diverged");
+            timings[i].plain_ms = timings[i].plain_ms.min(plain_ms);
+            timings[i].supervised_ms = timings[i].supervised_ms.min(supervised_ms);
+        }
+    }
+    let plain_ms: f64 = timings.iter().map(|t| t.plain_ms).sum();
+    let supervised_ms: f64 = timings.iter().map(|t| t.supervised_ms).sum();
+    let overhead_pct = (supervised_ms - plain_ms) / plain_ms * 100.0;
+    eprintln!(
+        "overhead: plain {plain_ms:.2} ms, supervised {supervised_ms:.2} ms \
+         ({overhead_pct:+.2} % over {} specs, best of {reps})",
+        specs.len()
+    );
+    // The supervision machinery (inline catch_unwind, ladder and retry
+    // bookkeeping) must stay under 2 % of the flow — with an absolute
+    // 5 ms floor so sub-millisecond baselines don't turn scheduler
+    // noise into failures.
+    assert!(
+        supervised_ms - plain_ms < (plain_ms * 0.02).max(5.0),
+        "supervision overhead too high: plain {plain_ms:.2} ms vs supervised {supervised_ms:.2} ms"
+    );
+
+    // Chaos zero-loss gate.
+    let chaos = chaos_sweep(&planner, chaos_campaigns);
+    eprintln!(
+        "chaos zero-loss gate: {} campaigns, {} survived bit-identical, {} killed with \
+         structured retryable errors ({} degraded, {} retried)",
+        chaos.campaigns, chaos.survived, chaos.killed, chaos.degraded_runs, chaos.retried_runs
+    );
+
+    let json = render_json(
+        smoke,
+        reps,
+        &timings,
+        plain_ms,
+        supervised_ms,
+        overhead_pct,
+        &chaos,
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

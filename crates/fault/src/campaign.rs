@@ -12,20 +12,24 @@
 //! # Checkpointing
 //!
 //! With [`CampaignConfig::checkpoint`] set, every finished trial
-//! appends one text line to the checkpoint file. A rerun parses the
-//! file (validating seed/kernel/trial-count in the header), skips the
-//! recorded trials and completes the rest; the final report is
-//! identical to an uninterrupted run.
+//! appends one text line to the checkpoint journal (a
+//! [`ggpu_wal::Journal`], the shared write-ahead primitive). A rerun
+//! parses the file (validating seed/kernel/trial-count in the
+//! header), skips the recorded trials and completes the rest; the
+//! final report is identical to an uninterrupted run. A process
+//! killed mid-append leaves a torn final line, which the journal
+//! truncates away on open — that trial simply re-runs — so resume
+//! after `kill -9` at *any* byte is byte-identical to an
+//! uninterrupted campaign (`tests/resume_prop.rs`).
 
 use crate::map::{Geometry, MacroMap};
 use crate::report::{CampaignReport, MacroAvf, OutcomeCounts};
 use crate::rng::Rng;
 use crate::workload::{Workload, WorkloadError};
 use ggpu_simt::{FaultPlan, HardenedOptions, InjectionOutcome, SimError, SimtConfig};
+use ggpu_wal::{Journal, WalError, WalOp};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -154,8 +158,9 @@ pub enum CampaignError {
     Workload(WorkloadError),
     /// A trial could not even be set up (memory staging failed).
     Setup(SimError),
-    /// Checkpoint I/O failed.
-    Io(String),
+    /// Checkpoint I/O failed; the error carries the offending path
+    /// and the operation that failed ([`WalError`]).
+    Io(WalError),
     /// The checkpoint file does not match this campaign.
     Checkpoint(String),
 }
@@ -165,13 +170,22 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::Workload(e) => write!(f, "workload: {e}"),
             CampaignError::Setup(e) => write!(f, "trial setup: {e}"),
-            CampaignError::Io(m) => write!(f, "checkpoint io: {m}"),
+            CampaignError::Io(e) => write!(f, "checkpoint io: {e}"),
             CampaignError::Checkpoint(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
 }
 
-impl std::error::Error for CampaignError {}
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            CampaignError::Workload(e) => Some(e),
+            CampaignError::Setup(e) => Some(e),
+            CampaignError::Checkpoint(_) => None,
+        }
+    }
+}
 
 impl From<WorkloadError> for CampaignError {
     fn from(e: WorkloadError) -> Self {
@@ -179,12 +193,20 @@ impl From<WorkloadError> for CampaignError {
     }
 }
 
+impl From<WalError> for CampaignError {
+    /// A journal-open failure whose header was complete but foreign is
+    /// a campaign mismatch (caller error), not an I/O failure.
+    fn from(e: WalError) -> Self {
+        if e.op == WalOp::Open && e.source.kind() == std::io::ErrorKind::InvalidData {
+            return CampaignError::Checkpoint(e.source.to_string());
+        }
+        CampaignError::Io(e)
+    }
+}
+
 /// Shared worker output: finished-trial results plus the checkpoint
-/// file (behind one lock so checkpoint lines are whole).
-type TrialSink = (
-    Vec<Result<TrialRecord, CampaignError>>,
-    Option<std::fs::File>,
-);
+/// journal (behind one lock so checkpoint lines are whole).
+type TrialSink = (Vec<Result<TrialRecord, CampaignError>>, Option<Journal>);
 
 /// Runs (or resumes) a fault-injection campaign.
 ///
@@ -206,30 +228,26 @@ pub fn run_campaign(
     let geom = Geometry::new(cfg.sim, workload.memory_words());
 
     let mut done: BTreeMap<u32, TrialRecord> = BTreeMap::new();
-    if let Some(path) = &cfg.checkpoint {
-        if path.exists() {
-            for rec in parse_checkpoint(path, cfg, workload)? {
+    let journal = match &cfg.checkpoint {
+        Some(path) => {
+            let (journal, lines, _) = Journal::open(path, &checkpoint_header(cfg, workload))?;
+            for (no, line) in lines.iter().enumerate() {
+                let rec = parse_record(line, no, cfg)?;
                 done.insert(rec.trial, rec);
             }
-        } else {
-            let header = checkpoint_header(cfg, workload);
-            std::fs::write(path, header).map_err(|e| CampaignError::Io(e.to_string()))?;
+            // Campaign trials are re-runnable at no cost beyond the
+            // re-simulation, so the journal trades the per-append
+            // fsync for campaign throughput: `kill -9` still loses
+            // nothing (the OS keeps buffered writes), only a whole-
+            // machine power failure can drop the buffered tail — and
+            // the dropped trials simply re-run.
+            Some(journal.with_sync(false))
         }
-    }
+        None => None,
+    };
 
     let pending: Vec<u32> = (0..cfg.trials).filter(|t| !done.contains_key(t)).collect();
-    let sink: Mutex<TrialSink> = {
-        let file = match &cfg.checkpoint {
-            Some(path) => Some(
-                OpenOptions::new()
-                    .append(true)
-                    .open(path)
-                    .map_err(|e| CampaignError::Io(e.to_string()))?,
-            ),
-            None => None,
-        };
-        Mutex::new((Vec::with_capacity(pending.len()), file))
-    };
+    let sink: Mutex<TrialSink> = Mutex::new((Vec::with_capacity(pending.len()), journal));
     let next = AtomicUsize::new(0);
     let workers = cfg.worker_threads().min(pending.len().max(1));
 
@@ -240,15 +258,14 @@ pub fn run_campaign(
                 let Some(&trial) = pending.get(i) else { break };
                 let res = run_trial(workload, map, cfg, &geom, cycle_hi, trial);
                 let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
-                if let (Ok(rec), Some(file)) = (&res, guard.1.as_mut()) {
+                if let (Ok(rec), Some(journal)) = (&res, guard.1.as_mut()) {
                     // Checkpoint write failures degrade to an
                     // un-checkpointed campaign rather than losing the
                     // computed trial.
-                    let _ = writeln!(
-                        file,
+                    let _ = journal.append(&format!(
                         "t {} {} {} {}",
                         rec.trial, rec.macro_idx, rec.cycle, rec.outcome
-                    );
+                    ));
                 }
                 guard.0.push(res);
             });
@@ -304,64 +321,42 @@ fn run_trial(
 
 fn checkpoint_header(cfg: &CampaignConfig, workload: &Workload) -> String {
     format!(
-        "ggpu-fault-checkpoint v1 seed={} kernel={} n={} trials={}\n",
+        "ggpu-fault-checkpoint v1 seed={} kernel={} n={} trials={}",
         cfg.seed, workload.name, workload.n, cfg.trials
     )
 }
 
-fn parse_checkpoint(
-    path: &std::path::Path,
-    cfg: &CampaignConfig,
-    workload: &Workload,
-) -> Result<Vec<TrialRecord>, CampaignError> {
-    let text = std::fs::read_to_string(path).map_err(|e| CampaignError::Io(e.to_string()))?;
-    let mut lines = text.lines();
-    let header = lines.next().unwrap_or("");
-    let expected = checkpoint_header(cfg, workload);
-    if header != expected.trim_end() {
-        return Err(CampaignError::Checkpoint(format!(
-            "header {header:?} does not match campaign {:?}",
-            expected.trim_end()
-        )));
-    }
-    let mut out = Vec::new();
-    for (no, line) in lines.enumerate() {
-        if line.is_empty() {
-            continue;
+/// Parses one complete journal record line. Torn tails never reach
+/// this point (the journal repairs them on open), so a line that does
+/// not parse is genuine corruption and errors.
+fn parse_record(line: &str, no: usize, cfg: &CampaignConfig) -> Result<TrialRecord, CampaignError> {
+    let mut f = line.split_ascii_whitespace();
+    let rec = (|| {
+        if f.next()? != "t" {
+            return None;
         }
-        let mut f = line.split_ascii_whitespace();
-        let rec = (|| {
-            if f.next()? != "t" {
-                return None;
-            }
-            let trial: u32 = f.next()?.parse().ok()?;
-            let macro_idx: u32 = f.next()?.parse().ok()?;
-            let cycle: u64 = f.next()?.parse().ok()?;
-            let outcome = Outcome::parse(f.next()?)?;
-            Some(TrialRecord {
-                trial,
-                macro_idx,
-                cycle,
-                outcome,
-            })
-        })();
-        match rec {
-            Some(r) if r.trial < cfg.trials => out.push(r),
-            Some(r) => {
-                return Err(CampaignError::Checkpoint(format!(
-                    "trial {} out of range (campaign has {})",
-                    r.trial, cfg.trials
-                )))
-            }
-            None => {
-                return Err(CampaignError::Checkpoint(format!(
-                    "unparseable line {}: {line:?}",
-                    no + 2
-                )))
-            }
-        }
+        let trial: u32 = f.next()?.parse().ok()?;
+        let macro_idx: u32 = f.next()?.parse().ok()?;
+        let cycle: u64 = f.next()?.parse().ok()?;
+        let outcome = Outcome::parse(f.next()?)?;
+        Some(TrialRecord {
+            trial,
+            macro_idx,
+            cycle,
+            outcome,
+        })
+    })();
+    match rec {
+        Some(r) if r.trial < cfg.trials => Ok(r),
+        Some(r) => Err(CampaignError::Checkpoint(format!(
+            "trial {} out of range (campaign has {})",
+            r.trial, cfg.trials
+        ))),
+        None => Err(CampaignError::Checkpoint(format!(
+            "unparseable line {}: {line:?}",
+            no + 2
+        ))),
     }
-    Ok(out)
 }
 
 fn build_report(
@@ -421,5 +416,41 @@ mod tests {
             assert_eq!(Outcome::parse(o.as_str()), Some(o));
         }
         assert_eq!(Outcome::parse("nope"), None);
+    }
+
+    #[test]
+    fn io_error_carries_path_and_operation() {
+        // Pointing the checkpoint at a directory fails at journal
+        // open; the error must name the offending path and the file
+        // operation, not a bare message.
+        let dir = std::env::temp_dir().join(format!("ggpu_fault_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = Journal::open(&dir, "hdr").unwrap_err();
+        let err = CampaignError::from(wal);
+        match &err {
+            CampaignError::Io(e) => {
+                assert_eq!(e.path, dir);
+                assert!(matches!(e.op, WalOp::Read | WalOp::Create));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("checkpoint io"), "{text}");
+        assert!(text.contains(&dir.display().to_string()), "{text}");
+        // `source()` exposes the WalError for callers that downcast.
+        assert!(std::error::Error::source(&err).is_some());
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn foreign_header_maps_to_checkpoint_mismatch() {
+        let path = std::env::temp_dir().join(format!("ggpu_fault_foreign_{}", std::process::id()));
+        std::fs::write(&path, "some other campaign\n").unwrap();
+        let wal = Journal::open(&path, "ggpu-fault-checkpoint v1 seed=1").unwrap_err();
+        assert!(matches!(
+            CampaignError::from(wal),
+            CampaignError::Checkpoint(_)
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -103,11 +103,19 @@ pub enum Code {
     /// Flow invariant: memory banking must preserve total macro bits
     /// and grow the port budget by exactly the added banks' ports.
     N009,
+    /// Flow supervision: the supervised flow fell back from a
+    /// configured engine to a degraded one (analytical placer → shelf,
+    /// SoA backend → scalar, incremental STA → legacy full, beam →
+    /// greedy). Degradations are legitimate — that is the point of the
+    /// ladder — but must never be silent: each one surfaces here and
+    /// in the datasheet, and CI's `--deny warn` turns a degraded run
+    /// into a failure.
+    N010,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 22] = [
         Code::K001,
         Code::K002,
         Code::K003,
@@ -129,6 +137,7 @@ impl Code {
         Code::N007,
         Code::N008,
         Code::N009,
+        Code::N010,
     ];
 
     /// The stable textual form (`"K001"`, …).
@@ -155,6 +164,7 @@ impl Code {
             Code::N007 => "N007",
             Code::N008 => "N008",
             Code::N009 => "N009",
+            Code::N010 => "N010",
         }
     }
 
@@ -171,7 +181,9 @@ impl Code {
     /// flow default to `Deny`.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::K001 | Code::K002 | Code::K003 | Code::K006 | Code::N008 => Severity::Warn,
+            Code::K001 | Code::K002 | Code::K003 | Code::K006 | Code::N008 | Code::N010 => {
+                Severity::Warn
+            }
             Code::K004
             | Code::K005
             | Code::K007
@@ -224,6 +236,7 @@ impl Code {
             Code::N007 => "missing top module or instantiation cycle",
             Code::N008 => "SRAM macro without ECC/parity under a resilience target",
             Code::N009 => "memory banking changed stored bits or port budget",
+            Code::N010 => "flow supervision degraded a stage to a fallback engine",
         }
     }
 }

@@ -225,6 +225,40 @@ pub fn check_banking(
     }
 }
 
+/// One recorded fallback of the flow supervisor's degradation ladder,
+/// in the linter's plain-data terms (the planner owns the rich type;
+/// the linter gates on the facts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationStep {
+    /// Flow stage that degraded (`"plan"`, `"implement"`, …).
+    pub stage: String,
+    /// The configured engine that failed (`"placer=analytical"`).
+    pub from: String,
+    /// The fallback that ran instead (`"placer=legacy"`).
+    pub to: String,
+    /// Why the ladder stepped down.
+    pub reason: String,
+}
+
+/// The flow-supervision gate (N010): every degradation a supervised
+/// run recorded becomes one finding, so a degraded result can never
+/// pass CI silently — `--deny warn` promotes these to denials, and a
+/// clean run contributes nothing.
+pub fn check_supervision(steps: &[DegradationStep], config: &LintConfig, report: &mut Report) {
+    for step in steps {
+        report.push(
+            config,
+            Code::N010,
+            format!(
+                "flow degraded at stage `{}`: {} -> {} ({})",
+                step.stage, step.from, step.to, step.reason
+            ),
+            None,
+            Some(step.stage.clone()),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

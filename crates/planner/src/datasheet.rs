@@ -114,6 +114,32 @@ pub fn datasheet(version: &ImplementedVersion) -> String {
     out
 }
 
+/// [`datasheet`] plus the supervision record: when the flow degraded
+/// or retried, a `flow supervision:` section lists every ladder step
+/// and the retry count. A clean run appends **nothing** — the output
+/// is byte-identical to [`datasheet`], so archived datasheets of
+/// healthy flows never change.
+pub fn datasheet_with_supervision(
+    version: &ImplementedVersion,
+    flow: &crate::supervise::DegradationReport,
+) -> String {
+    let mut out = datasheet(version);
+    if flow.is_clean() {
+        return out;
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "flow supervision:");
+    let _ = writeln!(out, "  retries       : {:>9}", flow.retries);
+    for step in &flow.steps {
+        let _ = writeln!(
+            out,
+            "  degraded      : {}: {} -> {} ({})",
+            step.stage, step.from, step.to, step.reason
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! check.
 
 use crate::cache::StaCache;
-use crate::dse::{apply_plan, optimize_for_with, DseError, OptimizationPlan};
+use crate::dse::{apply_plan, optimize_with_config, DseConfig, DseError, OptimizationPlan};
 use crate::spec::Specification;
 use ggpu_fault::ResilienceReport;
 use ggpu_netlist::{Design, EccPolicy, ModuleId};
@@ -37,7 +37,7 @@ pub fn worker_threads(jobs: usize) -> usize {
 /// Work is handed out through an atomic index, so long jobs do not
 /// stall the queue behind them. With `threads <= 1` this degenerates
 /// to a plain sequential map with zero thread overhead.
-fn parallel_map<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+pub(crate) fn parallel_map<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -221,6 +221,11 @@ impl GpuPlanner {
         self
     }
 
+    /// The physical-flow options in effect.
+    pub fn pnr_options(&self) -> &PnrOptions {
+        &self.pnr_options
+    }
+
     /// Selects the global placer (keeping the other physical-flow
     /// options). [`Placer::Legacy`] is the default shelf packer;
     /// [`Placer::Analytical`] enables the electrostatic solver.
@@ -283,7 +288,7 @@ impl GpuPlanner {
         Ok(())
     }
 
-    fn config_for(&self, spec: &Specification) -> Result<GgpuConfig, PlanError> {
+    pub(crate) fn config_for(&self, spec: &Specification) -> Result<GgpuConfig, PlanError> {
         let cfg = GgpuConfig {
             compute_units: spec.compute_units,
             memory_controllers: spec.memory_controllers,
@@ -330,10 +335,27 @@ impl GpuPlanner {
     /// Returns [`PlanError`] if the specification is invalid, the
     /// frequency is unreachable, or synthesis fails.
     pub fn plan(&self, spec: &Specification) -> Result<PlannedVersion, PlanError> {
+        self.plan_with_config(spec, &DseConfig::default())
+    }
+
+    /// [`GpuPlanner::plan`] under an explicit [`DseConfig`] — the
+    /// default configuration is bit-identical to `plan`; wider beams
+    /// run the journal-backed beam search (never worse than greedy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the specification is invalid, the
+    /// frequency is unreachable, or synthesis fails.
+    pub fn plan_with_config(
+        &self,
+        spec: &Specification,
+        dse: &DseConfig,
+    ) -> Result<PlannedVersion, PlanError> {
         let config = self.config_for(spec)?;
         let base = generate(&config)?;
         Self::lint_gate(&base)?;
-        let optimized = optimize_for_with(&base, &self.tech, spec.frequency, &self.sta_cache)?;
+        let optimized =
+            optimize_with_config(&base, &self.tech, spec.frequency, &self.sta_cache, dse)?;
         let mut design = optimized.design;
         design.set_name(format!(
             "ggpu_{}cu_{:.0}mhz",
@@ -475,6 +497,12 @@ impl GpuPlanner {
     /// threads (`1` forces the sequential reference behavior). The
     /// winner does not depend on `threads`.
     ///
+    /// Delegates to the sweep-campaign engine
+    /// ([`GpuPlanner::sweep`]) with no checkpoint and no candidate
+    /// budget, which is bit-identical to the pre-campaign reduction;
+    /// use [`crate::sweep::SweepConfig`] directly for crash-safe
+    /// resumable or wall-clock-budgeted sweeps.
+    ///
     /// # Errors
     ///
     /// Returns [`PlanError`] only for structural failures (invalid
@@ -485,43 +513,15 @@ impl GpuPlanner {
         max_power_w: f64,
         threads: usize,
     ) -> Result<Option<PlannedVersion>, PlanError> {
-        let points = Self::sweep_points();
-        let outcomes = parallel_map(points.len(), threads, |i| {
-            let (cus, mhz) = points[i];
-            let spec = Specification::new(cus, Mhz::new(mhz))
-                .with_max_area_mm2(max_area_mm2)
-                .with_max_power_w(max_power_w);
-            self.plan(&spec)
-        });
-        // Deterministic reduction, identical to the sequential loop:
-        // walk the grid in order, keep the highest throughput (ties
-        // broken by smaller area), propagate the first structural
-        // error.
-        let mut best: Option<(f64, PlannedVersion)> = None;
-        for ((cus, mhz), outcome) in points.into_iter().zip(outcomes) {
-            let planned = match outcome {
-                Ok(p) => p,
-                Err(PlanError::Dse(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            let area = planned.synthesis.stats.total_area().to_mm2();
-            let power = planned.synthesis.total_power().to_watts();
-            if area > max_area_mm2 || power > max_power_w {
-                continue;
-            }
-            let throughput = f64::from(cus) * mhz;
-            let better = match &best {
-                None => true,
-                Some((t, b)) => {
-                    throughput > *t
-                        || (throughput == *t && area < b.synthesis.stats.total_area().to_mm2())
-                }
-            };
-            if better {
-                best = Some((throughput, planned));
+        let config =
+            crate::sweep::SweepConfig::budgets(max_area_mm2, max_power_w).with_threads(threads);
+        match self.sweep(&config) {
+            Ok(report) => Ok(report.winner),
+            Err(crate::sweep::SweepError::Plan(e)) => Err(e),
+            Err(crate::sweep::SweepError::Io(_) | crate::sweep::SweepError::Checkpoint(_)) => {
+                unreachable!("no checkpoint configured: the sweep never touches the filesystem")
             }
         }
-        Ok(best.map(|(_, p)| p))
     }
 
     /// Replays a recorded plan onto a freshly generated baseline —

@@ -37,6 +37,8 @@ pub mod map;
 pub mod memopt;
 pub mod spec;
 pub mod spreadsheet;
+pub mod supervise;
+pub mod sweep;
 pub mod versions;
 
 pub use cache::{fingerprint, StaCache};
@@ -44,7 +46,7 @@ pub use cycles::{
     dataflow_net_weights, kernel_cycles, kernel_mem_profiles, price_at, total_runtime_us,
     KernelCycles, KernelMemProfile, KernelRuntime,
 };
-pub use datasheet::datasheet;
+pub use datasheet::{datasheet, datasheet_with_supervision};
 pub use dse::{
     apply_plan, apply_plan_clone_dirty, apply_plan_dirty, optimize_for, optimize_for_clone,
     optimize_for_cow, optimize_for_with, optimize_with_config, Action, DseConfig, DseError,
@@ -61,4 +63,10 @@ pub use memopt::{
 };
 pub use spec::Specification;
 pub use spreadsheet::{frequency_map, frequency_map_with_policy, map_to_csv, render_map, MapRow};
+pub use supervise::{
+    spec_fingerprint, stage_timeout_from_env, verify_kernels, DegradationReport, FailurePlan,
+    FlowError, FlowErrorKind, FlowStage, Injection, SupervisedVersion, Supervisor,
+    SupervisorConfig,
+};
+pub use sweep::{SweepConfig, SweepError, SweepReport, SweepSkip};
 pub use versions::{paper_versions, physical_versions};

@@ -66,7 +66,7 @@ pub use place::{
     macro_hpwl, place_macros, place_macros_pooled, place_macros_with, PlaceStats, PlacedMacro,
     PlacedPartition, Placer, MAX_CELL_UTILIZATION,
 };
-pub use pool::{configured_threads, Pool};
+pub use pool::{configured_threads, panic_message, Pool};
 pub use route::{annotate_routes, estimate_wirelength, LayerWirelength};
 pub use svg::{role_color, to_placement_report, to_svg};
 

@@ -37,7 +37,7 @@ use ggpu_tech::Tech;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Number of independent lock domains in the timed-module table. A
 /// power of two so the shard index is a mask of the key's low bits.
@@ -131,7 +131,11 @@ impl IncrementalSta {
     ) -> Result<(Arc<Vec<UnclockedPath>>, bool), StaError> {
         let key = Self::key(design, id, tech_fp);
         let shard = &self.shards[(key as usize) & (SHARDS - 1)];
-        if let Some(hit) = shard.read().expect("sta shard poisoned").get(&key) {
+        if let Some(hit) = shard
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.module_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(hit), true));
         }
@@ -139,7 +143,7 @@ impl IncrementalSta {
         // benign (results are content-derived and identical).
         let timed = Arc::new(time_module(design, id, tech)?);
         self.module_misses.fetch_add(1, Ordering::Relaxed);
-        let mut w = shard.write().expect("sta shard poisoned");
+        let mut w = shard.write().unwrap_or_else(PoisonError::into_inner);
         let entry = w.entry(key).or_insert_with(|| Arc::clone(&timed));
         Ok((Arc::clone(entry), false))
     }
@@ -251,7 +255,7 @@ impl IncrementalSta {
     pub fn cached_modules(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("sta shard poisoned").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 }

@@ -24,6 +24,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod corner;
 pub mod metal;
 pub mod sram;

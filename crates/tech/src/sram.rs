@@ -34,7 +34,7 @@ use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// Process-wide count of raw [`MemoryCompiler::compile`] invocations —
 /// the number of times the characterization model actually ran, cache
@@ -635,7 +635,12 @@ impl CompiledSramCache {
             return compiler.compile(config);
         }
         let key = (compiler.params_key, config);
-        if let Some(r) = self.table.read().expect("sram cache poisoned").get(&key) {
+        if let Some(r) = self
+            .table
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *r;
         }
@@ -643,7 +648,7 @@ impl CompiledSramCache {
         let r = compiler.compile(config);
         self.table
             .write()
-            .expect("sram cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, r);
         r
     }
@@ -660,7 +665,10 @@ impl CompiledSramCache {
 
     /// Number of memoized geometries.
     pub fn entries(&self) -> usize {
-        self.table.read().expect("sram cache poisoned").len()
+        self.table
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Enables or disables memoization (process-wide). Intended for

@@ -93,4 +93,12 @@ echo "== smoke (static analyzer cost vs syntactic baseline) =="
 # baseline is the checked-in BENCH_lint.json from the full run.
 cargo run --release -p ggpu-bench --bin lint_bench -- --smoke --out target/BENCH_lint_smoke.json
 
+echo "== smoke (flow supervision overhead + chaos zero-loss) =="
+# Runs the supervised pipeline (verify -> plan -> implement) against
+# the identical unsupervised stage sequence, asserting datasheets stay
+# byte-identical, supervision overhead stays under 2 %, and a seeded
+# chaos sweep loses or corrupts nothing. Tracked baseline is the
+# checked-in BENCH_flow.json from the full (12-spec, 200-campaign) run.
+cargo run --release -p ggpu-bench --bin flow_bench -- --smoke --out target/BENCH_flow_smoke.json
+
 echo "== ci green =="
